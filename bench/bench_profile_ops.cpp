@@ -1,0 +1,86 @@
+// Experiment E9b -- data-structure microbenchmarks.
+//
+// StepProfile is the single structure under every scheduler; these benches
+// pin down the cost of its core operations as the segment count grows.
+#include "bench_util.hpp"
+
+#include "core/profile_allocator.hpp"
+#include "core/step_profile.hpp"
+#include "util/prng.hpp"
+
+namespace {
+
+using namespace resched;
+
+StepProfile busy_profile(std::int64_t segments, std::uint64_t seed) {
+  StepProfile profile(256);
+  Prng prng(seed);
+  for (std::int64_t i = 0; i < segments; ++i) {
+    const Time start = prng.uniform_int(0, 100'000);
+    const Time len = prng.uniform_int(1, 500);
+    profile.add(start, start + len, prng.uniform_int(-2, 2));
+  }
+  // Keep it a valid capacity profile.
+  if (profile.min_value() < 0) {
+    StepProfile lifted(256 - profile.min_value());
+    return lifted.plus(profile.minus(StepProfile(256)));
+  }
+  return profile;
+}
+
+void print_tables() {
+  benchutil::print_header(
+      "StepProfile microbenchmarks (E9)",
+      "Core profile operations vs segment count; timings below.");
+}
+
+void BM_ProfileAdd(benchmark::State& state) {
+  Prng prng(1);
+  for (auto _ : state) {
+    state.PauseTiming();
+    StepProfile profile = busy_profile(state.range(0), 2);
+    state.ResumeTiming();
+    const Time start = prng.uniform_int(0, 100'000);
+    profile.add(start, start + 200, -1);
+    benchmark::DoNotOptimize(profile.segment_count());
+  }
+}
+BENCHMARK(BM_ProfileAdd)->Range(64, 4096);
+
+void BM_ProfileMinIn(benchmark::State& state) {
+  const StepProfile profile = busy_profile(state.range(0), 3);
+  Prng prng(4);
+  for (auto _ : state) {
+    const Time start = prng.uniform_int(0, 100'000);
+    benchmark::DoNotOptimize(profile.min_in(start, start + 1000));
+  }
+}
+BENCHMARK(BM_ProfileMinIn)->Range(64, 4096);
+
+void BM_ProfileIntegral(benchmark::State& state) {
+  const StepProfile profile = busy_profile(state.range(0), 5);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(profile.integral(0, 100'000));
+}
+BENCHMARK(BM_ProfileIntegral)->Range(64, 4096);
+
+void BM_EarliestFit(benchmark::State& state) {
+  FreeProfile free(busy_profile(state.range(0), 6));
+  Prng prng(7);
+  for (auto _ : state) {
+    const ProcCount q = prng.uniform_int(1, 200);
+    benchmark::DoNotOptimize(free.earliest_fit(0, q, 300));
+  }
+}
+BENCHMARK(BM_EarliestFit)->Range(64, 4096);
+
+void BM_ProfilePlus(benchmark::State& state) {
+  const StepProfile a = busy_profile(state.range(0), 8);
+  const StepProfile b = busy_profile(state.range(0), 9);
+  for (auto _ : state) benchmark::DoNotOptimize(a.plus(b).segment_count());
+}
+BENCHMARK(BM_ProfilePlus)->Range(64, 4096);
+
+}  // namespace
+
+RESCHED_BENCH_MAIN(print_tables)

@@ -1,0 +1,38 @@
+// Shared helpers for the benchmark binaries.
+//
+// Every binary follows the same shape: main() prints the paper-figure
+// reproduction table(s) on stdout, then hands over to google-benchmark for
+// the timing section. The tables are what EXPERIMENTS.md quotes.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <string>
+
+#include "util/table.hpp"
+
+namespace resched::benchutil {
+
+inline void print_header(const std::string& experiment,
+                         const std::string& description) {
+  std::cout << "\n=== " << experiment << " ===\n" << description << "\n\n";
+}
+
+inline void print_table(const Table& table) {
+  std::cout << table.to_string() << "\n";
+}
+
+// Standard main body: tables first, then timings.
+#define RESCHED_BENCH_MAIN(print_tables_fn)                       \
+  int main(int argc, char** argv) {                               \
+    print_tables_fn();                                            \
+    ::benchmark::Initialize(&argc, argv);                         \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv))     \
+      return 1;                                                   \
+    ::benchmark::RunSpecifiedBenchmarks();                        \
+    ::benchmark::Shutdown();                                      \
+    return 0;                                                     \
+  }
+
+}  // namespace resched::benchutil

@@ -1,0 +1,31 @@
+#include "algorithms/conservative_bf.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "core/profile_allocator.hpp"
+
+namespace resched {
+
+Schedule ConservativeBackfillScheduler::schedule(
+    const Instance& instance) const {
+  Schedule schedule(instance.n());
+  FreeProfile free = FreeProfile::for_instance(instance);
+
+  std::vector<JobId> queue(instance.n());
+  std::iota(queue.begin(), queue.end(), JobId{0});
+  std::stable_sort(queue.begin(), queue.end(), [&](JobId a, JobId b) {
+    return instance.job(a).release < instance.job(b).release;
+  });
+
+  for (const JobId id : queue) {
+    const Job& job = instance.job(id);
+    const Time start = free.earliest_fit(job.release, job.q, job.p);
+    free.commit(start, job.q, job.p);
+    schedule.set_start(id, start);
+  }
+  return schedule;
+}
+
+}  // namespace resched

@@ -1,0 +1,21 @@
+// Conservative backfilling (paper section 2.2).
+//
+// Jobs are considered in arrival order; each is placed at the earliest
+// instant where it fits *without delaying any previously placed job* --
+// realised here by committing placements into the shared capacity profile,
+// so a later job can only slide into genuinely free holes. A job may thus
+// run before an earlier-submitted one, but only if the earlier one could not
+// have started sooner anyway (the paper's definition, verbatim).
+#pragma once
+
+#include "algorithms/scheduler.hpp"
+
+namespace resched {
+
+class ConservativeBackfillScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] Schedule schedule(const Instance& instance) const override;
+  [[nodiscard]] std::string name() const override { return "conservative"; }
+};
+
+}  // namespace resched

@@ -1,0 +1,94 @@
+#include "algorithms/easy_bf.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+#include <queue>
+#include <vector>
+
+#include "core/profile_allocator.hpp"
+#include "util/checked.hpp"
+#include "util/require.hpp"
+
+namespace resched {
+
+Schedule EasyBackfillScheduler::schedule(const Instance& instance) const {
+  Schedule schedule(instance.n());
+  if (instance.n() == 0) return schedule;
+
+  FreeProfile free = FreeProfile::for_instance(instance);
+
+  std::vector<JobId> arrival(instance.n());
+  std::iota(arrival.begin(), arrival.end(), JobId{0});
+  std::stable_sort(arrival.begin(), arrival.end(), [&](JobId a, JobId b) {
+    return instance.job(a).release < instance.job(b).release;
+  });
+
+  std::priority_queue<Time, std::vector<Time>, std::greater<>> events;
+  for (const Reservation& resa : instance.reservations())
+    events.push(resa.end());
+
+  std::deque<JobId> waiting;  // released, not yet started, FCFS order
+  std::size_t next_arrival = 0;
+  Time t = instance.job(arrival[0]).release;
+  // Feed releases as events too.
+  for (const Job& job : instance.jobs())
+    if (job.release > t) events.push(job.release);
+
+  std::size_t started = 0;
+  while (started < instance.n()) {
+    while (next_arrival < arrival.size() &&
+           instance.job(arrival[next_arrival]).release <= t)
+      waiting.push_back(arrival[next_arrival++]);
+
+    // Phase 1: start the head (and successive heads) while they fit now.
+    while (!waiting.empty()) {
+      const Job& head = instance.job(waiting.front());
+      if (!free.fits_at(t, head.q, head.p)) break;
+      free.commit(t, head.q, head.p);
+      schedule.set_start(head.id, t);
+      events.push(checked_add(t, head.p));
+      waiting.pop_front();
+      ++started;
+    }
+
+    // Phase 2: head blocked -> reserve its start, then backfill.
+    if (!waiting.empty()) {
+      const Job& head = instance.job(waiting.front());
+      const Time head_start = free.earliest_fit(t, head.q, head.p);
+      for (std::size_t i = 1; i < waiting.size(); ++i) {
+        const Job& job = instance.job(waiting[i]);
+        if (!free.fits_at(t, job.q, job.p)) continue;
+        // Tentatively start; keep only if the head is not pushed back.
+        free.commit(t, job.q, job.p);
+        if (free.earliest_fit(t, head.q, head.p) > head_start) {
+          free.uncommit(t, job.q, job.p);
+          continue;
+        }
+        schedule.set_start(job.id, t);
+        events.push(checked_add(t, job.p));
+        waiting.erase(waiting.begin() + static_cast<std::ptrdiff_t>(i));
+        --i;  // re-examine this position
+        ++started;
+      }
+    }
+
+    if (started == instance.n()) break;
+
+    Time next = kTimeInfinity;
+    while (!events.empty()) {
+      const Time candidate = events.top();
+      events.pop();
+      if (candidate > t) {
+        next = candidate;
+        break;
+      }
+    }
+    RESCHED_CHECK_MSG(next < kTimeInfinity,
+                      "EASY stalled: waiting jobs but no future event");
+    t = next;
+  }
+  return schedule;
+}
+
+}  // namespace resched

@@ -1,0 +1,23 @@
+// EASY (aggressive) backfilling (paper section 2.2).
+//
+// The queue is FCFS, but only the *head* job is protected: when the head
+// cannot start, it receives a reservation at its earliest feasible start
+// time, and any later job may backfill right now provided doing so does not
+// push the head's reservation back. More aggressive than conservative
+// backfilling (non-head jobs carry no protection and can be overtaken
+// repeatedly), less aggressive than LSRC (which protects nobody). The
+// bench/bench_online experiment shows the resulting ladder:
+// FCFS >= conservative ~ EASY >= LSRC on trap instances.
+#pragma once
+
+#include "algorithms/scheduler.hpp"
+
+namespace resched {
+
+class EasyBackfillScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] Schedule schedule(const Instance& instance) const override;
+  [[nodiscard]] std::string name() const override { return "easy"; }
+};
+
+}  // namespace resched

@@ -1,0 +1,34 @@
+#include "algorithms/fcfs.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "core/profile_allocator.hpp"
+#include "util/require.hpp"
+
+namespace resched {
+
+Schedule FcfsScheduler::schedule(const Instance& instance) const {
+  Schedule schedule(instance.n());
+  FreeProfile free = FreeProfile::for_instance(instance);
+
+  std::vector<JobId> queue(instance.n());
+  std::iota(queue.begin(), queue.end(), JobId{0});
+  std::stable_sort(queue.begin(), queue.end(), [&](JobId a, JobId b) {
+    return instance.job(a).release < instance.job(b).release;
+  });
+
+  Time previous_start = 0;
+  for (const JobId id : queue) {
+    const Job& job = instance.job(id);
+    const Time ready = std::max(previous_start, job.release);
+    const Time start = free.earliest_fit(ready, job.q, job.p);
+    free.commit(start, job.q, job.p);
+    schedule.set_start(id, start);
+    previous_start = start;  // no later job may start before this one
+  }
+  return schedule;
+}
+
+}  // namespace resched

@@ -1,0 +1,23 @@
+// Strict First Come First Served (paper section 2.2).
+//
+// Jobs are considered in arrival order (release time, then submission
+// index); each job starts at the earliest instant where it fits, *but never
+// before the job ahead of it in the queue has started* (non-overtaking).
+// This is the "perfectly understood by users" policy the paper describes,
+// and the one with the pathological behaviour: a wide job at the head of the
+// queue blocks everything behind it, which is why FCFS has no constant
+// guarantee -- on fcfs_bad_instance(m) its makespan is ~m times optimal
+// (experiment E5).
+#pragma once
+
+#include "algorithms/scheduler.hpp"
+
+namespace resched {
+
+class FcfsScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] Schedule schedule(const Instance& instance) const override;
+  [[nodiscard]] std::string name() const override { return "fcfs"; }
+};
+
+}  // namespace resched

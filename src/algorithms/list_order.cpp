@@ -1,0 +1,80 @@
+#include "algorithms/list_order.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/prng.hpp"
+#include "util/require.hpp"
+
+namespace resched {
+
+std::string to_string(ListOrder order) {
+  switch (order) {
+    case ListOrder::kSubmission: return "submission";
+    case ListOrder::kLpt: return "lpt";
+    case ListOrder::kSpt: return "spt";
+    case ListOrder::kWidest: return "widest";
+    case ListOrder::kNarrowest: return "narrowest";
+    case ListOrder::kMaxArea: return "max-area";
+    case ListOrder::kMinArea: return "min-area";
+    case ListOrder::kRandom: return "random";
+  }
+  return "?";
+}
+
+ListOrder list_order_from_string(const std::string& name) {
+  for (const ListOrder order : all_list_orders())
+    if (to_string(order) == name) return order;
+  throw std::invalid_argument("unknown list order: " + name);
+}
+
+std::vector<ListOrder> all_list_orders() {
+  return {ListOrder::kSubmission, ListOrder::kLpt,     ListOrder::kSpt,
+          ListOrder::kWidest,     ListOrder::kNarrowest,
+          ListOrder::kMaxArea,    ListOrder::kMinArea, ListOrder::kRandom};
+}
+
+std::vector<JobId> make_list(const Instance& instance, ListOrder order,
+                             std::uint64_t seed) {
+  std::vector<JobId> ids(instance.n());
+  std::iota(ids.begin(), ids.end(), JobId{0});
+
+  const auto& jobs = instance.jobs();
+  auto by = [&](auto key) {
+    std::stable_sort(ids.begin(), ids.end(), [&](JobId a, JobId b) {
+      return key(jobs[static_cast<std::size_t>(a)]) <
+             key(jobs[static_cast<std::size_t>(b)]);
+    });
+  };
+
+  switch (order) {
+    case ListOrder::kSubmission:
+      break;
+    case ListOrder::kLpt:
+      by([](const Job& j) { return -j.p; });
+      break;
+    case ListOrder::kSpt:
+      by([](const Job& j) { return j.p; });
+      break;
+    case ListOrder::kWidest:
+      by([](const Job& j) { return -j.q; });
+      break;
+    case ListOrder::kNarrowest:
+      by([](const Job& j) { return j.q; });
+      break;
+    case ListOrder::kMaxArea:
+      by([](const Job& j) { return -j.area(); });
+      break;
+    case ListOrder::kMinArea:
+      by([](const Job& j) { return j.area(); });
+      break;
+    case ListOrder::kRandom: {
+      Prng prng(seed);
+      prng.shuffle(ids);
+      break;
+    }
+  }
+  return ids;
+}
+
+}  // namespace resched

@@ -1,0 +1,99 @@
+#include "algorithms/lsrc.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "core/profile_allocator.hpp"
+#include "util/checked.hpp"
+#include "util/require.hpp"
+
+namespace resched {
+
+LsrcScheduler::LsrcScheduler(ListOrder order, std::uint64_t seed)
+    : order_(order), seed_(seed), use_explicit_(false) {}
+
+LsrcScheduler::LsrcScheduler(std::vector<JobId> explicit_list)
+    : order_(ListOrder::kSubmission),
+      seed_(0),
+      explicit_list_(std::move(explicit_list)),
+      use_explicit_(true) {}
+
+std::string LsrcScheduler::name() const {
+  if (use_explicit_) return "lsrc[explicit]";
+  return "lsrc[" + to_string(order_) + "]";
+}
+
+Schedule LsrcScheduler::schedule(const Instance& instance) const {
+  const std::vector<JobId> list =
+      use_explicit_ ? explicit_list_ : make_list(instance, order_, seed_);
+  return run(instance, list);
+}
+
+Schedule LsrcScheduler::run(const Instance& instance,
+                            std::span<const JobId> list) {
+  RESCHED_REQUIRE_MSG(list.size() == instance.n(),
+                      "priority list must mention every job exactly once");
+  {
+    std::vector<bool> seen(instance.n(), false);
+    for (const JobId id : list) {
+      RESCHED_REQUIRE(id >= 0 && static_cast<std::size_t>(id) < instance.n());
+      RESCHED_REQUIRE_MSG(!seen[static_cast<std::size_t>(id)],
+                          "duplicate job in priority list");
+      seen[static_cast<std::size_t>(id)] = true;
+    }
+  }
+
+  Schedule schedule(instance.n());
+  if (instance.n() == 0) return schedule;
+
+  FreeProfile free = FreeProfile::for_instance(instance);
+
+  // Wake-up times: capacity increases (completions, reservation ends) and
+  // job releases. A min-heap of candidate times; duplicates are harmless.
+  std::priority_queue<Time, std::vector<Time>, std::greater<>> events;
+  for (const Reservation& resa : instance.reservations())
+    events.push(resa.end());
+  Time t = kTimeInfinity;
+  for (const Job& job : instance.jobs()) {
+    if (job.release > 0) events.push(job.release);
+    t = std::min(t, job.release);
+  }
+
+  // pending jobs in priority order.
+  std::vector<JobId> pending(list.begin(), list.end());
+  while (!pending.empty()) {
+    // Single pass in priority order: start everything that fits now.
+    std::vector<JobId> still_pending;
+    still_pending.reserve(pending.size());
+    for (const JobId id : pending) {
+      const Job& job = instance.job(id);
+      if (job.release <= t && free.fits_at(t, job.q, job.p)) {
+        free.commit(t, job.q, job.p);
+        schedule.set_start(id, t);
+        events.push(checked_add(t, job.p));
+      } else {
+        still_pending.push_back(id);
+      }
+    }
+    pending.swap(still_pending);
+    if (pending.empty()) break;
+
+    // Advance to the next wake-up strictly after t.
+    Time next = kTimeInfinity;
+    while (!events.empty()) {
+      const Time candidate = events.top();
+      events.pop();
+      if (candidate > t) {
+        next = candidate;
+        break;
+      }
+    }
+    RESCHED_CHECK_MSG(next < kTimeInfinity,
+                      "LSRC stalled: pending jobs but no future event -- "
+                      "instance must be infeasible");
+    t = next;
+  }
+  return schedule;
+}
+
+}  // namespace resched

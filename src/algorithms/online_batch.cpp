@@ -1,0 +1,84 @@
+#include "algorithms/online_batch.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "util/require.hpp"
+
+namespace resched {
+
+OnlineBatchScheduler::OnlineBatchScheduler(std::unique_ptr<Scheduler> base)
+    : base_(std::move(base)) {
+  RESCHED_REQUIRE(base_ != nullptr);
+}
+
+std::string OnlineBatchScheduler::name() const {
+  return "online-batch(" + base_->name() + ")";
+}
+
+Schedule OnlineBatchScheduler::schedule(const Instance& instance) const {
+  std::vector<BatchInfo> batches;
+  return schedule_with_batches(instance, batches);
+}
+
+Schedule OnlineBatchScheduler::schedule_with_batches(
+    const Instance& instance, std::vector<BatchInfo>& batches) const {
+  batches.clear();
+  Schedule result(instance.n());
+  if (instance.n() == 0) return result;
+
+  std::vector<JobId> by_release(instance.n());
+  std::iota(by_release.begin(), by_release.end(), JobId{0});
+  std::stable_sort(by_release.begin(), by_release.end(), [&](JobId a, JobId b) {
+    return instance.job(a).release < instance.job(b).release;
+  });
+
+  std::size_t consumed = 0;
+  Time epoch = instance.job(by_release[0]).release;
+  while (consumed < by_release.size()) {
+    // Batch = everything released by the epoch. (The first batch may be
+    // empty if nothing has arrived yet; then jump to the next release.)
+    std::vector<JobId> batch_ids;
+    while (consumed < by_release.size() &&
+           instance.job(by_release[consumed]).release <= epoch)
+      batch_ids.push_back(by_release[consumed++]);
+    if (batch_ids.empty()) {
+      epoch = instance.job(by_release[consumed]).release;
+      continue;
+    }
+
+    // Sub-instance: same machine and reservations; batch jobs pinned to
+    // start no earlier than the epoch (release = epoch).
+    std::vector<Job> sub_jobs;
+    sub_jobs.reserve(batch_ids.size());
+    for (std::size_t i = 0; i < batch_ids.size(); ++i) {
+      Job job = instance.job(batch_ids[i]);
+      job.id = static_cast<JobId>(i);
+      job.release = epoch;
+      sub_jobs.push_back(std::move(job));
+    }
+    const Instance sub(instance.m(), std::move(sub_jobs),
+                       instance.reservations());
+    const Schedule sub_schedule = base_->schedule(sub);
+    const ValidationResult valid = sub_schedule.validate(sub);
+    RESCHED_CHECK_MSG(valid.ok,
+                      "base scheduler produced an infeasible batch "
+                      "schedule: " + valid.error);
+
+    Time batch_completion = epoch;
+    for (std::size_t i = 0; i < batch_ids.size(); ++i) {
+      const Time start = sub_schedule.start(static_cast<JobId>(i));
+      result.set_start(batch_ids[i], start);
+      batch_completion =
+          std::max(batch_completion, start + sub.job(static_cast<JobId>(i)).p);
+    }
+    batches.push_back(BatchInfo{epoch, batch_completion, batch_ids.size()});
+
+    // Next batch only opens when the current one has fully completed.
+    epoch = batch_completion;
+  }
+  return result;
+}
+
+}  // namespace resched

@@ -1,0 +1,48 @@
+// Batch-doubling online wrapper (paper section 2.1, citing Shmoys, Wein &
+// Williamson).
+//
+// "Any off-line algorithm may be used in an on-line fashion, with a doubling
+// factor for the performance ratio": jobs are grouped into successive
+// batches; jobs arriving while a batch executes are only considered once the
+// whole batch has finished. The wrapper turns any of our offline schedulers
+// into an online one for instances with release times; with a
+// rho-approximate base algorithm the resulting makespan is at most 2 rho
+// times the optimal offline makespan (checked as a property test against the
+// certified lower bound).
+//
+// Reservations are absolute calendar objects, so each batch sub-instance
+// keeps the full reservation set and constrains its jobs to start no earlier
+// than the batch epoch.
+#pragma once
+
+#include <memory>
+
+#include "algorithms/scheduler.hpp"
+
+namespace resched {
+
+struct BatchInfo {
+  Time epoch;            // instant the batch was formed
+  Time completion;       // when its last job finishes
+  std::size_t job_count;
+};
+
+class OnlineBatchScheduler final : public Scheduler {
+ public:
+  // Takes ownership of the base offline scheduler. The base algorithm must
+  // support release times >= epoch (all of lsrc/fcfs/conservative/easy do;
+  // shelf does not).
+  explicit OnlineBatchScheduler(std::unique_ptr<Scheduler> base);
+
+  [[nodiscard]] Schedule schedule(const Instance& instance) const override;
+  [[nodiscard]] std::string name() const override;
+
+  // Like schedule(), additionally reporting the batch structure.
+  [[nodiscard]] Schedule schedule_with_batches(
+      const Instance& instance, std::vector<BatchInfo>& batches) const;
+
+ private:
+  std::unique_ptr<Scheduler> base_;
+};
+
+}  // namespace resched

@@ -1,0 +1,76 @@
+#include "algorithms/portfolio.hpp"
+
+#include <utility>
+
+#include "algorithms/lsrc.hpp"
+#include "util/prng.hpp"
+#include "util/require.hpp"
+
+namespace resched {
+
+PortfolioScheduler::PortfolioScheduler(int random_restarts,
+                                       std::uint64_t seed)
+    : random_restarts_(random_restarts), seed_(seed) {
+  RESCHED_REQUIRE(random_restarts >= 0);
+}
+
+Schedule PortfolioScheduler::schedule(const Instance& instance) const {
+  Schedule best(instance.n());
+  Time best_makespan = kTimeInfinity;
+  auto consider = [&](const Schedule& candidate) {
+    const Time makespan = candidate.makespan(instance);
+    if (makespan < best_makespan) {
+      best_makespan = makespan;
+      best = candidate;
+    }
+  };
+  for (const ListOrder order : all_list_orders())
+    consider(LsrcScheduler(order, seed_).schedule(instance));
+  Prng prng(seed_);
+  for (int restart = 0; restart < random_restarts_; ++restart)
+    consider(
+        LsrcScheduler(ListOrder::kRandom, prng.fork_seed()).schedule(instance));
+  return best;
+}
+
+LocalSearchScheduler::LocalSearchScheduler(int iterations, ListOrder initial,
+                                           std::uint64_t seed)
+    : iterations_(iterations), initial_(initial), seed_(seed) {
+  RESCHED_REQUIRE(iterations >= 0);
+}
+
+Schedule LocalSearchScheduler::schedule(const Instance& instance) const {
+  std::vector<JobId> order = make_list(instance, initial_, seed_);
+  Schedule best = LsrcScheduler(order).schedule(instance);
+  Time best_makespan = best.makespan(instance);
+  if (instance.n() < 2) return best;
+
+  Prng prng(seed_);
+  const auto n = static_cast<std::int64_t>(instance.n());
+  for (int iteration = 0; iteration < iterations_; ++iteration) {
+    std::vector<JobId> candidate = order;
+    const auto i = static_cast<std::size_t>(prng.uniform_int(0, n - 1));
+    const auto j = static_cast<std::size_t>(prng.uniform_int(0, n - 1));
+    if (i == j) continue;
+    if (prng.chance(0.5)) {
+      std::swap(candidate[i], candidate[j]);
+    } else {
+      // Reinsert: move the job at i to position j.
+      const JobId moved = candidate[i];
+      candidate.erase(candidate.begin() + static_cast<std::ptrdiff_t>(i));
+      candidate.insert(candidate.begin() + static_cast<std::ptrdiff_t>(
+                           j > i ? j - 1 : j),
+                       moved);
+    }
+    Schedule attempt = LsrcScheduler(candidate).schedule(instance);
+    const Time makespan = attempt.makespan(instance);
+    if (makespan < best_makespan) {  // strict improvement: plain hill climb
+      best_makespan = makespan;
+      best = std::move(attempt);
+      order = std::move(candidate);
+    }
+  }
+  return best;
+}
+
+}  // namespace resched

@@ -1,0 +1,79 @@
+#include "algorithms/scheduler.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "algorithms/conservative_bf.hpp"
+#include "algorithms/easy_bf.hpp"
+#include "algorithms/fcfs.hpp"
+#include "algorithms/lsrc.hpp"
+#include "algorithms/portfolio.hpp"
+#include "algorithms/shelf.hpp"
+#include "util/require.hpp"
+
+namespace resched {
+
+namespace {
+
+std::map<std::string, SchedulerFactory>& registry() {
+  static std::map<std::string, SchedulerFactory> instance;
+  return instance;
+}
+
+// Built-ins are registered lazily and explicitly (static-initialiser
+// registration inside a static library gets dropped by the linker for
+// translation units nothing else references).
+void ensure_builtins() {
+  static const bool done = [] {
+    auto& reg = registry();
+    reg["lsrc"] = [] {
+      return std::make_unique<LsrcScheduler>(ListOrder::kSubmission);
+    };
+    reg["lsrc-lpt"] = [] {
+      return std::make_unique<LsrcScheduler>(ListOrder::kLpt);
+    };
+    reg["fcfs"] = [] { return std::make_unique<FcfsScheduler>(); };
+    reg["conservative"] = [] {
+      return std::make_unique<ConservativeBackfillScheduler>();
+    };
+    reg["easy"] = [] { return std::make_unique<EasyBackfillScheduler>(); };
+    reg["shelf-ff"] = [] {
+      return std::make_unique<ShelfScheduler>(ShelfPolicy::kFirstFit);
+    };
+    reg["shelf-nf"] = [] {
+      return std::make_unique<ShelfScheduler>(ShelfPolicy::kNextFit);
+    };
+    reg["portfolio"] = [] { return std::make_unique<PortfolioScheduler>(); };
+    reg["local-search"] = [] {
+      return std::make_unique<LocalSearchScheduler>();
+    };
+    return true;
+  }();
+  (void)done;
+}
+
+}  // namespace
+
+void register_scheduler(const std::string& name, SchedulerFactory factory) {
+  ensure_builtins();
+  RESCHED_REQUIRE_MSG(!registry().count(name),
+                      "scheduler already registered: " + name);
+  registry()[name] = std::move(factory);
+}
+
+std::unique_ptr<Scheduler> make_scheduler(const std::string& name) {
+  ensure_builtins();
+  const auto it = registry().find(name);
+  RESCHED_REQUIRE_MSG(it != registry().end(), "unknown scheduler: " + name);
+  return it->second();
+}
+
+std::vector<std::string> registered_schedulers() {
+  ensure_builtins();
+  std::vector<std::string> names;
+  names.reserve(registry().size());
+  for (const auto& [name, factory] : registry()) names.push_back(name);
+  return names;
+}
+
+}  // namespace resched

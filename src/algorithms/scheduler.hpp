@@ -1,0 +1,47 @@
+// Scheduler interface and registry.
+//
+// A Scheduler is a pure function Instance -> Schedule (no hidden state, no
+// randomness unless seeded through options), which is what makes the
+// worst-case experiments reproducible. Concrete algorithms:
+//
+//   lsrc          -- list scheduling with resource constraints (the paper's
+//                    LSRC; equals the most aggressive backfilling variant),
+//   fcfs          -- strict First Come First Served (non-overtaking),
+//   conservative  -- conservative backfilling,
+//   easy          -- EASY (aggressive) backfilling,
+//   shelf         -- NFDH shelf packing (no-reservation instances only),
+//
+// each available through the registry by name for sweep drivers.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+
+namespace resched {
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  // Produces a feasible schedule for every job of the instance. Throws
+  // std::invalid_argument when the instance is outside the algorithm's
+  // domain (e.g. release times given to a strictly offline algorithm).
+  [[nodiscard]] virtual Schedule schedule(const Instance& instance) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+using SchedulerFactory = std::function<std::unique_ptr<Scheduler>()>;
+
+// Global registry (populated at static-init time by each algorithm's .cpp).
+void register_scheduler(const std::string& name, SchedulerFactory factory);
+[[nodiscard]] std::unique_ptr<Scheduler> make_scheduler(
+    const std::string& name);
+[[nodiscard]] std::vector<std::string> registered_schedulers();
+
+}  // namespace resched

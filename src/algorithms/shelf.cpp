@@ -1,0 +1,69 @@
+#include "algorithms/shelf.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "util/checked.hpp"
+#include "util/require.hpp"
+
+namespace resched {
+
+ShelfScheduler::ShelfScheduler(ShelfPolicy policy) : policy_(policy) {}
+
+std::string ShelfScheduler::name() const {
+  return policy_ == ShelfPolicy::kNextFit ? "shelf-nf" : "shelf-ff";
+}
+
+Schedule ShelfScheduler::schedule(const Instance& instance) const {
+  RESCHED_REQUIRE_MSG(instance.is_rigid_only(),
+                      "shelf packing does not support reservations");
+  RESCHED_REQUIRE_MSG(!instance.has_release_times(),
+                      "shelf packing does not support release times");
+
+  Schedule schedule(instance.n());
+  if (instance.n() == 0) return schedule;
+
+  std::vector<JobId> order(instance.n());
+  std::iota(order.begin(), order.end(), JobId{0});
+  std::stable_sort(order.begin(), order.end(), [&](JobId a, JobId b) {
+    return instance.job(a).p > instance.job(b).p;
+  });
+
+  struct Shelf {
+    Time start;
+    Time height;          // duration of the tallest (first) job
+    ProcCount remaining;  // processors still free on this shelf
+  };
+  std::vector<Shelf> shelves;
+
+  for (const JobId id : order) {
+    const Job& job = instance.job(id);
+    Shelf* target = nullptr;
+    if (policy_ == ShelfPolicy::kNextFit) {
+      if (!shelves.empty() && shelves.back().remaining >= job.q)
+        target = &shelves.back();
+    } else {
+      for (Shelf& shelf : shelves) {
+        if (shelf.remaining >= job.q) {
+          target = &shelf;
+          break;
+        }
+      }
+    }
+    if (target == nullptr) {
+      const Time start = shelves.empty()
+                             ? 0
+                             : checked_add(shelves.back().start,
+                                           shelves.back().height);
+      // Decreasing-duration order makes this first job the tallest.
+      shelves.push_back(Shelf{start, job.p, instance.m()});
+      target = &shelves.back();
+    }
+    schedule.set_start(id, target->start);
+    target->remaining -= job.q;
+  }
+  return schedule;
+}
+
+}  // namespace resched

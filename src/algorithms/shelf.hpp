@@ -1,0 +1,36 @@
+// Shelf (level-oriented) packing -- the paper conclusion's "partition on
+// shelves" direction.
+//
+// Jobs are sorted by decreasing duration and packed onto shelves: a shelf is
+// a set of jobs that start simultaneously and whose widths sum to at most m;
+// its height is the duration of its first (tallest) job. Shelves are stacked
+// back-to-back in time. Two shelf-selection policies:
+//   * kNextFit  (NFDH): only the most recent shelf may receive the job;
+//   * kFirstFit (FFDH): the earliest shelf with room receives the job.
+// NFDH guarantees 2 OPT + p_max on strip packing, which carries over to
+// non-contiguous rigid jobs (they are easier to pack); FFDH is never worse.
+//
+// Restricted to instances without reservations and without release times:
+// shelves assume the full machine. Offered as a comparison baseline (E8).
+#pragma once
+
+#include "algorithms/scheduler.hpp"
+
+namespace resched {
+
+enum class ShelfPolicy { kNextFit, kFirstFit };
+
+class ShelfScheduler final : public Scheduler {
+ public:
+  explicit ShelfScheduler(ShelfPolicy policy = ShelfPolicy::kFirstFit);
+
+  // Throws std::invalid_argument on instances with reservations or release
+  // times (outside the algorithm's domain).
+  [[nodiscard]] Schedule schedule(const Instance& instance) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  ShelfPolicy policy_;
+};
+
+}  // namespace resched

@@ -1,0 +1,93 @@
+#include "bounds/anomalies.hpp"
+
+#include "util/require.hpp"
+
+namespace resched {
+
+std::string to_string(AnomalyKind kind) {
+  switch (kind) {
+    case AnomalyKind::kJobRemoval: return "job-removal";
+    case AnomalyKind::kShorterDuration: return "shorter-duration";
+    case AnomalyKind::kExtraMachine: return "extra-machine";
+  }
+  return "?";
+}
+
+Instance without_job(const Instance& instance, JobId victim) {
+  RESCHED_REQUIRE(victim >= 0 &&
+                  static_cast<std::size_t>(victim) < instance.n());
+  std::vector<Job> jobs;
+  jobs.reserve(instance.n() - 1);
+  for (const Job& job : instance.jobs()) {
+    if (job.id == victim) continue;
+    Job copy = job;
+    copy.id = static_cast<JobId>(jobs.size());
+    jobs.push_back(std::move(copy));
+  }
+  return Instance(instance.m(), std::move(jobs), instance.reservations());
+}
+
+Instance with_shorter_job(const Instance& instance, JobId target,
+                          Time new_duration) {
+  RESCHED_REQUIRE(target >= 0 &&
+                  static_cast<std::size_t>(target) < instance.n());
+  RESCHED_REQUIRE(new_duration >= 1 &&
+                  new_duration <= instance.job(target).p);
+  std::vector<Job> jobs = instance.jobs();
+  jobs[static_cast<std::size_t>(target)].p = new_duration;
+  return Instance(instance.m(), std::move(jobs), instance.reservations());
+}
+
+Instance with_extra_machine(const Instance& instance) {
+  return Instance(instance.m() + 1, instance.jobs(),
+                  instance.reservations());
+}
+
+Instance removal_anomaly_example() {
+  return Instance(3, {
+                         Job{0, 1, 3, 0, "narrow3"},
+                         Job{1, 1, 2, 0, "victim"},
+                         Job{2, 2, 1, 0, "wide-short"},
+                         Job{3, 2, 3, 0, "wide-long"},
+                         Job{4, 1, 5, 0, "long-tail"},
+                     });
+}
+
+AnomalyScan find_anomalies(const Instance& instance,
+                           const Scheduler& scheduler) {
+  AnomalyScan scan;
+  if (instance.n() == 0) return scan;
+  scan.baseline = scheduler.schedule(instance).makespan(instance);
+
+  // 1. Job removals.
+  for (const Job& job : instance.jobs()) {
+    const Instance reduced = without_job(instance, job.id);
+    const Time after = scheduler.schedule(reduced).makespan(reduced);
+    if (after > scan.baseline)
+      scan.anomalies.push_back(
+          {AnomalyKind::kJobRemoval, job.id, 0, scan.baseline, after});
+  }
+
+  // 2. Halved durations.
+  for (const Job& job : instance.jobs()) {
+    const Time shorter = job.p / 2;
+    if (shorter < 1) continue;
+    const Instance faster = with_shorter_job(instance, job.id, shorter);
+    const Time after = scheduler.schedule(faster).makespan(faster);
+    if (after > scan.baseline)
+      scan.anomalies.push_back({AnomalyKind::kShorterDuration, job.id,
+                                shorter, scan.baseline, after});
+  }
+
+  // 3. One extra machine.
+  {
+    const Instance wider = with_extra_machine(instance);
+    const Time after = scheduler.schedule(wider).makespan(wider);
+    if (after > scan.baseline)
+      scan.anomalies.push_back(
+          {AnomalyKind::kExtraMachine, -1, 0, scan.baseline, after});
+  }
+  return scan;
+}
+
+}  // namespace resched

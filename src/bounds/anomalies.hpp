@@ -1,0 +1,69 @@
+// Scheduling-anomaly scanner.
+//
+// Graham's classical anomaly results (the 1966/1969 papers the appendix
+// revisits) show that for list scheduling with precedence constraints,
+// "improving" an instance -- removing a job, shortening a job, adding a
+// processor -- can *increase* the makespan. In the paper's setting the jobs
+// are independent, but they are RIGID (q_i > 1), and rigidity alone already
+// recreates the anomalies: removal_anomaly_example() below is a five-job
+// witness found with this scanner where deleting a job raises the LSRC
+// makespan from 7 to 8 (the deletion frees processors for a wide job to
+// start earlier, which cascades into delaying the long narrow job).
+// Theorem 2 still caps the damage: any "improvement" can hurt by at most
+// the factor 2 - 1/m (tested in test_anomalies.cpp).
+//
+// find_anomalies scans a concrete instance for witnesses under ANY
+// scheduler: it applies every single-job removal, every halved duration and
+// an extra machine, reschedules, and reports each change that increased the
+// makespan. Useful as a diagnostic ("why did the queue get slower after
+// that cancellation?") and as a property-test oracle.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "algorithms/scheduler.hpp"
+#include "core/instance.hpp"
+
+namespace resched {
+
+enum class AnomalyKind {
+  kJobRemoval,       // deleting a job increased C_max
+  kShorterDuration,  // reducing some p_i increased C_max
+  kExtraMachine,     // adding one processor increased C_max
+};
+
+[[nodiscard]] std::string to_string(AnomalyKind kind);
+
+struct Anomaly {
+  AnomalyKind kind = AnomalyKind::kJobRemoval;
+  JobId job = -1;            // affected job (removal / shorter-duration)
+  Time new_duration = 0;     // for kShorterDuration
+  Time makespan_before = 0;  // C_max on the original instance
+  Time makespan_after = 0;   // C_max on the "improved" instance (larger!)
+};
+
+struct AnomalyScan {
+  std::vector<Anomaly> anomalies;
+  Time baseline = 0;
+  [[nodiscard]] bool any() const noexcept { return !anomalies.empty(); }
+};
+
+// Offline and online instances supported; reservations are kept fixed.
+// The scheduler must handle every perturbed instance (all perturbations
+// keep instances valid).
+[[nodiscard]] AnomalyScan find_anomalies(const Instance& instance,
+                                         const Scheduler& scheduler);
+
+// Helper perturbations (exposed for tests and custom scans).
+[[nodiscard]] Instance without_job(const Instance& instance, JobId victim);
+[[nodiscard]] Instance with_shorter_job(const Instance& instance,
+                                        JobId target, Time new_duration);
+[[nodiscard]] Instance with_extra_machine(const Instance& instance);
+
+// The documented witness: m = 3, jobs (q,p) = (1,3) (1,2) (2,1) (2,3)
+// (1,5). LSRC (submission order) has makespan 7; removing job 1 raises it
+// to 8. Verified in test_anomalies.cpp.
+[[nodiscard]] Instance removal_anomaly_example();
+
+}  // namespace resched

@@ -1,0 +1,151 @@
+#include "bounds/checker.hpp"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "core/availability.hpp"
+#include "bounds/guarantees.hpp"
+#include "bounds/lower_bounds.hpp"
+#include "util/checked.hpp"
+#include "util/require.hpp"
+
+namespace resched {
+
+std::string to_string(Compliance compliance) {
+  switch (compliance) {
+    case Compliance::kProven: return "proven";
+    case Compliance::kInconclusive: return "inconclusive";
+    case Compliance::kViolated: return "VIOLATED";
+  }
+  return "?";
+}
+
+GuaranteeReport check_guarantee(const Instance& instance,
+                                const Schedule& schedule,
+                                std::optional<Time> exact_optimum) {
+  GuaranteeReport report;
+
+  const ValidationResult valid = schedule.validate(instance);
+  if (!valid.ok) {
+    report.compliance = Compliance::kViolated;
+    report.detail = "infeasible schedule: " + valid.error;
+    return report;
+  }
+  report.makespan = schedule.makespan(instance);
+
+  // Which guarantee applies to this instance class? (Strongest first.)
+  if (instance.is_rigid_only()) {
+    report.guarantee = "C <= (2 - 1/m) C*  (Theorem 2)";
+    report.bound = graham_bound(instance.m());
+    report.has_guarantee = true;
+  } else if (const auto alpha = best_alpha(instance); alpha.has_value()) {
+    // Prefer the stronger of 2/alpha and, when U is non-increasing, the
+    // Prop. 1 bound; both are valid when both apply.
+    const Rational alpha_bound = alpha_upper_bound(*alpha);
+    if (has_non_increasing_unavailability(instance)) {
+      // m(C*) is unknown without C*, but m(t) is non-decreasing, so using
+      // m(makespan) >= m(C*) would be unsound; use the always-weaker global
+      // 2 - 1/m form which Prop. 1 implies.
+      const Rational prop1_weak = graham_bound(instance.m());
+      report.bound = std::min(alpha_bound, prop1_weak);
+      report.guarantee = report.bound == prop1_weak
+                             ? "C <= (2 - 1/m) C*  (Prop. 1, weak form)"
+                             : "C <= (2/alpha) C*  (Prop. 3)";
+    } else {
+      report.bound = alpha_bound;
+      report.guarantee = "C <= (2/alpha) C*  (Prop. 3)";
+    }
+    report.has_guarantee = true;
+  } else if (has_non_increasing_unavailability(instance)) {
+    report.guarantee = "C <= (2 - 1/m) C*  (Prop. 1, weak form)";
+    report.bound = graham_bound(instance.m());
+    report.has_guarantee = true;
+  } else {
+    report.guarantee = "none (unrestricted reservations, Theorem 1)";
+    report.has_guarantee = false;
+  }
+
+  report.reference_is_exact = exact_optimum.has_value();
+  report.reference = exact_optimum.has_value()
+                         ? *exact_optimum
+                         : makespan_lower_bound(instance);
+  if (instance.n() == 0) {
+    report.compliance = Compliance::kProven;
+    report.detail = "empty job set";
+    return report;
+  }
+  RESCHED_CHECK(report.reference > 0);
+
+  if (!report.has_guarantee) {
+    report.compliance = Compliance::kInconclusive;
+    report.detail = "no finite guarantee exists for this instance class";
+    return report;
+  }
+
+  const Rational ratio = makespan_ratio(report.makespan, report.reference);
+  if (ratio <= report.bound) {
+    report.compliance = Compliance::kProven;
+    report.detail = "ratio " + ratio.to_string() + " <= bound " +
+                    report.bound.to_string();
+  } else if (report.reference_is_exact) {
+    report.compliance = Compliance::kViolated;
+    report.detail = "ratio " + ratio.to_string() + " vs exact C* exceeds " +
+                    report.bound.to_string();
+  } else {
+    report.compliance = Compliance::kInconclusive;
+    report.detail = "ratio vs lower bound " + ratio.to_string() +
+                    " exceeds " + report.bound.to_string() +
+                    " (reference is not exact)";
+  }
+  return report;
+}
+
+Lemma1Report check_lemma1(const Instance& instance, const Schedule& schedule) {
+  RESCHED_REQUIRE_MSG(instance.is_rigid_only() && !instance.has_release_times(),
+                      "Lemma 1 is stated for RIGIDSCHEDULING");
+  const ValidationResult valid = schedule.validate(instance);
+  RESCHED_REQUIRE_MSG(valid.ok, "Lemma 1 check needs a feasible schedule");
+
+  Lemma1Report report;
+  const Time makespan = schedule.makespan(instance);
+  const Time p_max = instance.p_max();
+  if (makespan <= p_max) return report;  // no admissible pair (t, t')
+
+  const StepProfile usage = schedule.usage_profile(instance);
+
+  // r(t) + min_{t' in [t + p_max, C)} r(t') >= m + 1 must hold for every
+  // t in [0, C - p_max). Both r(t) and the suffix minimum are step functions
+  // of t; their breakpoints are the usage breakpoints and the usage
+  // breakpoints shifted left by p_max. Checking every such candidate t
+  // covers all of [0, C - p_max).
+  std::set<Time> candidates{0};
+  for (const auto& segment : usage.segments_in(0, makespan)) {
+    if (segment.start < makespan - p_max) candidates.insert(segment.start);
+    const Time shifted = segment.start - p_max;
+    if (shifted >= 0 && shifted < makespan - p_max) candidates.insert(shifted);
+  }
+
+  for (const Time t : candidates) {
+    const std::int64_t r_t = usage.value_at(t);
+    const Time window_start = checked_add(t, p_max);
+    const std::int64_t suffix_min = usage.min_in(window_start, makespan);
+    if (r_t + suffix_min <= instance.m()) {
+      report.holds = false;
+      report.t = t;
+      // Recover a witness t': the first point achieving the suffix minimum.
+      report.t_prime = window_start;
+      for (const auto& segment : usage.segments_in(window_start, makespan)) {
+        if (segment.value == suffix_min) {
+          report.t_prime = segment.start;
+          break;
+        }
+      }
+      report.r_sum = r_t + suffix_min;
+      return report;
+    }
+  }
+  return report;
+}
+
+}  // namespace resched

@@ -1,0 +1,53 @@
+#include "bounds/guarantees.hpp"
+
+#include "util/require.hpp"
+
+namespace resched {
+
+Rational graham_bound(ProcCount m) {
+  RESCHED_REQUIRE(m >= 1);
+  return Rational(2) - Rational(1, m);
+}
+
+Rational alpha_upper_bound(const Rational& alpha) {
+  RESCHED_REQUIRE_MSG(alpha > Rational(0) && alpha <= Rational(1),
+                      "alpha must lie in (0, 1]");
+  return Rational(2) / alpha;
+}
+
+Rational prop2_ratio_for_k(std::int64_t k) {
+  RESCHED_REQUIRE_MSG(k >= 2, "Prop. 2 needs k >= 2 (alpha = 2/k <= 1)");
+  // 2/alpha - 1 + alpha/2 with alpha = 2/k.
+  return Rational(k) - Rational(1) + Rational(1, k);
+}
+
+Rational lsrc_lower_bound_b1(const Rational& alpha) {
+  RESCHED_REQUIRE_MSG(alpha > Rational(0) && alpha <= Rational(1),
+                      "alpha must lie in (0, 1]");
+  const Rational two_over_alpha = Rational(2) / alpha;
+  const Rational ceil_2a(two_over_alpha.ceil());
+  const Rational half_alpha = alpha / Rational(2);
+  // Denominator of the inner fraction: 1 - (alpha/2)(ceil(2/alpha) - 1).
+  // Positive because ceil(2/alpha) - 1 < 2/alpha.
+  const Rational inner_den =
+      Rational(1) - half_alpha * (ceil_2a - Rational(1));
+  RESCHED_CHECK(inner_den > Rational(0));
+  const Rational inner = (Rational(1) - half_alpha) / inner_den;
+  return ceil_2a - Rational(1) +
+         Rational(1, inner.floor() + 1);
+}
+
+Rational lsrc_lower_bound_b2(const Rational& alpha) {
+  RESCHED_REQUIRE_MSG(alpha > Rational(0) && alpha <= Rational(1),
+                      "alpha must lie in (0, 1]");
+  const Rational two_over_alpha = Rational(2) / alpha;
+  const Rational ceil_2a(two_over_alpha.ceil());
+  return ceil_2a - (ceil_2a - Rational(1)) / two_over_alpha;
+}
+
+Rational nonincreasing_bound(ProcCount m_at_cstar) {
+  RESCHED_REQUIRE(m_at_cstar >= 1);
+  return Rational(2) - Rational(1, m_at_cstar);
+}
+
+}  // namespace resched

@@ -1,0 +1,39 @@
+// The paper's guarantee and bound curves, in exact rational arithmetic.
+//
+//   graham_bound(m)        = 2 - 1/m          (Theorem 2 / appendix)
+//   alpha_upper_bound(a)   = 2/a              (Proposition 3)
+//   prop2_ratio_for_k(k)   = 2/a - 1 + a/2    with a = 2/k  =  k - 1 + 1/k
+//                                             (Proposition 2, Figure 3)
+//   lsrc_lower_bound_b1(a) = B1 from section 4.2:
+//       ceil(2/a) - 1 + 1 / ( floor( (1 - a/2) /
+//                                    (1 - (a/2)(ceil(2/a) - 1)) ) + 1 )
+//   lsrc_lower_bound_b2(a) = B2 = ceil(2/a) - (ceil(2/a) - 1) / (2/a)
+//
+// All functions take/return exact Rationals so Figure 4's curves and the
+// test assertions are float-free; to_double() is applied only at print time.
+#pragma once
+
+#include "core/types.hpp"
+#include "util/rational.hpp"
+
+namespace resched {
+
+// 2 - 1/m; requires m >= 1.
+[[nodiscard]] Rational graham_bound(ProcCount m);
+
+// 2/alpha; requires 0 < alpha <= 1.
+[[nodiscard]] Rational alpha_upper_bound(const Rational& alpha);
+
+// k - 1 + 1/k (the Prop. 2 ratio for alpha = 2/k); requires k >= 2.
+[[nodiscard]] Rational prop2_ratio_for_k(std::int64_t k);
+
+// B1(alpha); requires 0 < alpha <= 1.
+[[nodiscard]] Rational lsrc_lower_bound_b1(const Rational& alpha);
+
+// B2(alpha); requires 0 < alpha <= 1. Always <= B1 (weaker but simpler).
+[[nodiscard]] Rational lsrc_lower_bound_b2(const Rational& alpha);
+
+// 2 - 1/m_at_cstar (Proposition 1's refined bound); requires m_at_cstar >= 1.
+[[nodiscard]] Rational nonincreasing_bound(ProcCount m_at_cstar);
+
+}  // namespace resched

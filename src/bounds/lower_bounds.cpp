@@ -1,0 +1,55 @@
+#include "bounds/lower_bounds.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "core/availability.hpp"
+#include "core/profile_allocator.hpp"
+#include "util/checked.hpp"
+#include "util/require.hpp"
+
+namespace resched {
+
+Time job_lower_bound(const Instance& instance) {
+  if (instance.n() == 0) return 0;
+  const FreeProfile free = FreeProfile::for_instance(instance);
+  Time bound = 0;
+  for (const Job& job : instance.jobs()) {
+    const Time start = free.earliest_fit(job.release, job.q, job.p);
+    bound = std::max(bound, checked_add(start, job.p));
+  }
+  return bound;
+}
+
+Time area_lower_bound(const Instance& instance) {
+  if (instance.n() == 0) return 0;
+  const StepProfile available = availability_profile(instance);
+  return available.time_to_accumulate(0, instance.total_work());
+}
+
+Time release_area_lower_bound(const Instance& instance) {
+  if (instance.n() == 0) return 0;
+  const StepProfile available = availability_profile(instance);
+  std::set<Time> releases;
+  for (const Job& job : instance.jobs()) releases.insert(job.release);
+  Time bound = 0;
+  for (const Time release : releases) {
+    std::int64_t work = 0;
+    for (const Job& job : instance.jobs())
+      if (job.release >= release) work = checked_add(work, job.area());
+    bound = std::max(bound, available.time_to_accumulate(release, work));
+  }
+  return bound;
+}
+
+Time makespan_lower_bound(const Instance& instance) {
+  return std::max({job_lower_bound(instance), area_lower_bound(instance),
+                   release_area_lower_bound(instance)});
+}
+
+Rational makespan_ratio(Time achieved, Time reference) {
+  RESCHED_REQUIRE_MSG(reference > 0, "ratio needs a positive reference");
+  return Rational(achieved, reference);
+}
+
+}  // namespace resched

@@ -1,0 +1,35 @@
+// Certified lower bounds on the optimal makespan C*.
+//
+// Used by every ratio experiment on instances too large for the exact
+// solver: any reported ratio C_alg / LB is then an upper bound on the true
+// performance ratio, so guarantee checks based on it are sound ("proven" /
+// "inconclusive", never falsely "violated").
+//
+// Three bounds, combined by max:
+//  * job bound      -- each job alone needs earliest_fit(release) + p against
+//                      the raw availability profile (generalises C* >= p_max
+//                      to reservations and releases);
+//  * area bound     -- the total work W(I) must fit into the free area:
+//                      C* >= min { T : integral of m(t) over [0,T) >= W };
+//  * release-area   -- same, restricted to work released from each release
+//                      time r onward, accumulated from r.
+#pragma once
+
+#include "core/instance.hpp"
+#include "util/rational.hpp"
+
+namespace resched {
+
+// The combined certified bound (max of the three bounds above). Always >= 1
+// for a non-empty job set.
+[[nodiscard]] Time makespan_lower_bound(const Instance& instance);
+
+// Individual bounds (exposed for tests and for bound-quality reporting).
+[[nodiscard]] Time job_lower_bound(const Instance& instance);
+[[nodiscard]] Time area_lower_bound(const Instance& instance);
+[[nodiscard]] Time release_area_lower_bound(const Instance& instance);
+
+// achieved / reference as an exact rational. reference must be > 0.
+[[nodiscard]] Rational makespan_ratio(Time achieved, Time reference);
+
+}  // namespace resched

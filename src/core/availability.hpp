@@ -1,0 +1,56 @@
+// Availability analysis of an instance (paper sections 3.1 and 4).
+//
+// Reservations induce the unavailability step function
+//   U(t) = sum_{j active at t} q_j
+// and the availability m(t) = m - U(t). This module builds both profiles and
+// classifies instances:
+//  * feasibility (U <= m; enforced at Instance construction, re-checkable),
+//  * non-increasing reservations (section 4.1's restriction: U non-increasing),
+//  * alpha-restriction (section 4.2): U(t) <= (1-alpha) m and q_i <= alpha m.
+#pragma once
+
+#include <optional>
+
+#include "core/instance.hpp"
+#include "core/step_profile.hpp"
+#include "util/rational.hpp"
+
+namespace resched {
+
+// U(t): reserved processors over time.
+[[nodiscard]] StepProfile unavailability_profile(const Instance& instance);
+
+// m(t) = m - U(t): processors the scheduler may use over time.
+[[nodiscard]] StepProfile availability_profile(const Instance& instance);
+
+// Section 4.1 restriction: U non-increasing (equivalently m(t) non-
+// decreasing). Instances with no reservations qualify trivially.
+[[nodiscard]] bool has_non_increasing_unavailability(const Instance& instance);
+
+// min_t m(t): the guaranteed-available processor count.
+[[nodiscard]] ProcCount min_availability(const Instance& instance);
+
+// m(T) where T is the given time -- used by Proposition 1's refined bound
+// 2 - 1/m(C*).
+[[nodiscard]] ProcCount availability_at(const Instance& instance, Time t);
+
+// Largest fraction of the machine ever reserved: max_t U(t) / m.
+[[nodiscard]] Rational max_reserved_fraction(const Instance& instance);
+
+// Largest fraction of the machine any single job needs: max_i q_i / m.
+[[nodiscard]] Rational max_job_fraction(const Instance& instance);
+
+// True iff the instance satisfies the alpha-RESASCHEDULING constraints for
+// this alpha: U(t) <= (1-alpha) m for all t, and q_i <= alpha m for all i.
+// alpha must lie in (0, 1].
+[[nodiscard]] bool is_alpha_restricted(const Instance& instance,
+                                       const Rational& alpha);
+
+// The largest alpha for which is_alpha_restricted holds, i.e.
+// 1 - max_reserved_fraction, provided every job fits under it; nullopt when
+// the instance is not alpha-restricted for any alpha (some job is wider than
+// the processors left free at the peak reservation). Larger alpha gives the
+// stronger 2/alpha guarantee, so this is the alpha to report.
+[[nodiscard]] std::optional<Rational> best_alpha(const Instance& instance);
+
+}  // namespace resched

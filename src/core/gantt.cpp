@@ -1,0 +1,179 @@
+#include "core/gantt.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "util/checked.hpp"
+#include "util/require.hpp"
+#include "util/strings.hpp"
+
+namespace resched {
+
+namespace {
+
+// Occupancy interval on one machine. kind: 0 = job, 1 = reservation.
+struct Span {
+  Time start;
+  Time end;
+  int kind;
+  std::int32_t id;
+};
+
+char job_letter(std::int32_t id) {
+  constexpr char upper[] = "ABCDEFGHIJKLMNOPQRSTUVWXYZ";
+  constexpr char lower[] = "abcdefghijklmnopqrstuvwxyz";
+  const int slot = static_cast<int>(id % 52);
+  return slot < 26 ? upper[slot] : lower[slot - 26];
+}
+
+std::vector<std::vector<Span>> per_machine_spans(
+    const Instance& instance, const Schedule& schedule,
+    const MachineAssignment& assignment) {
+  std::vector<std::vector<Span>> rows(
+      static_cast<std::size_t>(instance.m()));
+  for (const Job& job : instance.jobs()) {
+    if (!schedule.is_scheduled(job.id)) continue;
+    const Time start = schedule.start(job.id);
+    for (const MachineIndex machine :
+         assignment.job_machines[static_cast<std::size_t>(job.id)])
+      rows[static_cast<std::size_t>(machine)].push_back(
+          {start, start + job.p, 0, job.id});
+  }
+  for (const Reservation& resa : instance.reservations()) {
+    for (const MachineIndex machine :
+         assignment.reservation_machines[static_cast<std::size_t>(resa.id)])
+      rows[static_cast<std::size_t>(machine)].push_back(
+          {resa.start, resa.end(), 1, resa.id});
+  }
+  for (auto& row : rows)
+    std::sort(row.begin(), row.end(),
+              [](const Span& a, const Span& b) { return a.start < b.start; });
+  return rows;
+}
+
+Time render_horizon(const Instance& instance, const Schedule& schedule) {
+  return std::max<Time>(1, std::max(schedule.makespan(instance),
+                                    instance.reservation_horizon()));
+}
+
+std::string color_for_job(std::int32_t id) {
+  // Golden-angle hue walk: visually distinct neighbours, deterministic.
+  const int hue = static_cast<int>((static_cast<unsigned>(id) * 137U) % 360U);
+  return "hsl(" + std::to_string(hue) + ",70%,60%)";
+}
+
+}  // namespace
+
+std::string ascii_gantt(const Instance& instance, const Schedule& schedule,
+                        const GanttOptions& options) {
+  RESCHED_REQUIRE(options.width > 0 && options.max_rows > 0);
+  const MachineAssignment assignment = assign_machines(instance, schedule);
+  const auto rows = per_machine_spans(instance, schedule, assignment);
+  const Time horizon = render_horizon(instance, schedule);
+  const int width = options.width;
+
+  std::ostringstream out;
+  out << "time 0.." << horizon << " on m=" << instance.m()
+      << " machines ('#'=reservation, '.'=idle)\n";
+  const std::size_t shown = std::min<std::size_t>(
+      rows.size(), static_cast<std::size_t>(options.max_rows));
+  for (std::size_t machine = 0; machine < shown; ++machine) {
+    out << (machine < 10 ? " " : "") << machine << " |";
+    for (int col = 0; col < width; ++col) {
+      // Bucket [b0, b1) in time units.
+      const Time b0 = horizon * col / width;
+      const Time b1 = std::max<Time>(b0 + 1, horizon * (col + 1) / width);
+      // Pick the span with the largest overlap with the bucket.
+      Time best_overlap = 0;
+      char symbol = '.';
+      for (const Span& span : rows[machine]) {
+        if (span.start >= b1) break;
+        const Time overlap =
+            std::min(span.end, b1) - std::max(span.start, b0);
+        if (overlap > best_overlap) {
+          best_overlap = overlap;
+          symbol = span.kind == 1 ? '#' : job_letter(span.id);
+        }
+      }
+      out << symbol;
+    }
+    out << "|\n";
+  }
+  if (shown < rows.size())
+    out << "   ... (" << rows.size() - shown << " more machines)\n";
+  if (options.show_legend && !instance.jobs().empty()) {
+    out << "legend:";
+    const std::size_t legend_cap = 26;
+    for (const Job& job : instance.jobs()) {
+      if (static_cast<std::size_t>(job.id) >= legend_cap) {
+        out << " ...";
+        break;
+      }
+      out << ' ' << job_letter(job.id) << "=J" << job.id << "(q=" << job.q
+          << ",p=" << job.p << ")";
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string svg_gantt(const Instance& instance, const Schedule& schedule,
+                      const GanttOptions& options) {
+  const MachineAssignment assignment = assign_machines(instance, schedule);
+  const auto rows = per_machine_spans(instance, schedule, assignment);
+  const Time horizon = render_horizon(instance, schedule);
+  const int row_height = options.svg_row_height;
+  const int chart_width = options.svg_width;
+  const int label_gutter = 40;
+  const int height = static_cast<int>(instance.m()) * row_height + 30;
+
+  auto x_of = [&](Time t) {
+    return label_gutter +
+           static_cast<double>(t) / static_cast<double>(horizon) *
+               (chart_width - label_gutter - 10);
+  };
+
+  std::ostringstream out;
+  out << "<svg xmlns='http://www.w3.org/2000/svg' width='" << chart_width
+      << "' height='" << height << "'>\n";
+  out << "  <defs><pattern id='hatch' width='6' height='6' "
+         "patternTransform='rotate(45)' patternUnits='userSpaceOnUse'>"
+         "<rect width='6' height='6' fill='#cccccc'/>"
+         "<line x1='0' y1='0' x2='0' y2='6' stroke='#888888' "
+         "stroke-width='2'/></pattern></defs>\n";
+  out << "  <rect width='100%' height='100%' fill='white'/>\n";
+
+  for (std::size_t machine = 0; machine < rows.size(); ++machine) {
+    const double y = static_cast<double>(machine) * row_height + 20;
+    out << "  <text x='2' y='" << y + row_height * 0.75
+        << "' font-size='9' fill='#444'>m" << machine << "</text>\n";
+    for (const Span& span : rows[machine]) {
+      const double x0 = x_of(span.start);
+      const double x1 = x_of(span.end);
+      const std::string fill =
+          span.kind == 1 ? "url(#hatch)" : color_for_job(span.id);
+      out << "  <rect x='" << format_double(x0, 2) << "' y='"
+          << format_double(y, 2) << "' width='"
+          << format_double(std::max(0.5, x1 - x0), 2) << "' height='"
+          << row_height - 1 << "' fill='" << fill
+          << "' stroke='#333' stroke-width='0.4'>"
+          << "<title>"
+          << (span.kind == 1 ? "reservation " : "job ") << span.id
+          << " [" << span.start << "," << span.end << ")</title></rect>\n";
+    }
+  }
+  // Time axis.
+  out << "  <line x1='" << label_gutter << "' y1='" << height - 8
+      << "' x2='" << chart_width - 10 << "' y2='" << height - 8
+      << "' stroke='#333'/>\n";
+  out << "  <text x='" << label_gutter << "' y='" << height - 0.5
+      << "' font-size='9'>0</text>\n";
+  out << "  <text x='" << chart_width - 40 << "' y='" << height - 0.5
+      << "' font-size='9'>" << horizon << "</text>\n";
+  out << "</svg>\n";
+  return out.str();
+}
+
+}  // namespace resched

@@ -1,0 +1,38 @@
+// Gantt chart rendering (the paper's Figures 1-3 are Gantt charts).
+//
+// ASCII output is for terminals and tests; SVG output is for reports. Both
+// operate on a concrete machine assignment so what is drawn is exactly the
+// packing that was validated.
+#pragma once
+
+#include <string>
+
+#include "core/instance.hpp"
+#include "core/machine_assignment.hpp"
+#include "core/schedule.hpp"
+
+namespace resched {
+
+struct GanttOptions {
+  int width = 80;        // time columns (ASCII) / pixels per full span (SVG)
+  int max_rows = 64;     // cap on machine rows rendered (ASCII)
+  bool show_legend = true;
+  int svg_row_height = 14;
+  int svg_width = 960;
+};
+
+// One row per machine (lowest index at top), one column per time bucket.
+// Jobs render as letters (A..Z, a..z cycling by job id), reservations as '#',
+// idle time as '.'. A bucket shows the occupant covering the largest part of
+// the bucket on that machine.
+[[nodiscard]] std::string ascii_gantt(const Instance& instance,
+                                      const Schedule& schedule,
+                                      const GanttOptions& options = {});
+
+// Standalone SVG document. Jobs get deterministic colors from their id;
+// reservations are hatched gray.
+[[nodiscard]] std::string svg_gantt(const Instance& instance,
+                                    const Schedule& schedule,
+                                    const GanttOptions& options = {});
+
+}  // namespace resched

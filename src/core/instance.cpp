@@ -1,0 +1,98 @@
+#include "core/instance.hpp"
+
+#include <algorithm>
+
+#include "core/step_profile.hpp"
+#include "util/checked.hpp"
+#include "util/require.hpp"
+
+namespace resched {
+
+std::int64_t Job::area() const { return checked_mul(q, p); }
+
+Time Reservation::end() const { return checked_add(start, p); }
+
+Instance::Instance(ProcCount m, std::vector<Job> jobs,
+                   std::vector<Reservation> reservations)
+    : m_(m), jobs_(std::move(jobs)), reservations_(std::move(reservations)) {
+  RESCHED_REQUIRE_MSG(m_ >= 1, "instance needs at least one machine");
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    const Job& job = jobs_[i];
+    RESCHED_REQUIRE_MSG(job.id == static_cast<JobId>(i),
+                        "job ids must be dense 0..n-1");
+    RESCHED_REQUIRE_MSG(job.q >= 1 && job.q <= m_,
+                        "job " + std::to_string(i) + " has q outside [1, m]");
+    RESCHED_REQUIRE_MSG(job.p > 0,
+                        "job " + std::to_string(i) + " has non-positive p");
+    RESCHED_REQUIRE_MSG(job.release >= 0,
+                        "job " + std::to_string(i) + " has negative release");
+  }
+  StepProfile unavailable(0);
+  for (std::size_t i = 0; i < reservations_.size(); ++i) {
+    const Reservation& resa = reservations_[i];
+    RESCHED_REQUIRE_MSG(resa.id == static_cast<ReservationId>(i),
+                        "reservation ids must be dense 0..n'-1");
+    RESCHED_REQUIRE_MSG(
+        resa.q >= 1 && resa.q <= m_,
+        "reservation " + std::to_string(i) + " has q outside [1, m]");
+    RESCHED_REQUIRE_MSG(
+        resa.p > 0, "reservation " + std::to_string(i) + " has non-positive p");
+    RESCHED_REQUIRE_MSG(
+        resa.start >= 0, "reservation " + std::to_string(i) + " starts < 0");
+    unavailable.add(resa.start, resa.end(), resa.q);
+  }
+  RESCHED_REQUIRE_MSG(unavailable.max_value() <= m_,
+                      "reservations exceed machine capacity (infeasible "
+                      "instance: U(t) > m)");
+}
+
+const Job& Instance::job(JobId id) const {
+  RESCHED_REQUIRE(id >= 0 && static_cast<std::size_t>(id) < jobs_.size());
+  return jobs_[static_cast<std::size_t>(id)];
+}
+
+const Reservation& Instance::reservation(ReservationId id) const {
+  RESCHED_REQUIRE(id >= 0 &&
+                  static_cast<std::size_t>(id) < reservations_.size());
+  return reservations_[static_cast<std::size_t>(id)];
+}
+
+std::int64_t Instance::total_work() const {
+  std::int64_t work = 0;
+  for (const Job& job : jobs_) work = checked_add(work, job.area());
+  return work;
+}
+
+Time Instance::p_max() const noexcept {
+  Time result = 0;
+  for (const Job& job : jobs_) result = std::max(result, job.p);
+  return result;
+}
+
+ProcCount Instance::q_max() const noexcept {
+  ProcCount result = 0;
+  for (const Job& job : jobs_) result = std::max(result, job.q);
+  return result;
+}
+
+Time Instance::reservation_horizon() const noexcept {
+  Time result = 0;
+  for (const Reservation& resa : reservations_)
+    result = std::max(result, resa.start + resa.p);
+  return result;
+}
+
+bool Instance::has_release_times() const noexcept {
+  return std::any_of(jobs_.begin(), jobs_.end(),
+                     [](const Job& job) { return job.release > 0; });
+}
+
+Instance Instance::with_job(ProcCount q, Time p, Time release,
+                            std::string name) const {
+  std::vector<Job> jobs = jobs_;
+  jobs.push_back(Job{static_cast<JobId>(jobs.size()), q, p, release,
+                     std::move(name)});
+  return Instance(m_, std::move(jobs), reservations_);
+}
+
+}  // namespace resched

@@ -1,0 +1,68 @@
+// A problem instance of RESASCHEDULING (and of RIGIDSCHEDULING when it has
+// no reservations): m identical processors, n rigid jobs, n' reservations.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/job.hpp"
+#include "core/reservation.hpp"
+#include "core/types.hpp"
+
+namespace resched {
+
+class Instance {
+ public:
+  // The trivial instance: one machine, no jobs, no reservations. Exists so
+  // that result structs holding an Instance stay default-constructible.
+  Instance() : m_(1) {}
+
+  // Validates on construction (throws std::invalid_argument):
+  //  * m >= 1,
+  //  * jobs: 1 <= q <= m, p > 0, release >= 0, ids dense 0..n-1,
+  //  * reservations: 1 <= q <= m, p > 0, start >= 0, ids dense 0..n'-1,
+  //  * the reservations alone fit on the machine (U(t) <= m everywhere).
+  Instance(ProcCount m, std::vector<Job> jobs,
+           std::vector<Reservation> reservations = {});
+
+  [[nodiscard]] ProcCount m() const noexcept { return m_; }
+  [[nodiscard]] const std::vector<Job>& jobs() const noexcept { return jobs_; }
+  [[nodiscard]] const std::vector<Reservation>& reservations() const noexcept {
+    return reservations_;
+  }
+  [[nodiscard]] std::size_t n() const noexcept { return jobs_.size(); }
+  [[nodiscard]] std::size_t n_reservations() const noexcept {
+    return reservations_.size();
+  }
+  [[nodiscard]] const Job& job(JobId id) const;
+  [[nodiscard]] const Reservation& reservation(ReservationId id) const;
+
+  // Sum over jobs of q * p (the W(I) of the appendix), overflow-checked.
+  [[nodiscard]] std::int64_t total_work() const;
+  // max p_j; 0 for an empty job set.
+  [[nodiscard]] Time p_max() const noexcept;
+  // max q_j; 0 for an empty job set.
+  [[nodiscard]] ProcCount q_max() const noexcept;
+  // Latest reservation end (0 if none): beyond it the machine is fully free.
+  [[nodiscard]] Time reservation_horizon() const noexcept;
+  // True iff some job has release > 0 (instance is online, not offline).
+  [[nodiscard]] bool has_release_times() const noexcept;
+  // True iff the instance has no reservations (pure RIGIDSCHEDULING).
+  [[nodiscard]] bool is_rigid_only() const noexcept {
+    return reservations_.empty();
+  }
+
+  // Returns a copy with one extra job appended (id assigned automatically).
+  [[nodiscard]] Instance with_job(ProcCount q, Time p, Time release = 0,
+                                  std::string name = "") const;
+
+  friend bool operator==(const Instance&, const Instance&) = default;
+
+ private:
+  ProcCount m_;
+  std::vector<Job> jobs_;
+  std::vector<Reservation> reservations_;
+};
+
+}  // namespace resched

@@ -1,0 +1,29 @@
+// A rigid parallel job: the unit of work of RIGIDSCHEDULING /
+// RESASCHEDULING (paper section 2.1).
+//
+// A job j requires exactly q processors (any subset of the cluster --
+// allocation is non-contiguous) for p consecutive time units, without
+// preemption. `release` extends the paper's offline model to the online
+// setting of section 2.1 (r_j = 0 recovers the offline problem); offline
+// algorithms require all releases to be zero and reject otherwise.
+#pragma once
+
+#include <string>
+
+#include "core/types.hpp"
+
+namespace resched {
+
+struct Job {
+  JobId id = 0;
+  ProcCount q = 1;   // processors required (1 <= q <= m)
+  Time p = 1;        // processing time (> 0)
+  Time release = 0;  // earliest start (0 in the offline model)
+  std::string name;  // optional label for traces / Gantt charts
+
+  [[nodiscard]] std::int64_t area() const;  // q * p, overflow-checked
+
+  friend bool operator==(const Job&, const Job&) = default;
+};
+
+}  // namespace resched

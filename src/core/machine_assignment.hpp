@@ -1,0 +1,41 @@
+// Mapping a capacity-feasible schedule onto concrete machines.
+//
+// The model deliberately ignores contiguity (paper section 2.1): processors
+// are identical and fully connected, so a schedule is feasible iff the
+// *count* constraint holds at every instant. This module constructively
+// proves that claim for every schedule we produce: a left-to-right sweep over
+// events always finds enough free machine indices, yielding an explicit
+// machine set per job and per reservation. The assignment is what the Gantt
+// renderers and the cluster simulator consume.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+
+namespace resched {
+
+using MachineIndex = std::int32_t;
+
+struct MachineAssignment {
+  // job_machines[i] = sorted machine indices used by job i.
+  std::vector<std::vector<MachineIndex>> job_machines;
+  // reservation_machines[j] = sorted machine indices pinned by reservation j.
+  std::vector<std::vector<MachineIndex>> reservation_machines;
+};
+
+// Requires schedule.validate(instance). Deterministic: machines are assigned
+// smallest-index-first in event order (ties: releases before acquisitions,
+// reservations before jobs, lower id first).
+[[nodiscard]] MachineAssignment assign_machines(const Instance& instance,
+                                                const Schedule& schedule);
+
+// Independent checker: every job/reservation got exactly q distinct machines
+// in [0, m), and no machine is used by two occupants at once.
+[[nodiscard]] ValidationResult validate_assignment(
+    const Instance& instance, const Schedule& schedule,
+    const MachineAssignment& assignment);
+
+}  // namespace resched

@@ -1,0 +1,62 @@
+#include "core/profile_allocator.hpp"
+
+#include "core/availability.hpp"
+#include "util/checked.hpp"
+#include "util/require.hpp"
+
+namespace resched {
+
+FreeProfile::FreeProfile(StepProfile free_capacity)
+    : profile_(std::move(free_capacity)) {
+  RESCHED_REQUIRE_MSG(profile_.min_value() >= 0,
+                      "free capacity profile must be non-negative");
+}
+
+FreeProfile FreeProfile::for_instance(const Instance& instance) {
+  return FreeProfile(availability_profile(instance));
+}
+
+ProcCount FreeProfile::capacity_at(Time t) const {
+  return profile_.value_at(t);
+}
+
+bool FreeProfile::fits_at(Time t, ProcCount q, Time p) const {
+  RESCHED_REQUIRE(t >= 0 && q >= 1 && p > 0);
+  return profile_.min_in(t, checked_add(t, p)) >= q;
+}
+
+Time FreeProfile::earliest_fit(Time t0, ProcCount q, Time p) const {
+  RESCHED_REQUIRE(t0 >= 0 && q >= 1 && p > 0);
+  RESCHED_REQUIRE_MSG(
+      profile_.final_value() >= q,
+      "job can never fit: q exceeds the eventual free capacity");
+  Time t = t0;
+  while (true) {
+    // First moment in the window where capacity dips below q.
+    const Time deficient = profile_.first_below(t, checked_add(t, p), q);
+    if (deficient == kTimeInfinity) return t;
+    // The window can only become feasible once the deficient segment ends;
+    // jump there and retry. Each jump lands on a breakpoint, and breakpoints
+    // are finite, so this terminates (see candidate-start lemma in header).
+    const Time resume = profile_.next_change_after(deficient);
+    RESCHED_CHECK_MSG(resume > t, "earliest_fit failed to advance");
+    t = resume;
+  }
+}
+
+void FreeProfile::commit(Time t, ProcCount q, Time p) {
+  RESCHED_REQUIRE_MSG(fits_at(t, q, p),
+                      "commit of a job that does not fit at its start time");
+  profile_.add(t, checked_add(t, p), -q);
+}
+
+void FreeProfile::uncommit(Time t, ProcCount q, Time p) {
+  RESCHED_REQUIRE(t >= 0 && q >= 1 && p > 0);
+  profile_.add(t, checked_add(t, p), q);
+}
+
+Time FreeProfile::next_change_after(Time t) const {
+  return profile_.next_change_after(t);
+}
+
+}  // namespace resched

@@ -1,0 +1,63 @@
+// FreeProfile: the schedulers' mutable view of remaining capacity.
+//
+// Starts from the instance's availability m(t) = m - U(t) and is decremented
+// as jobs are committed. All list/backfilling algorithms are expressed with
+// three queries:
+//
+//   fits_at(t, q, p)      -- can a (q, p) job run in [t, t+p)?
+//   earliest_fit(t0,q,p)  -- first start >= t0 where it can,
+//   commit(t, q, p)       -- allocate it.
+//
+// Candidate-start lemma (used by earliest_fit and by LSRC's event loop):
+// for fixed committed capacity, the set {t : fits_at(t, q, p)} is a finite
+// union of left-closed intervals whose left endpoints are either t0 or
+// *capacity-increase breakpoints* of the profile. Proof sketch: fits_at
+// fails iff the window [t, t+p) meets a deficient segment (capacity < q);
+// sliding t right past a deficient segment first becomes possible exactly at
+// the segment's right edge, which is a breakpoint where capacity rises.
+// Hence earliest_fit only ever returns t0 or an increase breakpoint, and a
+// scheduler that re-examines its queue at capacity-increase events (job
+// completions, reservation ends) never misses a feasible start.
+#pragma once
+
+#include "core/instance.hpp"
+#include "core/step_profile.hpp"
+
+namespace resched {
+
+class FreeProfile {
+ public:
+  // View over an explicit capacity profile (must be non-negative).
+  explicit FreeProfile(StepProfile free_capacity);
+
+  // Capacity view of an instance before any job is placed.
+  [[nodiscard]] static FreeProfile for_instance(const Instance& instance);
+
+  [[nodiscard]] ProcCount capacity_at(Time t) const;
+
+  // True iff min capacity over [t, t+p) is >= q. p > 0, q >= 1, t >= 0.
+  [[nodiscard]] bool fits_at(Time t, ProcCount q, Time p) const;
+
+  // Smallest t >= t0 with fits_at(t, q, p). Always terminates: requires
+  // q <= final free capacity (capacity after every reservation and committed
+  // job has ended), which holds for any valid job of the instance.
+  [[nodiscard]] Time earliest_fit(Time t0, ProcCount q, Time p) const;
+
+  // Subtracts q over [t, t+p). Requires fits_at(t, q, p).
+  void commit(Time t, ProcCount q, Time p);
+
+  // Inverse of commit (used by branch-and-bound backtracking).
+  void uncommit(Time t, ProcCount q, Time p);
+
+  // Smallest breakpoint > t, or kTimeInfinity (event-driven scheduling).
+  [[nodiscard]] Time next_change_after(Time t) const;
+
+  [[nodiscard]] const StepProfile& profile() const noexcept {
+    return profile_;
+  }
+
+ private:
+  StepProfile profile_;
+};
+
+}  // namespace resched

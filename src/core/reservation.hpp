@@ -1,0 +1,28 @@
+// An advance reservation: a block of processors unavailable to the scheduler
+// (paper section 3.1).
+//
+// Reservation j withdraws q processors during [start, start + p). The
+// scheduler cannot move it; the set of reservations induces the
+// unavailability step function U(t) = sum of q over active reservations.
+// An instance is feasible iff U(t) <= m for all t.
+#pragma once
+
+#include <string>
+
+#include "core/types.hpp"
+
+namespace resched {
+
+struct Reservation {
+  ReservationId id = 0;
+  ProcCount q = 1;  // processors reserved (1 <= q <= m)
+  Time p = 1;       // duration (> 0)
+  Time start = 0;   // fixed start time (>= 0)
+  std::string name;
+
+  [[nodiscard]] Time end() const;  // start + p, overflow-checked
+
+  friend bool operator==(const Reservation&, const Reservation&) = default;
+};
+
+}  // namespace resched

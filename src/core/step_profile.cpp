@@ -1,0 +1,238 @@
+#include "core/step_profile.hpp"
+
+#include <algorithm>
+
+#include "util/checked.hpp"
+#include "util/require.hpp"
+
+namespace resched {
+
+StepProfile::StepProfile(std::int64_t initial_value) {
+  steps_.emplace(Time{0}, initial_value);
+}
+
+std::int64_t StepProfile::value_at(Time t) const {
+  RESCHED_REQUIRE_MSG(t >= 0, "profile queried at negative time");
+  auto it = steps_.upper_bound(t);
+  --it;  // safe: key 0 always present and t >= 0
+  return it->second;
+}
+
+std::map<Time, std::int64_t>::iterator StepProfile::split_at(Time t) {
+  auto it = steps_.lower_bound(t);
+  if (it != steps_.end() && it->first == t) return it;
+  --it;  // segment containing t
+  return steps_.emplace_hint(std::next(it), t, it->second);
+}
+
+void StepProfile::coalesce() {
+  auto it = steps_.begin();
+  while (it != steps_.end()) {
+    auto next = std::next(it);
+    if (next != steps_.end() && next->second == it->second) {
+      steps_.erase(next);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void StepProfile::add(Time from, Time to, std::int64_t delta) {
+  RESCHED_REQUIRE_MSG(from >= 0, "profile add with negative start");
+  if (from >= to || delta == 0) return;
+  auto first = split_at(from);
+  // Split the right edge only for finite windows; [from, kTimeInfinity)
+  // means "from `from` onwards".
+  auto last = (to >= kTimeInfinity) ? steps_.end() : split_at(to);
+  for (auto it = first; it != last; ++it)
+    it->second = checked_add(it->second, delta);
+  coalesce();
+}
+
+std::int64_t StepProfile::min_in(Time from, Time to) const {
+  RESCHED_REQUIRE_MSG(from < to, "empty window in min_in");
+  RESCHED_REQUIRE(from >= 0);
+  auto it = steps_.upper_bound(from);
+  --it;
+  std::int64_t result = it->second;
+  for (++it; it != steps_.end() && it->first < to; ++it)
+    result = std::min(result, it->second);
+  return result;
+}
+
+std::int64_t StepProfile::max_in(Time from, Time to) const {
+  RESCHED_REQUIRE_MSG(from < to, "empty window in max_in");
+  RESCHED_REQUIRE(from >= 0);
+  auto it = steps_.upper_bound(from);
+  --it;
+  std::int64_t result = it->second;
+  for (++it; it != steps_.end() && it->first < to; ++it)
+    result = std::max(result, it->second);
+  return result;
+}
+
+Time StepProfile::first_below(Time from, Time to,
+                              std::int64_t threshold) const {
+  RESCHED_REQUIRE(from >= 0);
+  if (from >= to) return kTimeInfinity;
+  auto it = steps_.upper_bound(from);
+  --it;
+  if (it->second < threshold) return from;
+  for (++it; it != steps_.end() && it->first < to; ++it)
+    if (it->second < threshold) return it->first;
+  return kTimeInfinity;
+}
+
+Time StepProfile::next_change_after(Time t) const {
+  RESCHED_REQUIRE(t >= 0);
+  const auto it = steps_.upper_bound(t);
+  return it == steps_.end() ? kTimeInfinity : it->first;
+}
+
+std::int64_t StepProfile::integral(Time from, Time to) const {
+  RESCHED_REQUIRE(from >= 0 && from <= to);
+  RESCHED_REQUIRE_MSG(to < kTimeInfinity, "integral over unbounded window");
+  if (from == to) return 0;
+  std::int64_t area = 0;
+  auto it = steps_.upper_bound(from);
+  --it;
+  Time cursor = from;
+  while (cursor < to) {
+    auto next = std::next(it);
+    const Time seg_end = (next == steps_.end()) ? to : std::min(next->first, to);
+    area = checked_add(area, checked_mul(it->second, seg_end - cursor));
+    cursor = seg_end;
+    it = next;
+  }
+  return area;
+}
+
+Time StepProfile::time_to_accumulate(Time from, std::int64_t target) const {
+  RESCHED_REQUIRE(from >= 0 && target >= 0);
+  if (target == 0) return from;
+  std::int64_t remaining = target;
+  auto it = steps_.upper_bound(from);
+  --it;
+  Time cursor = from;
+  while (true) {
+    auto next = std::next(it);
+    const Time seg_end = (next == steps_.end()) ? kTimeInfinity : next->first;
+    const std::int64_t rate = it->second;
+    if (rate > 0) {
+      const Time needed = ceil_div(remaining, rate);
+      if (seg_end >= kTimeInfinity || needed <= seg_end - cursor)
+        return checked_add(cursor, needed) > kTimeInfinity ? kTimeInfinity
+                                                           : cursor + needed;
+      remaining -= checked_mul(rate, seg_end - cursor);
+    }
+    if (next == steps_.end()) return kTimeInfinity;  // rate <= 0 forever
+    cursor = seg_end;
+    it = next;
+  }
+}
+
+bool StepProfile::is_non_increasing() const noexcept {
+  std::int64_t prev = steps_.begin()->second;
+  for (const auto& [t, v] : steps_) {
+    if (v > prev) return false;
+    prev = v;
+  }
+  return true;
+}
+
+bool StepProfile::is_non_decreasing() const noexcept {
+  std::int64_t prev = steps_.begin()->second;
+  for (const auto& [t, v] : steps_) {
+    if (v < prev) return false;
+    prev = v;
+  }
+  return true;
+}
+
+std::int64_t StepProfile::min_value() const noexcept {
+  std::int64_t result = steps_.begin()->second;
+  for (const auto& [t, v] : steps_) result = std::min(result, v);
+  return result;
+}
+
+std::int64_t StepProfile::max_value() const noexcept {
+  std::int64_t result = steps_.begin()->second;
+  for (const auto& [t, v] : steps_) result = std::max(result, v);
+  return result;
+}
+
+std::int64_t StepProfile::final_value() const noexcept {
+  return steps_.rbegin()->second;
+}
+
+std::size_t StepProfile::segment_count() const noexcept {
+  return steps_.size();
+}
+
+std::vector<StepProfile::Segment> StepProfile::segments() const {
+  std::vector<Segment> out;
+  out.reserve(steps_.size());
+  for (auto it = steps_.begin(); it != steps_.end(); ++it) {
+    const auto next = std::next(it);
+    out.push_back(Segment{it->first,
+                          next == steps_.end() ? kTimeInfinity : next->first,
+                          it->second});
+  }
+  return out;
+}
+
+std::vector<StepProfile::Segment> StepProfile::segments_in(Time from,
+                                                           Time to) const {
+  RESCHED_REQUIRE(from >= 0 && from <= to);
+  std::vector<Segment> out;
+  if (from == to) return out;
+  auto it = steps_.upper_bound(from);
+  --it;
+  Time cursor = from;
+  while (cursor < to && it != steps_.end()) {
+    const auto next = std::next(it);
+    const Time seg_end =
+        (next == steps_.end()) ? to : std::min<Time>(next->first, to);
+    out.push_back(Segment{cursor, seg_end, it->second});
+    cursor = seg_end;
+    it = next;
+  }
+  return out;
+}
+
+StepProfile StepProfile::plus(const StepProfile& other) const {
+  StepProfile result(0);
+  result.steps_.clear();
+  auto a = steps_.begin();
+  auto b = other.steps_.begin();
+  std::int64_t va = a->second;
+  std::int64_t vb = b->second;
+  // Merge the two breakpoint sets.
+  while (a != steps_.end() || b != other.steps_.end()) {
+    Time t;
+    if (b == other.steps_.end() || (a != steps_.end() && a->first <= b->first)) {
+      t = a->first;
+      va = a->second;
+      if (b != other.steps_.end() && b->first == t) {
+        vb = b->second;
+        ++b;
+      }
+      ++a;
+    } else {
+      t = b->first;
+      vb = b->second;
+      ++b;
+    }
+    result.steps_[t] = checked_add(va, vb);
+  }
+  result.coalesce();
+  return result;
+}
+
+StepProfile StepProfile::minus(const StepProfile& other) const {
+  StepProfile negated = other;
+  for (auto& [t, v] : negated.steps_) v = checked_neg(v);
+  return plus(negated);
+}
+
+}  // namespace resched

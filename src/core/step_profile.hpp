@@ -1,0 +1,97 @@
+// StepProfile: an integer-valued piecewise-constant function of time on
+// [0, +infinity).
+//
+// This is the single data structure underneath everything in resched:
+// unavailability U(t), availability m(t) = m - U(t), schedule usage r(t) and
+// the schedulers' free-capacity view all are StepProfiles. It supports point
+// queries, range addition, windowed minima, area integrals and breakpoint
+// iteration, each in O(log s + k) for s segments and k touched segments.
+//
+// Representation: ordered map {segment start -> value}; the value holds from
+// its key (inclusive) to the next key (exclusive); the last segment extends
+// to +infinity. Invariants: the map contains key 0, and adjacent segments
+// have distinct values (canonical form), so operator== means pointwise
+// function equality.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace resched {
+
+class StepProfile {
+ public:
+  struct Segment {
+    Time start;  // inclusive
+    Time end;    // exclusive; kTimeInfinity for the last segment
+    std::int64_t value;
+    friend bool operator==(const Segment&, const Segment&) = default;
+  };
+
+  // Constant function with the given value everywhere.
+  explicit StepProfile(std::int64_t initial_value = 0);
+
+  [[nodiscard]] std::int64_t value_at(Time t) const;
+
+  // Adds delta on [from, to); no-op when from >= to. Times must be >= 0.
+  void add(Time from, Time to, std::int64_t delta);
+
+  // Minimum value over the window [from, to); requires from < to.
+  [[nodiscard]] std::int64_t min_in(Time from, Time to) const;
+  // Maximum value over the window [from, to); requires from < to.
+  [[nodiscard]] std::int64_t max_in(Time from, Time to) const;
+
+  // Earliest t in [from, to) with value_at(t) < threshold, or kTimeInfinity
+  // if the window never dips below the threshold. Core query of the
+  // earliest-fit search.
+  [[nodiscard]] Time first_below(Time from, Time to,
+                                 std::int64_t threshold) const;
+
+  // Smallest breakpoint strictly greater than t, or kTimeInfinity if the
+  // function is constant after t.
+  [[nodiscard]] Time next_change_after(Time t) const;
+
+  // Integral of the function over [from, to), overflow-checked.
+  // Requires from <= to and to < kTimeInfinity.
+  [[nodiscard]] std::int64_t integral(Time from, Time to) const;
+
+  // Earliest T >= from such that integral(from, T) >= target (target >= 0).
+  // Requires the final segment value to be positive (otherwise the target
+  // may be unreachable, which is reported as kTimeInfinity).
+  [[nodiscard]] Time time_to_accumulate(Time from, std::int64_t target) const;
+
+  // True if the function never increases / never decreases over [0, +inf).
+  [[nodiscard]] bool is_non_increasing() const noexcept;
+  [[nodiscard]] bool is_non_decreasing() const noexcept;
+
+  [[nodiscard]] std::int64_t min_value() const noexcept;
+  [[nodiscard]] std::int64_t max_value() const noexcept;
+  // Value of the unbounded final segment.
+  [[nodiscard]] std::int64_t final_value() const noexcept;
+  // Number of maximal constant segments (>= 1).
+  [[nodiscard]] std::size_t segment_count() const noexcept;
+
+  // All maximal segments, in order; the last has end == kTimeInfinity.
+  [[nodiscard]] std::vector<Segment> segments() const;
+  // Segments clipped to [from, to).
+  [[nodiscard]] std::vector<Segment> segments_in(Time from, Time to) const;
+
+  // Pointwise combination: this + other, this - other.
+  [[nodiscard]] StepProfile plus(const StepProfile& other) const;
+  [[nodiscard]] StepProfile minus(const StepProfile& other) const;
+
+  friend bool operator==(const StepProfile&, const StepProfile&) = default;
+
+ private:
+  // {segment start -> value}; contains key 0; adjacent values distinct.
+  std::map<Time, std::int64_t> steps_;
+
+  // Ensures a breakpoint exists exactly at t (t > 0); returns iterator to it.
+  std::map<Time, std::int64_t>::iterator split_at(Time t);
+  void coalesce();
+};
+
+}  // namespace resched

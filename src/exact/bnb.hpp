@@ -1,0 +1,51 @@
+// Exact optimal makespan via branch and bound.
+//
+// The search enumerates *active schedules* with the serial schedule-
+// generation scheme: branch on which unplaced job comes next in a priority
+// sequence, place it at its earliest feasible start against the committed
+// profile. For independent rigid jobs with fixed unavailabilities (an RCPSP
+// with a single renewable resource and no precedence), the classical
+// active-schedule theorem applies: for any regular objective -- makespan
+// included -- some serial-SGS permutation yields an optimal schedule, so
+// searching permutations with earliest-fit placement is exact.
+//
+// Pruning:
+//  * certified lower bound at every node (earliest-completion of remaining
+//    jobs against the current profile + remaining-area bound),
+//  * symmetry: identical (q, p, release) jobs are interchangeable -- only
+//    the lowest-id representative of each class is branched on,
+//  * memoisation on (remaining-set, committed-profile) states.
+//
+// Intended for reference optima on small instances (n <= ~10); the node
+// limit makes larger calls fail loudly (`proven == false`) instead of
+// silently hanging.
+#pragma once
+
+#include <cstdint>
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+
+namespace resched {
+
+struct BnbOptions {
+  std::uint64_t node_limit = 20'000'000;
+  // Optional known upper bound (e.g. from LSRC) to seed pruning; 0 = none.
+  Time upper_bound_hint = 0;
+};
+
+struct BnbResult {
+  Time optimal = 0;       // best makespan found
+  Schedule schedule;      // a schedule achieving it
+  std::uint64_t nodes = 0;
+  bool proven = false;    // true iff the search completed within the limit
+};
+
+[[nodiscard]] BnbResult branch_and_bound(const Instance& instance,
+                                         const BnbOptions& options = {});
+
+// Convenience: optimal makespan, throwing if the search is not proven.
+[[nodiscard]] Time optimal_makespan(const Instance& instance,
+                                    const BnbOptions& options = {});
+
+}  // namespace resched

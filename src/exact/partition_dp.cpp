@@ -1,0 +1,64 @@
+#include "exact/partition_dp.hpp"
+
+#include <algorithm>
+
+#include "util/checked.hpp"
+#include "util/require.hpp"
+
+namespace resched {
+
+std::vector<bool> subset_sums(const std::vector<std::int64_t>& values,
+                              std::int64_t cap) {
+  RESCHED_REQUIRE(cap >= 0);
+  // Packed 64-bit sweep: reachable |= reachable << v.
+  const std::size_t words = static_cast<std::size_t>(cap) / 64 + 1;
+  std::vector<std::uint64_t> bits(words, 0);
+  bits[0] = 1;  // empty subset
+  for (const std::int64_t value : values) {
+    RESCHED_REQUIRE_MSG(value > 0, "subset_sums needs positive values");
+    if (value > cap) continue;
+    const auto shift = static_cast<std::size_t>(value);
+    const std::size_t word_shift = shift / 64;
+    const unsigned bit_shift = static_cast<unsigned>(shift % 64);
+    for (std::size_t w = words; w-- > word_shift;) {
+      std::uint64_t shifted = bits[w - word_shift] << bit_shift;
+      if (bit_shift != 0 && w > word_shift)
+        shifted |= bits[w - word_shift - 1] >> (64 - bit_shift);
+      bits[w] |= shifted;
+    }
+  }
+  std::vector<bool> reachable(static_cast<std::size_t>(cap) + 1, false);
+  for (std::size_t s = 0; s <= static_cast<std::size_t>(cap); ++s)
+    reachable[s] = (bits[s / 64] >> (s % 64)) & 1;
+  return reachable;
+}
+
+Time two_machine_optimal(const Instance& instance) {
+  RESCHED_REQUIRE_MSG(instance.m() == 2, "two_machine_optimal needs m = 2");
+  RESCHED_REQUIRE_MSG(instance.is_rigid_only(),
+                      "two_machine_optimal does not support reservations");
+  RESCHED_REQUIRE_MSG(!instance.has_release_times(),
+                      "two_machine_optimal does not support releases");
+  std::vector<std::int64_t> durations;
+  std::int64_t total = 0;
+  for (const Job& job : instance.jobs()) {
+    RESCHED_REQUIRE_MSG(job.q == 1, "two_machine_optimal needs q = 1 jobs");
+    durations.push_back(job.p);
+    total = checked_add(total, job.p);
+  }
+  if (durations.empty()) return 0;
+  // The machine finishing last carries the larger half; minimise it by
+  // finding the largest reachable sum <= floor(total / 2).
+  const std::int64_t half = total / 2;
+  const std::vector<bool> reachable = subset_sums(durations, half);
+  std::int64_t best_small = 0;
+  for (std::int64_t s = half; s >= 0; --s) {
+    if (reachable[static_cast<std::size_t>(s)]) {
+      best_small = s;
+      break;
+    }
+  }
+  return total - best_small;
+}
+
+}  // namespace resched

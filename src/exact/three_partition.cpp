@@ -1,0 +1,175 @@
+#include "exact/three_partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/checked.hpp"
+#include "util/require.hpp"
+
+namespace resched {
+
+bool ThreePartitionInstance::well_formed() const {
+  if (items.empty() || items.size() % 3 != 0) return false;
+  std::int64_t sum = 0;
+  for (const std::int64_t item : items) {
+    if (item <= 0) return false;
+    sum = checked_add(sum, item);
+  }
+  return sum == checked_mul(static_cast<std::int64_t>(groups()), target);
+}
+
+namespace {
+
+// Backtracking over items sorted by decreasing value. Sorting makes two
+// prunings sound: equal values are adjacent (duplicate-combination skip),
+// and the anchor (largest unused item) needs the *smallest* complements, so
+// dead branches die early.
+struct PartitionSearch {
+  std::vector<std::int64_t> values;        // sorted descending
+  std::vector<std::size_t> original_index; // values[i] == items[original_index[i]]
+  std::int64_t target = 0;
+  std::vector<bool> used;
+  std::vector<std::vector<std::size_t>> groups;  // in sorted-space indices
+  std::uint64_t nodes = 0;
+  std::uint64_t node_limit = 0;
+  bool aborted = false;
+
+  bool solve() {
+    if (aborted) return false;
+    if (++nodes > node_limit) {
+      aborted = true;
+      return false;
+    }
+    // The first unused item anchors the next group: it must belong to some
+    // group, so fixing it kills the k! group-order symmetry.
+    std::size_t anchor = values.size();
+    for (std::size_t i = 0; i < values.size(); ++i)
+      if (!used[i]) {
+        anchor = i;
+        break;
+      }
+    if (anchor == values.size()) return true;
+
+    used[anchor] = true;
+    const std::int64_t remaining = target - values[anchor];
+    for (std::size_t j = anchor + 1; j < values.size(); ++j) {
+      if (used[j] || values[j] >= remaining) continue;
+      // Duplicate skip: an unused equal-valued predecessor was already tried
+      // in this frame; choosing j instead is symmetric.
+      if (j > anchor + 1 && values[j] == values[j - 1] && !used[j - 1])
+        continue;
+      const std::int64_t need = remaining - values[j];
+      if (need > values[j]) continue;  // partners are ordered: x_j >= x_l
+      used[j] = true;
+      for (std::size_t l = j + 1; l < values.size(); ++l) {
+        if (used[l] || values[l] != need) continue;
+        used[l] = true;
+        groups.push_back({anchor, j, l});
+        if (solve()) return true;
+        groups.pop_back();
+        used[l] = false;
+        break;  // all unused items of value `need` are interchangeable
+      }
+      used[j] = false;
+      if (aborted) break;
+    }
+    used[anchor] = false;
+    return false;
+  }
+};
+
+}  // namespace
+
+ThreePartitionSolution solve_three_partition(
+    const ThreePartitionInstance& instance, std::uint64_t node_limit) {
+  RESCHED_REQUIRE_MSG(instance.well_formed(),
+                      "malformed 3-PARTITION instance");
+  PartitionSearch search;
+  search.original_index.resize(instance.items.size());
+  std::iota(search.original_index.begin(), search.original_index.end(),
+            std::size_t{0});
+  std::stable_sort(search.original_index.begin(), search.original_index.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return instance.items[a] > instance.items[b];
+                   });
+  search.values.reserve(instance.items.size());
+  for (const std::size_t index : search.original_index)
+    search.values.push_back(instance.items[index]);
+  search.target = instance.target;
+  search.used.assign(instance.items.size(), false);
+  search.node_limit = node_limit;
+
+  ThreePartitionSolution solution;
+  solution.solvable = search.solve();
+  RESCHED_REQUIRE_MSG(!search.aborted,
+                      "3-PARTITION solver hit its node limit");
+  if (solution.solvable) {
+    for (const auto& group : search.groups) {
+      std::vector<std::size_t> mapped;
+      mapped.reserve(3);
+      for (const std::size_t index : group)
+        mapped.push_back(search.original_index[index]);
+      solution.groups.push_back(std::move(mapped));
+    }
+  }
+  return solution;
+}
+
+bool is_valid_three_partition(
+    const ThreePartitionInstance& instance,
+    const std::vector<std::vector<std::size_t>>& groups) {
+  if (groups.size() != instance.groups()) return false;
+  std::vector<bool> used(instance.items.size(), false);
+  for (const auto& group : groups) {
+    if (group.size() != 3) return false;
+    std::int64_t sum = 0;
+    for (const std::size_t index : group) {
+      if (index >= instance.items.size() || used[index]) return false;
+      used[index] = true;
+      sum += instance.items[index];
+    }
+    if (sum != instance.target) return false;
+  }
+  return std::all_of(used.begin(), used.end(), [](bool u) { return u; });
+}
+
+ThreePartitionInstance random_yes_instance(std::size_t k, std::int64_t B,
+                                           Prng& prng) {
+  RESCHED_REQUIRE(k >= 1 && B >= 3);
+  ThreePartitionInstance instance;
+  instance.target = B;
+  for (std::size_t g = 0; g < k; ++g) {
+    // Random 3-composition of B with parts >= 1.
+    const std::int64_t a = prng.uniform_int(1, B - 2);
+    const std::int64_t b = prng.uniform_int(1, B - a - 1);
+    instance.items.push_back(a);
+    instance.items.push_back(b);
+    instance.items.push_back(B - a - b);
+  }
+  prng.shuffle(instance.items);
+  return instance;
+}
+
+std::optional<ThreePartitionInstance> random_no_instance(std::size_t k,
+                                                         std::int64_t B,
+                                                         Prng& prng,
+                                                         int attempts) {
+  RESCHED_REQUIRE(k >= 2 && B >= 4);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    ThreePartitionInstance candidate = random_yes_instance(k, B, prng);
+    // Move one unit between two items: the sum is preserved, solvability
+    // usually is not (especially for small B).
+    const auto from = static_cast<std::size_t>(prng.uniform_int(
+        0, static_cast<std::int64_t>(candidate.items.size()) - 1));
+    const auto to = static_cast<std::size_t>(prng.uniform_int(
+        0, static_cast<std::int64_t>(candidate.items.size()) - 1));
+    if (from == to || candidate.items[from] <= 1) continue;
+    candidate.items[from] -= 1;
+    candidate.items[to] += 1;
+    if (!candidate.well_formed()) continue;
+    if (!solve_three_partition(candidate).solvable) return candidate;
+  }
+  return std::nullopt;
+}
+
+}  // namespace resched

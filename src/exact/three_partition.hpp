@@ -1,0 +1,61 @@
+// 3-PARTITION: the NP-hard problem behind Theorem 1's reduction.
+//
+// Instance: 3k positive integers x_1..x_3k with sum k*B. Question: can they
+// be split into k groups of exactly three elements, each summing to B?
+// (The classical strong NP-hardness needs B/4 < x_i < B/2, which makes every
+// B-sum group have exactly three elements; the solver enforces groups of
+// three explicitly, so it is correct for arbitrary item sizes too.)
+//
+// The solver is exact backtracking with canonical-order pruning -- ample for
+// the reduction experiments (k <= ~12). Generators produce YES instances by
+// construction (random splits of B into three parts) and candidate NO
+// instances (verified by the solver).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/prng.hpp"
+
+namespace resched {
+
+struct ThreePartitionInstance {
+  std::vector<std::int64_t> items;  // size 3k
+  std::int64_t target = 0;          // B
+
+  [[nodiscard]] std::size_t groups() const { return items.size() / 3; }
+  // Structural sanity: |items| = 3k > 0, items positive, sum = k * B.
+  [[nodiscard]] bool well_formed() const;
+};
+
+struct ThreePartitionSolution {
+  bool solvable = false;
+  // groups[g] = indices of the three items in group g (only if solvable).
+  std::vector<std::vector<std::size_t>> groups;
+};
+
+[[nodiscard]] ThreePartitionSolution solve_three_partition(
+    const ThreePartitionInstance& instance,
+    std::uint64_t node_limit = 50'000'000);
+
+// Verifies a proposed grouping (used to cross-check schedules extracted from
+// the Theorem 1 reduction).
+[[nodiscard]] bool is_valid_three_partition(
+    const ThreePartitionInstance& instance,
+    const std::vector<std::vector<std::size_t>>& groups);
+
+// A YES instance with k groups summing to B each: every group is a random
+// 3-split of B (parts >= 1), shuffled. B must be >= 3.
+[[nodiscard]] ThreePartitionInstance random_yes_instance(std::size_t k,
+                                                         std::int64_t B,
+                                                         Prng& prng);
+
+// Searches for a NO instance with the same (k, B) shape by random
+// perturbation of YES instances that preserves the total sum; returns
+// nullopt if attempts are exhausted (more likely for large B where almost
+// everything is solvable).
+[[nodiscard]] std::optional<ThreePartitionInstance> random_no_instance(
+    std::size_t k, std::int64_t B, Prng& prng, int attempts = 200);
+
+}  // namespace resched

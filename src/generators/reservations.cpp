@@ -1,0 +1,96 @@
+#include "generators/reservations.hpp"
+
+#include <algorithm>
+
+#include "core/availability.hpp"
+#include "util/prng.hpp"
+#include "util/require.hpp"
+
+namespace resched {
+
+Instance with_alpha_restricted_reservations(
+    const Instance& base, const AlphaReservationConfig& config,
+    std::uint64_t seed) {
+  RESCHED_REQUIRE(config.alpha > Rational(0) && config.alpha <= Rational(1));
+  RESCHED_REQUIRE(config.horizon >= 1 && config.max_duration >= 1);
+
+  // Cap on reserved processors at any instant: floor((1 - alpha) m).
+  const ProcCount cap =
+      ((Rational(1) - config.alpha) * Rational(base.m())).floor();
+  std::vector<Reservation> reservations = base.reservations();
+  if (cap >= 1) {
+    Prng prng(seed);
+    StepProfile reserved(0);
+    for (const Reservation& resa : reservations)
+      reserved.add(resa.start, resa.end(), resa.q);
+    for (std::size_t i = 0; i < config.count; ++i) {
+      const Time start = prng.uniform_int(0, config.horizon - 1);
+      const Time duration = prng.uniform_int(1, config.max_duration);
+      const ProcCount room =
+          cap - reserved.max_in(start, start + duration);
+      if (room < 1) continue;  // would breach the cap; drop this candidate
+      const ProcCount q = prng.uniform_int(1, room);
+      reserved.add(start, start + duration, q);
+      reservations.push_back(
+          Reservation{static_cast<ReservationId>(reservations.size()), q,
+                      duration, start, ""});
+    }
+  }
+  return Instance(base.m(), base.jobs(), std::move(reservations));
+}
+
+Instance with_nonincreasing_reservations(const Instance& base,
+                                         const StaircaseConfig& config,
+                                         std::uint64_t seed) {
+  RESCHED_REQUIRE(config.steps >= 1 && config.max_step_duration >= 1);
+  const ProcCount peak_cap =
+      config.max_initial > 0 ? config.max_initial : base.m() - 1;
+  RESCHED_REQUIRE_MSG(peak_cap >= 1 && peak_cap < base.m(),
+                      "staircase peak must leave at least one processor");
+
+  Prng prng(seed);
+  // Build the staircase as nested reservations, all starting at 0: the
+  // longest has the smallest height. Heights h_1 >= h_2 >= ... (cumulative),
+  // durations d_1 <= d_2 <= ...
+  std::vector<Reservation> reservations = base.reservations();
+  const std::size_t steps = config.steps;
+  // Draw `steps` level drops that sum to <= peak_cap.
+  std::vector<ProcCount> drops(steps, 0);
+  ProcCount remaining = peak_cap;
+  for (std::size_t s = 0; s < steps && remaining > 0; ++s) {
+    drops[s] = prng.uniform_int(1, std::max<ProcCount>(
+                                       1, remaining / static_cast<ProcCount>(
+                                              steps - s)));
+    remaining -= drops[s];
+  }
+  Time duration = 0;
+  for (std::size_t s = 0; s < steps; ++s) {
+    duration += prng.uniform_int(1, config.max_step_duration);
+    if (drops[s] == 0) continue;
+    // Block s spans [0, duration) with height drops[s]; stacking all blocks
+    // yields U(0) = sum(drops), decreasing as blocks end.
+    reservations.push_back(
+        Reservation{static_cast<ReservationId>(reservations.size()), drops[s],
+                    duration, 0, ""});
+  }
+  Instance result(base.m(), base.jobs(), std::move(reservations));
+  RESCHED_CHECK(has_non_increasing_unavailability(result));
+  return result;
+}
+
+Instance with_periodic_maintenance(const Instance& base, ProcCount q,
+                                   Time phase, Time period, Time length,
+                                   std::size_t count) {
+  RESCHED_REQUIRE(q >= 1 && q <= base.m());
+  RESCHED_REQUIRE(period >= 1 && length >= 1 && length <= period);
+  RESCHED_REQUIRE(phase >= 0);
+  std::vector<Reservation> reservations = base.reservations();
+  for (std::size_t i = 0; i < count; ++i) {
+    reservations.push_back(Reservation{
+        static_cast<ReservationId>(reservations.size()), q, length,
+        phase + static_cast<Time>(i) * period, "maintenance"});
+  }
+  return Instance(base.m(), base.jobs(), std::move(reservations));
+}
+
+}  // namespace resched

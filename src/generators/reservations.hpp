@@ -1,0 +1,50 @@
+// Reservation-pattern generators for the three instance classes the paper
+// analyses: alpha-restricted (section 4.2), non-increasing (section 4.1) and
+// structured/periodic patterns (maintenance windows -- the practical shape
+// reservations take on production clusters).
+#pragma once
+
+#include <cstdint>
+
+#include "core/instance.hpp"
+#include "util/rational.hpp"
+
+namespace resched {
+
+struct AlphaReservationConfig {
+  std::size_t count = 5;
+  Time horizon = 200;     // reservations start within [0, horizon)
+  Time max_duration = 50;
+  // Reservation cap: U(t) <= (1 - alpha) * m at all times.
+  Rational alpha{1, 2};
+};
+
+// Adds random reservations to the jobs of `base`, never exceeding the
+// (1-alpha)m cap (candidates that would are narrowed or dropped, so the
+// result may have fewer than `count` reservations). The result is
+// alpha-restricted provided base's jobs satisfy q <= alpha*m -- generate
+// them with WorkloadConfig::alpha.
+[[nodiscard]] Instance with_alpha_restricted_reservations(
+    const Instance& base, const AlphaReservationConfig& config,
+    std::uint64_t seed);
+
+struct StaircaseConfig {
+  std::size_t steps = 4;       // distinct unavailability levels
+  ProcCount max_initial = 0;   // peak U(0); default (0) = m - 1
+  Time max_step_duration = 50;
+};
+
+// Non-increasing unavailability: a staircase U(0) >= U(t1) >= ... >= 0
+// realised as nested reservations all starting at t = 0 (section 4.1's
+// shape, Fig. 2 left).
+[[nodiscard]] Instance with_nonincreasing_reservations(
+    const Instance& base, const StaircaseConfig& config, std::uint64_t seed);
+
+// Periodic maintenance: `count` reservations of `q` processors and duration
+// `length`, starting at phase, phase+period, ... (deterministic).
+[[nodiscard]] Instance with_periodic_maintenance(const Instance& base,
+                                                 ProcCount q, Time phase,
+                                                 Time period, Time length,
+                                                 std::size_t count);
+
+}  // namespace resched

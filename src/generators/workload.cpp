@@ -1,0 +1,121 @@
+#include "generators/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/prng.hpp"
+#include "util/require.hpp"
+
+namespace resched {
+
+Instance random_workload(const WorkloadConfig& config, std::uint64_t seed) {
+  RESCHED_REQUIRE(config.m >= 1);
+  RESCHED_REQUIRE(config.p_min >= 1 && config.p_min <= config.p_max);
+  RESCHED_REQUIRE(config.alpha > Rational(0) && config.alpha <= Rational(1));
+
+  // q_cap = floor(alpha * m), at least 1.
+  const ProcCount q_cap = std::max<ProcCount>(
+      1, (config.alpha * Rational(config.m)).floor());
+
+  Prng prng(seed);
+  std::vector<Job> jobs;
+  jobs.reserve(config.n);
+  double arrival_clock = 0.0;
+
+  for (std::size_t i = 0; i < config.n; ++i) {
+    const Time p = config.log_uniform_p
+                       ? prng.log_uniform_int(config.p_min, config.p_max)
+                       : prng.uniform_int(config.p_min, config.p_max);
+
+    ProcCount q = 1;
+    switch (config.width) {
+      case WidthDistribution::kUniform:
+        q = prng.uniform_int(1, q_cap);
+        break;
+      case WidthDistribution::kPowersOfTwo: {
+        int max_exp = 0;
+        while ((ProcCount{1} << (max_exp + 1)) <= q_cap) ++max_exp;
+        q = ProcCount{1} << prng.uniform_int(0, max_exp);
+        break;
+      }
+      case WidthDistribution::kMostlyNarrow: {
+        const ProcCount narrow_cap = std::max<ProcCount>(1, q_cap / 8);
+        q = prng.chance(0.8) ? prng.uniform_int(1, narrow_cap)
+                             : prng.uniform_int(1, q_cap);
+        break;
+      }
+    }
+
+    Time release = 0;
+    if (config.mean_interarrival > 0.0) {
+      // Exponential inter-arrival (Poisson process), rounded to ticks.
+      const double u = prng.uniform_real();
+      arrival_clock +=
+          -config.mean_interarrival * std::log(1.0 - u);
+      release = static_cast<Time>(std::llround(arrival_clock));
+    }
+
+    jobs.push_back(Job{static_cast<JobId>(i), q, p, release, ""});
+  }
+  return Instance(config.m, std::move(jobs));
+}
+
+Instance daily_cycle_workload(const DailyCycleConfig& config,
+                              std::uint64_t seed) {
+  RESCHED_REQUIRE(config.m >= 1 && config.days >= 1);
+  RESCHED_REQUIRE(config.ticks_per_day >= 24);
+  RESCHED_REQUIRE(config.p_min >= 1 && config.p_min <= config.p_max);
+  RESCHED_REQUIRE(config.alpha > Rational(0) && config.alpha <= Rational(1));
+
+  // Relative hourly intensity (0h..23h): night trough, peaks at 10h and 15h
+  // -- the canonical bimodal shape of the Parallel Workloads Archive traces.
+  static constexpr double kHourly[24] = {
+      0.2, 0.15, 0.1, 0.1, 0.1, 0.15, 0.3, 0.5, 0.8, 1.0, 1.1, 1.0,
+      0.9, 1.0,  1.1, 1.1, 1.0, 0.9,  0.7, 0.6, 0.5, 0.4, 0.3, 0.25};
+
+  Prng prng(seed);
+  const ProcCount q_cap = std::max<ProcCount>(
+      1, (config.alpha * Rational(config.m)).floor());
+
+  // Draw arrival instants by rejection against the diurnal envelope, then
+  // sort: equivalent to an inhomogeneous Poisson process conditioned on n
+  // arrivals.
+  std::vector<Time> arrivals;
+  arrivals.reserve(config.n);
+  const Time horizon = static_cast<Time>(config.days) * config.ticks_per_day;
+  while (arrivals.size() < config.n) {
+    const Time t = prng.uniform_int(0, horizon - 1);
+    const auto hour = static_cast<std::size_t>(
+        (t % config.ticks_per_day) * 24 / config.ticks_per_day);
+    if (prng.uniform_real() < kHourly[hour] / 1.1) arrivals.push_back(t);
+  }
+  std::sort(arrivals.begin(), arrivals.end());
+
+  std::vector<Job> jobs;
+  jobs.reserve(config.n);
+  for (std::size_t i = 0; i < config.n; ++i) {
+    const Time p = prng.log_uniform_int(config.p_min, config.p_max);
+    ProcCount q = 1;
+    switch (config.width) {
+      case WidthDistribution::kUniform:
+        q = prng.uniform_int(1, q_cap);
+        break;
+      case WidthDistribution::kPowersOfTwo: {
+        int max_exp = 0;
+        while ((ProcCount{1} << (max_exp + 1)) <= q_cap) ++max_exp;
+        q = ProcCount{1} << prng.uniform_int(0, max_exp);
+        break;
+      }
+      case WidthDistribution::kMostlyNarrow: {
+        const ProcCount narrow_cap = std::max<ProcCount>(1, q_cap / 8);
+        q = prng.chance(0.8) ? prng.uniform_int(1, narrow_cap)
+                             : prng.uniform_int(1, q_cap);
+        break;
+      }
+    }
+    jobs.push_back(Job{static_cast<JobId>(i), q, p, arrivals[i], ""});
+  }
+  return Instance(config.m, std::move(jobs));
+}
+
+}  // namespace resched

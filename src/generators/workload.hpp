@@ -1,0 +1,59 @@
+// Parametric random rigid-job workloads.
+//
+// The paper evaluates worst cases analytically; the empirical companions
+// (experiments E6/E7/E10) need realistic-ish synthetic workloads. The
+// defaults follow the parallel-workload-modelling folklore: log-uniform
+// runtimes (heavy tail) and power-of-two widths ("jobs ask for 2^i nodes"),
+// both standard observations from the Parallel Workloads Archive literature.
+#pragma once
+
+#include <cstdint>
+
+#include "core/instance.hpp"
+#include "util/rational.hpp"
+
+namespace resched {
+
+enum class WidthDistribution {
+  kUniform,      // q ~ U[1, q_cap]
+  kPowersOfTwo,  // q = 2^i, i ~ U, capped at q_cap
+  kMostlyNarrow, // 80% q ~ U[1, max(1, q_cap/8)], 20% q ~ U[1, q_cap]
+};
+
+struct WorkloadConfig {
+  std::size_t n = 50;
+  ProcCount m = 64;
+  Time p_min = 1;
+  Time p_max = 100;
+  bool log_uniform_p = true;  // false: uniform
+  WidthDistribution width = WidthDistribution::kPowersOfTwo;
+  // Upper bound on q as a fraction of m (alpha of section 4.2): q <= alpha*m.
+  Rational alpha{1};
+  // Mean inter-arrival time; 0 disables release times (offline instance).
+  double mean_interarrival = 0.0;
+};
+
+// Deterministic given (config, seed).
+[[nodiscard]] Instance random_workload(const WorkloadConfig& config,
+                                       std::uint64_t seed);
+
+// Daily-cycle arrival model (Feitelson-style): submission intensity follows
+// a diurnal curve -- low at night, peaking mid-morning and mid-afternoon --
+// repeated over `days` days of `ticks_per_day` ticks. Jobs are drawn with
+// the same duration/width distributions as WorkloadConfig. This is the
+// "production trace"-shaped synthetic workload for the online experiments.
+struct DailyCycleConfig {
+  std::size_t n = 200;
+  ProcCount m = 64;
+  int days = 3;
+  Time ticks_per_day = 1440;  // minutes
+  Time p_min = 1;
+  Time p_max = 240;
+  WidthDistribution width = WidthDistribution::kPowersOfTwo;
+  Rational alpha{1};
+};
+
+[[nodiscard]] Instance daily_cycle_workload(const DailyCycleConfig& config,
+                                            std::uint64_t seed);
+
+}  // namespace resched

@@ -1,0 +1,28 @@
+#include "sim/des.hpp"
+
+#include "util/checked.hpp"
+#include "util/require.hpp"
+
+namespace resched {
+
+void Simulation::at(Time time, Handler handler) {
+  RESCHED_REQUIRE_MSG(time >= now_, "cannot schedule an event in the past");
+  queue_.push(time, std::move(handler));
+}
+
+void Simulation::after(Time delay, Handler handler) {
+  RESCHED_REQUIRE(delay >= 0);
+  at(checked_add(now_, delay), std::move(handler));
+}
+
+Time Simulation::run(Time horizon) {
+  while (!queue_.empty() && queue_.next_time() <= horizon) {
+    auto [time, handler] = queue_.pop();
+    RESCHED_CHECK_MSG(time >= now_, "event queue went back in time");
+    now_ = time;
+    handler(*this);
+  }
+  return now_;
+}
+
+}  // namespace resched

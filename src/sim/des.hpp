@@ -1,0 +1,37 @@
+// Minimal discrete-event simulation kernel.
+//
+// A thin deterministic clock + handler queue. The schedulers that need
+// event-driven execution (EASY, the online batch wrapper) have their own
+// specialised loops for clarity; this kernel backs the cluster simulator and
+// is the extension point for users who want to script their own scenarios
+// (see examples/online_cluster.cpp).
+#pragma once
+
+#include <functional>
+
+#include "sim/event_queue.hpp"
+
+namespace resched {
+
+class Simulation {
+ public:
+  using Handler = std::function<void(Simulation&)>;
+
+  // Schedules a handler at an absolute time >= now().
+  void at(Time time, Handler handler);
+  // Schedules a handler `delay` ticks from now.
+  void after(Time delay, Handler handler);
+
+  [[nodiscard]] Time now() const noexcept { return now_; }
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+
+  // Runs until the queue drains (or until `horizon` when given). Handlers
+  // may schedule further events. Returns the final clock value.
+  Time run(Time horizon = kTimeInfinity);
+
+ private:
+  Time now_ = 0;
+  EventQueue<Handler> queue_;
+};
+
+}  // namespace resched

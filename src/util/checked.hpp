@@ -1,0 +1,66 @@
+// Overflow-checked 64-bit integer arithmetic.
+//
+// All schedule times in resched are int64 ticks; adversarial instances scale
+// quadratically in their parameters (e.g. fcfs_bad_instance uses durations
+// ~m^2), so intermediate products can overflow silently with plain int64.
+// Every arithmetic step that could overflow goes through these helpers, which
+// throw std::overflow_error instead of yielding UB.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+
+namespace resched {
+
+inline std::int64_t checked_add(std::int64_t a, std::int64_t b) {
+  std::int64_t r = 0;
+  if (__builtin_add_overflow(a, b, &r))
+    throw std::overflow_error("int64 addition overflow");
+  return r;
+}
+
+inline std::int64_t checked_sub(std::int64_t a, std::int64_t b) {
+  std::int64_t r = 0;
+  if (__builtin_sub_overflow(a, b, &r))
+    throw std::overflow_error("int64 subtraction overflow");
+  return r;
+}
+
+inline std::int64_t checked_mul(std::int64_t a, std::int64_t b) {
+  std::int64_t r = 0;
+  if (__builtin_mul_overflow(a, b, &r))
+    throw std::overflow_error("int64 multiplication overflow");
+  return r;
+}
+
+// Negation of INT64_MIN overflows; make it explicit.
+inline std::int64_t checked_neg(std::int64_t a) { return checked_sub(0, a); }
+
+// Floor division with sign-correct semantics (C++ '/' truncates toward zero).
+inline std::int64_t floor_div(std::int64_t a, std::int64_t b) {
+  if (b == 0) throw std::domain_error("division by zero");
+  std::int64_t q = a / b;
+  std::int64_t r = a % b;
+  return (r != 0 && ((r < 0) != (b < 0))) ? q - 1 : q;
+}
+
+// Ceiling division with sign-correct semantics.
+inline std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  if (b == 0) throw std::domain_error("division by zero");
+  std::int64_t q = a / b;
+  std::int64_t r = a % b;
+  return (r != 0 && ((r < 0) == (b < 0))) ? q + 1 : q;
+}
+
+// gcd that is safe for negative inputs (result is always non-negative).
+inline std::int64_t gcd64(std::int64_t a, std::int64_t b) {
+  // |INT64_MIN| is not representable; reduce via modulo first.
+  if (a == INT64_MIN) a = a % (b == 0 ? 1 : b);
+  if (b == INT64_MIN) b = b % (a == 0 ? 1 : a);
+  if (a < 0) a = -a;
+  if (b < 0) b = -b;
+  return std::gcd(a, b);
+}
+
+}  // namespace resched

@@ -1,0 +1,123 @@
+#include "util/cli.hpp"
+
+#include <iostream>
+#include <stdexcept>
+
+#include "util/require.hpp"
+#include "util/strings.hpp"
+
+namespace resched {
+
+CliParser::CliParser(std::string program_name, std::string description)
+    : program_(std::move(program_name)), description_(std::move(description)) {}
+
+void CliParser::add_option(const std::string& name, const std::string& help,
+                           const std::string& default_value) {
+  RESCHED_REQUIRE_MSG(!options_.count(name), "duplicate option: " + name);
+  options_[name] = Option{help, default_value, /*is_flag=*/false, {}};
+  order_.push_back(name);
+}
+
+void CliParser::add_flag(const std::string& name, const std::string& help) {
+  RESCHED_REQUIRE_MSG(!options_.count(name), "duplicate flag: " + name);
+  options_[name] = Option{help, "false", /*is_flag=*/true, {}};
+  order_.push_back(name);
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << usage();
+      return false;
+    }
+    if (!starts_with(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    const auto eq = name.find('=');
+    if (eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    auto it = options_.find(name);
+    if (it == options_.end())
+      throw std::invalid_argument("unknown option --" + name + "\n" + usage());
+    if (it->second.is_flag) {
+      if (has_value)
+        throw std::invalid_argument("flag --" + name + " takes no value");
+      it->second.value = "true";
+      continue;
+    }
+    if (!has_value) {
+      if (i + 1 >= argc)
+        throw std::invalid_argument("option --" + name + " needs a value");
+      value = argv[++i];
+    }
+    it->second.value = value;
+  }
+  return true;
+}
+
+const CliParser::Option& CliParser::find(const std::string& name) const {
+  const auto it = options_.find(name);
+  RESCHED_REQUIRE_MSG(it != options_.end(), "undeclared option: " + name);
+  return it->second;
+}
+
+std::string CliParser::get_string(const std::string& name) const {
+  const Option& opt = find(name);
+  return opt.value.value_or(opt.default_value);
+}
+
+std::int64_t CliParser::get_int(const std::string& name) const {
+  const std::string text = get_string(name);
+  try {
+    std::size_t used = 0;
+    const std::int64_t v = std::stoll(text, &used);
+    if (used != text.size()) throw std::invalid_argument(text);
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("option --" + name +
+                                " expects an integer, got '" + text + "'");
+  }
+}
+
+double CliParser::get_double(const std::string& name) const {
+  const std::string text = get_string(name);
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(text, &used);
+    if (used != text.size()) throw std::invalid_argument(text);
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("option --" + name +
+                                " expects a number, got '" + text + "'");
+  }
+}
+
+bool CliParser::get_flag(const std::string& name) const {
+  return get_string(name) == "true";
+}
+
+bool CliParser::was_set(const std::string& name) const {
+  return find(name).value.has_value();
+}
+
+std::string CliParser::usage() const {
+  std::string out = program_ + " - " + description_ + "\n\noptions:\n";
+  for (const auto& name : order_) {
+    const Option& opt = options_.at(name);
+    out += "  --" + name;
+    if (!opt.is_flag) out += "=<value> (default: " + opt.default_value + ")";
+    out += "\n      " + opt.help + "\n";
+  }
+  out += "  --help\n      show this message\n";
+  return out;
+}
+
+}  // namespace resched

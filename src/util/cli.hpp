@@ -1,0 +1,59 @@
+// Minimal command-line parser for the example binaries and sweep runners.
+//
+// Supports --key=value, --key value and boolean --flag forms, with typed
+// accessors carrying defaults. Unknown options are an error (fail fast rather
+// than silently ignoring a typo'd parameter in an experiment).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace resched {
+
+class CliParser {
+ public:
+  CliParser(std::string program_name, std::string description);
+
+  // Declares an option; `help` is shown by usage(). Declared options may be
+  // queried with the typed getters below.
+  void add_option(const std::string& name, const std::string& help,
+                  const std::string& default_value = "");
+  void add_flag(const std::string& name, const std::string& help);
+
+  // Parses argv. Returns false (after printing usage) if --help was given.
+  // Throws std::invalid_argument on unknown/malformed options.
+  bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string get_string(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] bool get_flag(const std::string& name) const;
+  [[nodiscard]] bool was_set(const std::string& name) const;
+
+  // Positional arguments in order of appearance.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  struct Option {
+    std::string help;
+    std::string default_value;
+    bool is_flag = false;
+    std::optional<std::string> value;
+  };
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Option> options_;
+  std::vector<std::string> order_;  // declaration order for usage()
+  std::vector<std::string> positional_;
+
+  const Option& find(const std::string& name) const;
+};
+
+}  // namespace resched

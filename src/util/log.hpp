@@ -1,0 +1,38 @@
+// Leveled stderr logging.
+//
+// The library itself logs nothing in normal operation (pure functions);
+// generators and the simulation kernel emit INFO/DEBUG breadcrumbs guarded by
+// the global level so long sweeps can be traced when debugging.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace resched {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Process-wide minimum level; defaults to kWarn so tests stay quiet.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+namespace detail {
+void emit(LogLevel level, const std::string& message);
+}
+
+}  // namespace resched
+
+#define RESCHED_LOG(level, expr)                                      \
+  do {                                                                \
+    if (static_cast<int>(level) >=                                    \
+        static_cast<int>(::resched::log_level())) {                   \
+      std::ostringstream resched_log_stream;                          \
+      resched_log_stream << expr;                                     \
+      ::resched::detail::emit(level, resched_log_stream.str());       \
+    }                                                                 \
+  } while (false)
+
+#define RESCHED_DEBUG(expr) RESCHED_LOG(::resched::LogLevel::kDebug, expr)
+#define RESCHED_INFO(expr) RESCHED_LOG(::resched::LogLevel::kInfo, expr)
+#define RESCHED_WARN(expr) RESCHED_LOG(::resched::LogLevel::kWarn, expr)
+#define RESCHED_ERROR(expr) RESCHED_LOG(::resched::LogLevel::kError, expr)

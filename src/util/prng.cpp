@@ -1,0 +1,87 @@
+#include "util/prng.hpp"
+
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace resched {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Prng::Prng(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& word : state_) word = splitmix64(sm);
+}
+
+std::uint64_t Prng::next_u64() noexcept {
+  // xoshiro256** core step.
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::int64_t Prng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  RESCHED_REQUIRE(lo <= hi);
+  const std::uint64_t range =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (range == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>(next_u64());
+  }
+  // Rejection sampling: draw until below the largest multiple of `range`.
+  const std::uint64_t limit = UINT64_MAX - (UINT64_MAX % range + 1) % range;
+  std::uint64_t draw = next_u64();
+  while (draw > limit) draw = next_u64();
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) +
+                                   draw % range);
+}
+
+double Prng::uniform_real() noexcept {
+  // 53 uniform mantissa bits -> [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Prng::uniform_real(double lo, double hi) {
+  RESCHED_REQUIRE(lo < hi);
+  return lo + (hi - lo) * uniform_real();
+}
+
+std::int64_t Prng::log_uniform_int(std::int64_t lo, std::int64_t hi) {
+  RESCHED_REQUIRE(lo >= 1 && lo <= hi);
+  if (lo == hi) return lo;
+  const double u =
+      uniform_real(std::log(static_cast<double>(lo)),
+                   std::log(static_cast<double>(hi) + 1.0));
+  auto value = static_cast<std::int64_t>(std::floor(std::exp(u)));
+  if (value < lo) value = lo;
+  if (value > hi) value = hi;
+  return value;
+}
+
+bool Prng::chance(double probability) {
+  RESCHED_REQUIRE(probability >= 0.0 && probability <= 1.0);
+  return uniform_real() < probability;
+}
+
+std::uint64_t Prng::fork_seed() noexcept { return next_u64(); }
+
+}  // namespace resched

@@ -1,0 +1,124 @@
+#include "util/rational.hpp"
+
+#include <ostream>
+#include <stdexcept>
+
+#include "util/checked.hpp"
+#include "util/require.hpp"
+
+namespace resched {
+
+Rational::Rational(std::int64_t numerator, std::int64_t denominator)
+    : num_(numerator), den_(denominator) {
+  RESCHED_REQUIRE_MSG(denominator != 0, "rational with zero denominator");
+  normalize();
+}
+
+void Rational::normalize() {
+  if (den_ < 0) {
+    num_ = checked_neg(num_);
+    den_ = checked_neg(den_);
+  }
+  const std::int64_t g = gcd64(num_, den_);
+  if (g > 1) {
+    num_ /= g;
+    den_ /= g;
+  }
+  if (num_ == 0) den_ = 1;
+}
+
+Rational Rational::operator-() const {
+  Rational r;
+  r.num_ = checked_neg(num_);
+  r.den_ = den_;
+  return r;
+}
+
+Rational& Rational::operator+=(const Rational& other) {
+  // Reduce cross terms first to delay overflow: a/b + c/d with g = gcd(b, d)
+  // = (a*(d/g) + c*(b/g)) / (b/g*d).
+  const std::int64_t g = gcd64(den_, other.den_);
+  const std::int64_t lhs = checked_mul(num_, other.den_ / g);
+  const std::int64_t rhs = checked_mul(other.num_, den_ / g);
+  num_ = checked_add(lhs, rhs);
+  den_ = checked_mul(den_ / g, other.den_);
+  normalize();
+  return *this;
+}
+
+Rational& Rational::operator-=(const Rational& other) { return *this += -other; }
+
+Rational& Rational::operator*=(const Rational& other) {
+  // Cross-cancel before multiplying to keep intermediates small.
+  const std::int64_t g1 = gcd64(num_, other.den_);
+  const std::int64_t g2 = gcd64(other.num_, den_);
+  num_ = checked_mul(num_ / g1, other.num_ / g2);
+  den_ = checked_mul(den_ / g2, other.den_ / g1);
+  normalize();
+  return *this;
+}
+
+Rational& Rational::operator/=(const Rational& other) {
+  RESCHED_REQUIRE_MSG(other.num_ != 0, "rational division by zero");
+  Rational inverse;
+  inverse.num_ = other.den_;
+  inverse.den_ = other.num_;
+  if (inverse.den_ < 0) {
+    inverse.num_ = checked_neg(inverse.num_);
+    inverse.den_ = checked_neg(inverse.den_);
+  }
+  return *this *= inverse;
+}
+
+std::strong_ordering operator<=>(const Rational& a, const Rational& b) {
+  // a/b <=> c/d  iff  a*d <=> c*b (denominators positive by invariant).
+  const std::int64_t lhs = checked_mul(a.num_, b.den_);
+  const std::int64_t rhs = checked_mul(b.num_, a.den_);
+  return lhs <=> rhs;
+}
+
+double Rational::to_double() const noexcept {
+  return static_cast<double>(num_) / static_cast<double>(den_);
+}
+
+std::string Rational::to_string() const {
+  if (den_ == 1) return std::to_string(num_);
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+Rational Rational::abs() const { return num_ < 0 ? -*this : *this; }
+
+std::int64_t Rational::floor() const { return floor_div(num_, den_); }
+
+std::int64_t Rational::ceil() const { return ceil_div(num_, den_); }
+
+Rational Rational::parse(const std::string& text) {
+  RESCHED_REQUIRE_MSG(!text.empty(), "empty rational literal");
+  const auto slash = text.find('/');
+  try {
+    if (slash != std::string::npos) {
+      const std::int64_t p = std::stoll(text.substr(0, slash));
+      const std::int64_t q = std::stoll(text.substr(slash + 1));
+      return Rational(p, q);
+    }
+    const auto dot = text.find('.');
+    if (dot == std::string::npos) return Rational(std::stoll(text));
+    // Decimal: sign * (int_part + frac_part / 10^k).
+    std::string digits = text.substr(0, dot) + text.substr(dot + 1);
+    const std::size_t frac_len = text.size() - dot - 1;
+    RESCHED_REQUIRE_MSG(frac_len > 0, "trailing decimal point");
+    std::int64_t den = 1;
+    for (std::size_t i = 0; i < frac_len; ++i) den = checked_mul(den, 10);
+    return Rational(std::stoll(digits), den);
+  } catch (const std::invalid_argument&) {
+    throw std::invalid_argument("malformed rational literal: " + text);
+  } catch (const std::out_of_range&) {
+    throw std::invalid_argument("rational literal out of range: " + text);
+  }
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& r) {
+  return os << r.to_string();
+}
+
+}  // namespace resched

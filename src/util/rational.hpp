@@ -1,0 +1,69 @@
+// Exact rational arithmetic over checked 64-bit integers.
+//
+// Used wherever the paper's analysis is exact: performance ratios
+// (C_LSRC / C*), guarantee curves (2 - 1/m, 2/alpha, B1, B2) and the
+// closed-form optima of the adversarial instances. Keeping these in exact
+// arithmetic lets tests assert e.g. ratio == 31/6 for the paper's Figure 3
+// instance instead of comparing doubles.
+//
+// Invariant: den > 0 and gcd(|num|, den) == 1 (canonical form), so operator==
+// is plain member comparison and Rational is usable as a map key.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace resched {
+
+class Rational {
+ public:
+  constexpr Rational() noexcept : num_(0), den_(1) {}
+  // Implicit from integers on purpose: bounds code reads naturally
+  // (e.g. `Rational(2) - Rational(1, m)`).
+  constexpr Rational(std::int64_t value) noexcept : num_(value), den_(1) {}
+  Rational(std::int64_t numerator, std::int64_t denominator);
+
+  [[nodiscard]] constexpr std::int64_t num() const noexcept { return num_; }
+  [[nodiscard]] constexpr std::int64_t den() const noexcept { return den_; }
+
+  [[nodiscard]] Rational operator-() const;
+  Rational& operator+=(const Rational& other);
+  Rational& operator-=(const Rational& other);
+  Rational& operator*=(const Rational& other);
+  Rational& operator/=(const Rational& other);
+
+  friend Rational operator+(Rational a, const Rational& b) { return a += b; }
+  friend Rational operator-(Rational a, const Rational& b) { return a -= b; }
+  friend Rational operator*(Rational a, const Rational& b) { return a *= b; }
+  friend Rational operator/(Rational a, const Rational& b) { return a /= b; }
+
+  friend bool operator==(const Rational& a, const Rational& b) noexcept {
+    return a.num_ == b.num_ && a.den_ == b.den_;
+  }
+  friend std::strong_ordering operator<=>(const Rational& a, const Rational& b);
+
+  [[nodiscard]] double to_double() const noexcept;
+  // Canonical "p/q" (or just "p" when q == 1).
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] Rational abs() const;
+  // Largest integer <= value / smallest integer >= value.
+  [[nodiscard]] std::int64_t floor() const;
+  [[nodiscard]] std::int64_t ceil() const;
+  [[nodiscard]] bool is_integer() const noexcept { return den_ == 1; }
+
+  // Parses "p", "p/q" or a plain decimal like "0.25". Throws on malformed
+  // input.
+  static Rational parse(const std::string& text);
+
+ private:
+  std::int64_t num_;
+  std::int64_t den_;
+  void normalize();
+};
+
+std::ostream& operator<<(std::ostream& os, const Rational& r);
+
+}  // namespace resched

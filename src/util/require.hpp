@@ -1,0 +1,59 @@
+// Precondition / invariant checking for the resched library.
+//
+// The library follows the C++ Core Guidelines convention (I.5/I.6): interface
+// preconditions are enforced at the boundary and violations are programming
+// errors. We throw std::invalid_argument (user-facing input) or
+// std::logic_error (internal invariant) so tests can assert on them; hot
+// inner loops use RESCHED_ASSERT which compiles out in NDEBUG builds.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace resched {
+
+[[noreturn]] inline void fail_requirement(const char* expr, const char* file,
+                                          int line, const std::string& msg) {
+  throw std::invalid_argument(std::string("requirement failed: ") + expr +
+                              " at " + file + ":" + std::to_string(line) +
+                              (msg.empty() ? "" : (": " + msg)));
+}
+
+[[noreturn]] inline void fail_invariant(const char* expr, const char* file,
+                                        int line, const std::string& msg) {
+  throw std::logic_error(std::string("invariant violated: ") + expr + " at " +
+                         file + ":" + std::to_string(line) +
+                         (msg.empty() ? "" : (": " + msg)));
+}
+
+}  // namespace resched
+
+// Boundary precondition: always on.
+#define RESCHED_REQUIRE(expr)                                         \
+  do {                                                                \
+    if (!(expr)) ::resched::fail_requirement(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define RESCHED_REQUIRE_MSG(expr, msg)                                \
+  do {                                                                \
+    if (!(expr)) ::resched::fail_requirement(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+// Internal invariant: always on (schedulers are cheap relative to the cost of
+// silently producing an infeasible schedule).
+#define RESCHED_CHECK(expr)                                           \
+  do {                                                                \
+    if (!(expr)) ::resched::fail_invariant(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define RESCHED_CHECK_MSG(expr, msg)                                  \
+  do {                                                                \
+    if (!(expr)) ::resched::fail_invariant(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+// Hot-path assertion, compiled out in NDEBUG.
+#ifdef NDEBUG
+#define RESCHED_ASSERT(expr) ((void)0)
+#else
+#define RESCHED_ASSERT(expr) RESCHED_CHECK(expr)
+#endif

@@ -1,0 +1,40 @@
+// Streaming and batch summary statistics for experiment harnesses.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace resched {
+
+// Welford's online algorithm: numerically stable single-pass mean/variance.
+class OnlineStats {
+ public:
+  void add(double value) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  // Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+  // Pools two accumulators (Chan et al. parallel combination).
+  void merge(const OnlineStats& other) noexcept;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Percentile with linear interpolation between closest ranks; q in [0, 1].
+// Copies and sorts internally (batch use only). Requires non-empty input.
+[[nodiscard]] double percentile(std::vector<double> values, double q);
+
+}  // namespace resched

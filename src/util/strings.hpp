@@ -1,0 +1,26 @@
+// Small string helpers shared by I/O, CLI and table code.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace resched {
+
+// Splits on a single character; keeps empty fields ("a,,b" -> 3 fields).
+[[nodiscard]] std::vector<std::string> split(std::string_view text, char sep);
+
+// Splits on runs of whitespace; drops empty fields.
+[[nodiscard]] std::vector<std::string> split_ws(std::string_view text);
+
+[[nodiscard]] std::string_view trim(std::string_view text);
+
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+[[nodiscard]] bool starts_with(std::string_view text, std::string_view prefix);
+
+// Fixed-precision double formatting ("%.*f").
+[[nodiscard]] std::string format_double(double value, int precision);
+
+}  // namespace resched

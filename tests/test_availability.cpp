@@ -1,0 +1,108 @@
+#include "core/availability.hpp"
+
+#include <gtest/gtest.h>
+
+namespace resched {
+namespace {
+
+Instance reserved_instance() {
+  // m = 10; U: [0,5)=3, [5,8)=3+2=5 ... build: r0 = 3 procs on [0,8),
+  // r1 = 2 procs on [5, 8). U = 3 on [0,5), 5 on [5,8), 0 after.
+  return Instance(10, {Job{0, 4, 3, 0, ""}},
+                  {Reservation{0, 3, 8, 0, ""}, Reservation{1, 2, 3, 5, ""}});
+}
+
+TEST(Availability, UnavailabilityProfile) {
+  const StepProfile u = unavailability_profile(reserved_instance());
+  EXPECT_EQ(u.value_at(0), 3);
+  EXPECT_EQ(u.value_at(4), 3);
+  EXPECT_EQ(u.value_at(5), 5);
+  EXPECT_EQ(u.value_at(7), 5);
+  EXPECT_EQ(u.value_at(8), 0);
+}
+
+TEST(Availability, AvailabilityIsComplement) {
+  const Instance instance = reserved_instance();
+  const StepProfile m_t = availability_profile(instance);
+  const StepProfile u = unavailability_profile(instance);
+  for (const Time t : {Time{0}, Time{4}, Time{5}, Time{7}, Time{8}, Time{20}})
+    EXPECT_EQ(m_t.value_at(t) + u.value_at(t), instance.m());
+}
+
+TEST(Availability, NoReservationsIsConstant) {
+  const Instance instance(6, {Job{0, 1, 1, 0, ""}});
+  EXPECT_EQ(availability_profile(instance), StepProfile(6));
+  EXPECT_TRUE(has_non_increasing_unavailability(instance));
+}
+
+TEST(Availability, NonIncreasingDetection) {
+  // Nested blocks starting at 0: U = 5 on [0,3), 2 on [3,7), 0 after.
+  const Instance staircase(8, {},
+                           {Reservation{0, 3, 3, 0, ""},
+                            Reservation{1, 2, 7, 0, ""}});
+  EXPECT_TRUE(has_non_increasing_unavailability(staircase));
+  // A reservation starting later breaks monotonicity.
+  const Instance bump(8, {}, {Reservation{0, 3, 3, 5, ""}});
+  EXPECT_FALSE(has_non_increasing_unavailability(bump));
+}
+
+TEST(Availability, MinAvailabilityAndAt) {
+  const Instance instance = reserved_instance();
+  EXPECT_EQ(min_availability(instance), 5);  // during [5,8)
+  EXPECT_EQ(availability_at(instance, 0), 7);
+  EXPECT_EQ(availability_at(instance, 6), 5);
+  EXPECT_EQ(availability_at(instance, 100), 10);
+}
+
+TEST(Availability, Fractions) {
+  const Instance instance = reserved_instance();
+  EXPECT_EQ(max_reserved_fraction(instance), Rational(1, 2));  // 5/10
+  EXPECT_EQ(max_job_fraction(instance), Rational(2, 5));       // 4/10
+}
+
+TEST(Availability, AlphaRestriction) {
+  const Instance instance = reserved_instance();
+  // alpha = 1/2: U <= (1-alpha)m = 5 (holds, max U = 5); q <= alpha m = 5
+  // (holds, q_max = 4).
+  EXPECT_TRUE(is_alpha_restricted(instance, Rational(1, 2)));
+  // alpha = 2/5: q <= 4 holds, but U <= 6 also holds -> check fails on U?
+  // (1-2/5)*10 = 6 >= 5 holds, so alpha = 2/5 is also valid.
+  EXPECT_TRUE(is_alpha_restricted(instance, Rational(2, 5)));
+  // alpha = 3/5: U cap (1-3/5)*10 = 4 < 5 -> violated.
+  EXPECT_FALSE(is_alpha_restricted(instance, Rational(3, 5)));
+  // alpha = 1/5: job cap 2 < 4 -> violated.
+  EXPECT_FALSE(is_alpha_restricted(instance, Rational(1, 5)));
+  EXPECT_THROW(is_alpha_restricted(instance, Rational(0)),
+               std::invalid_argument);
+}
+
+TEST(Availability, BestAlpha) {
+  const Instance instance = reserved_instance();
+  const auto alpha = best_alpha(instance);
+  ASSERT_TRUE(alpha.has_value());
+  EXPECT_EQ(*alpha, Rational(1, 2));
+  EXPECT_TRUE(is_alpha_restricted(instance, *alpha));
+}
+
+TEST(Availability, BestAlphaNoneWhenJobTooWide) {
+  // Peak reservation leaves 2 processors but a job needs 5.
+  const Instance instance(8, {Job{0, 5, 1, 0, ""}},
+                          {Reservation{0, 6, 4, 0, ""}});
+  EXPECT_FALSE(best_alpha(instance).has_value());
+}
+
+TEST(Availability, BestAlphaNoneWhenFullyReserved) {
+  const Instance instance(4, {Job{0, 1, 1, 0, ""}},
+                          {Reservation{0, 4, 2, 0, ""}});
+  EXPECT_FALSE(best_alpha(instance).has_value());
+}
+
+TEST(Availability, BestAlphaOneForRigidOnly) {
+  const Instance instance(4, {Job{0, 4, 1, 0, ""}});
+  const auto alpha = best_alpha(instance);
+  ASSERT_TRUE(alpha.has_value());
+  EXPECT_EQ(*alpha, Rational(1));
+}
+
+}  // namespace
+}  // namespace resched

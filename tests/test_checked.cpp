@@ -1,0 +1,94 @@
+#include "util/checked.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+namespace resched {
+namespace {
+
+constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+
+TEST(Checked, AddBasic) {
+  EXPECT_EQ(checked_add(2, 3), 5);
+  EXPECT_EQ(checked_add(-2, 3), 1);
+  EXPECT_EQ(checked_add(kMax - 1, 1), kMax);
+}
+
+TEST(Checked, AddOverflowThrows) {
+  EXPECT_THROW(checked_add(kMax, 1), std::overflow_error);
+  EXPECT_THROW(checked_add(kMin, -1), std::overflow_error);
+}
+
+TEST(Checked, SubBasic) {
+  EXPECT_EQ(checked_sub(5, 3), 2);
+  EXPECT_EQ(checked_sub(kMin + 1, 1), kMin);
+}
+
+TEST(Checked, SubOverflowThrows) {
+  EXPECT_THROW(checked_sub(kMin, 1), std::overflow_error);
+  EXPECT_THROW(checked_sub(kMax, -1), std::overflow_error);
+}
+
+TEST(Checked, MulBasic) {
+  EXPECT_EQ(checked_mul(6, 7), 42);
+  EXPECT_EQ(checked_mul(-6, 7), -42);
+  EXPECT_EQ(checked_mul(0, kMax), 0);
+}
+
+TEST(Checked, MulOverflowThrows) {
+  EXPECT_THROW(checked_mul(kMax / 2 + 1, 2), std::overflow_error);
+  EXPECT_THROW(checked_mul(kMin, -1), std::overflow_error);
+}
+
+TEST(Checked, NegHandlesIntMin) {
+  EXPECT_EQ(checked_neg(5), -5);
+  EXPECT_EQ(checked_neg(-5), 5);
+  EXPECT_THROW(checked_neg(kMin), std::overflow_error);
+}
+
+TEST(Checked, FloorDivRoundsTowardNegativeInfinity) {
+  EXPECT_EQ(floor_div(7, 2), 3);
+  EXPECT_EQ(floor_div(-7, 2), -4);
+  EXPECT_EQ(floor_div(7, -2), -4);
+  EXPECT_EQ(floor_div(-7, -2), 3);
+  EXPECT_EQ(floor_div(6, 3), 2);
+}
+
+TEST(Checked, CeilDivRoundsTowardPositiveInfinity) {
+  EXPECT_EQ(ceil_div(7, 2), 4);
+  EXPECT_EQ(ceil_div(-7, 2), -3);
+  EXPECT_EQ(ceil_div(7, -2), -3);
+  EXPECT_EQ(ceil_div(-7, -2), 4);
+  EXPECT_EQ(ceil_div(6, 3), 2);
+}
+
+TEST(Checked, DivisionByZeroThrows) {
+  EXPECT_THROW(floor_div(1, 0), std::domain_error);
+  EXPECT_THROW(ceil_div(1, 0), std::domain_error);
+}
+
+TEST(Checked, GcdNonNegative) {
+  EXPECT_EQ(gcd64(12, 18), 6);
+  EXPECT_EQ(gcd64(-12, 18), 6);
+  EXPECT_EQ(gcd64(12, -18), 6);
+  EXPECT_EQ(gcd64(0, 5), 5);
+  EXPECT_EQ(gcd64(0, 0), 0);
+}
+
+// Floor/ceil division must be consistent: ceil(a/b) - floor(a/b) is 1 when b
+// does not divide a and 0 otherwise.
+TEST(Checked, FloorCeilConsistency) {
+  for (std::int64_t a = -20; a <= 20; ++a) {
+    for (std::int64_t b = -5; b <= 5; ++b) {
+      if (b == 0) continue;
+      const std::int64_t diff = ceil_div(a, b) - floor_div(a, b);
+      EXPECT_EQ(diff, a % b == 0 ? 0 : 1) << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace resched

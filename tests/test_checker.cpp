@@ -1,0 +1,157 @@
+#include "bounds/checker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algorithms/fcfs.hpp"
+#include "algorithms/lsrc.hpp"
+#include "exact/bnb.hpp"
+#include "generators/adversarial.hpp"
+#include "generators/workload.hpp"
+
+namespace resched {
+namespace {
+
+TEST(Checker, RigidInstanceGetsGrahamGuarantee) {
+  const Instance instance(4, {Job{0, 2, 3, 0, ""}, Job{1, 2, 3, 0, ""}});
+  const Schedule schedule = LsrcScheduler().schedule(instance);
+  const GuaranteeReport report = check_guarantee(instance, schedule);
+  EXPECT_TRUE(report.has_guarantee);
+  EXPECT_EQ(report.bound, Rational(7, 4));
+  EXPECT_NE(report.guarantee.find("Theorem 2"), std::string::npos);
+  EXPECT_EQ(report.compliance, Compliance::kProven);
+}
+
+TEST(Checker, AlphaRestrictedGetsProp3Guarantee) {
+  // m=8, reservation of 4 (alpha = 1/2), jobs q <= 4.
+  const Instance instance(8, {Job{0, 4, 3, 0, ""}, Job{1, 2, 5, 0, ""}},
+                          {Reservation{0, 4, 10, 4, ""}});
+  const Schedule schedule = LsrcScheduler().schedule(instance);
+  const GuaranteeReport report = check_guarantee(instance, schedule);
+  EXPECT_TRUE(report.has_guarantee);
+  EXPECT_EQ(report.bound, Rational(4));  // 2 / (1/2)
+  EXPECT_NE(report.guarantee.find("Prop. 3"), std::string::npos);
+}
+
+TEST(Checker, UnrestrictedReservationsHaveNoGuarantee) {
+  // A full-machine reservation (alpha = 0) that is not non-increasing.
+  const Instance instance(2, {Job{0, 1, 2, 0, ""}},
+                          {Reservation{0, 2, 5, 3, ""}});
+  const Schedule schedule = LsrcScheduler().schedule(instance);
+  const GuaranteeReport report = check_guarantee(instance, schedule);
+  EXPECT_FALSE(report.has_guarantee);
+  EXPECT_NE(report.guarantee.find("Theorem 1"), std::string::npos);
+  EXPECT_EQ(report.compliance, Compliance::kInconclusive);
+}
+
+TEST(Checker, NonIncreasingGetsProp1WeakForm) {
+  // Staircase reservations with a job too wide for alpha-restriction
+  // (q = 6 > remaining 2 at peak).
+  const Instance instance(8, {Job{0, 6, 3, 0, ""}},
+                          {Reservation{0, 6, 4, 0, ""}});
+  const Schedule schedule = LsrcScheduler().schedule(instance);
+  const GuaranteeReport report = check_guarantee(instance, schedule);
+  EXPECT_TRUE(report.has_guarantee);
+  EXPECT_NE(report.guarantee.find("Prop. 1"), std::string::npos);
+  EXPECT_EQ(report.bound, Rational(15, 8));  // 2 - 1/8
+}
+
+TEST(Checker, InfeasibleScheduleIsViolated) {
+  const Instance instance(2, {Job{0, 2, 2, 0, ""}, Job{1, 2, 2, 0, ""}});
+  Schedule schedule(2);
+  schedule.set_start(0, 0);
+  schedule.set_start(1, 0);
+  const GuaranteeReport report = check_guarantee(instance, schedule);
+  EXPECT_EQ(report.compliance, Compliance::kViolated);
+  EXPECT_NE(report.detail.find("infeasible"), std::string::npos);
+}
+
+TEST(Checker, ExactReferenceEnablesViolationDetection) {
+  // Hand the checker a fake "exact optimum" that makes the ratio exceed the
+  // bound: with reference_is_exact it must report kViolated.
+  const Instance instance(2, {Job{0, 1, 10, 0, ""}});
+  Schedule schedule(1);
+  schedule.set_start(0, 100);  // terrible but feasible schedule
+  const GuaranteeReport exact = check_guarantee(instance, schedule, Time{10});
+  EXPECT_EQ(exact.compliance, Compliance::kViolated);
+  // With only the lower bound the same situation is inconclusive.
+  const GuaranteeReport lb = check_guarantee(instance, schedule);
+  EXPECT_EQ(lb.compliance, Compliance::kInconclusive);
+}
+
+TEST(Checker, UsesExactOptimumWhenGiven) {
+  const Instance instance(4, {Job{0, 2, 3, 0, ""}, Job{1, 2, 3, 0, ""}});
+  const Schedule schedule = LsrcScheduler().schedule(instance);
+  const Time opt = optimal_makespan(instance);
+  const GuaranteeReport report = check_guarantee(instance, schedule, opt);
+  EXPECT_TRUE(report.reference_is_exact);
+  EXPECT_EQ(report.reference, opt);
+  EXPECT_EQ(report.compliance, Compliance::kProven);
+}
+
+TEST(Checker, ComplianceToString) {
+  EXPECT_EQ(to_string(Compliance::kProven), "proven");
+  EXPECT_EQ(to_string(Compliance::kInconclusive), "inconclusive");
+  EXPECT_EQ(to_string(Compliance::kViolated), "VIOLATED");
+}
+
+TEST(Lemma1, HoldsOnLsrcSchedules) {
+  const GrahamTightFamily family = graham_tight_instance(4);
+  const Schedule schedule =
+      LsrcScheduler(family.bad_order).schedule(family.instance);
+  const Lemma1Report report = check_lemma1(family.instance, schedule);
+  EXPECT_TRUE(report.holds);
+}
+
+TEST(Lemma1, DetectsViolationOnNonListSchedule) {
+  // A deliberately wasteful schedule: two unit jobs placed far apart leave
+  // the machine empty in between -- r(t) + r(t') = 2 <= m for the pair.
+  const Instance instance(2, {Job{0, 1, 1, 0, ""}, Job{1, 1, 1, 0, ""}});
+  Schedule schedule(2);
+  schedule.set_start(0, 0);
+  schedule.set_start(1, 10);
+  const Lemma1Report report = check_lemma1(instance, schedule);
+  EXPECT_FALSE(report.holds);
+  EXPECT_GE(report.t_prime, report.t + instance.p_max());
+  EXPECT_LE(report.r_sum, instance.m());
+}
+
+TEST(Lemma1, TrivialWhenMakespanShort) {
+  // makespan <= p_max: no admissible pair, lemma holds vacuously.
+  const Instance instance(2, {Job{0, 2, 5, 0, ""}});
+  Schedule schedule(1);
+  schedule.set_start(0, 0);
+  EXPECT_TRUE(check_lemma1(instance, schedule).holds);
+}
+
+TEST(Lemma1, RejectsReservedInstances) {
+  const Instance instance(2, {Job{0, 1, 1, 0, ""}},
+                          {Reservation{0, 1, 1, 0, ""}});
+  Schedule schedule(1);
+  schedule.set_start(0, 1);
+  EXPECT_THROW(check_lemma1(instance, schedule), std::invalid_argument);
+}
+
+// Property: Lemma 1 holds for LSRC under every priority order on random
+// rigid instances (it is a theorem about *any* list schedule).
+class Lemma1Property : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Lemma1Property, HoldsForAllOrders) {
+  WorkloadConfig config;
+  config.n = 20;
+  config.m = 8;
+  config.p_max = 20;
+  const Instance instance = random_workload(config, GetParam());
+  for (const ListOrder order : all_list_orders()) {
+    const Schedule schedule = LsrcScheduler(order, 7).schedule(instance);
+    const Lemma1Report report = check_lemma1(instance, schedule);
+    EXPECT_TRUE(report.holds)
+        << to_string(order) << ": r(" << report.t << ") + r("
+        << report.t_prime << ") = " << report.r_sum << " <= m";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Lemma1Property,
+                         ::testing::Values(301, 302, 303, 304, 305));
+
+}  // namespace
+}  // namespace resched

@@ -1,0 +1,128 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace resched {
+namespace {
+
+std::vector<const char*> argv_of(std::initializer_list<const char*> args) {
+  return {args.begin(), args.end()};
+}
+
+TEST(Cli, DefaultsApplyWhenUnset) {
+  CliParser cli("prog", "test");
+  cli.add_option("n", "count", "42");
+  const auto argv = argv_of({"prog"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(cli.get_int("n"), 42);
+  EXPECT_FALSE(cli.was_set("n"));
+}
+
+TEST(Cli, EqualsForm) {
+  CliParser cli("prog", "test");
+  cli.add_option("n", "count", "0");
+  const auto argv = argv_of({"prog", "--n=7"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(cli.get_int("n"), 7);
+  EXPECT_TRUE(cli.was_set("n"));
+}
+
+TEST(Cli, SpaceForm) {
+  CliParser cli("prog", "test");
+  cli.add_option("name", "label", "");
+  const auto argv = argv_of({"prog", "--name", "hello"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(cli.get_string("name"), "hello");
+}
+
+TEST(Cli, Flags) {
+  CliParser cli("prog", "test");
+  cli.add_flag("verbose", "noise");
+  const auto argv = argv_of({"prog", "--verbose"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_TRUE(cli.get_flag("verbose"));
+}
+
+TEST(Cli, FlagDefaultsFalse) {
+  CliParser cli("prog", "test");
+  cli.add_flag("verbose", "noise");
+  const auto argv = argv_of({"prog"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_FALSE(cli.get_flag("verbose"));
+}
+
+TEST(Cli, UnknownOptionThrows) {
+  CliParser cli("prog", "test");
+  const auto argv = argv_of({"prog", "--nope=1"});
+  EXPECT_THROW(cli.parse(static_cast<int>(argv.size()), argv.data()),
+               std::invalid_argument);
+}
+
+TEST(Cli, MissingValueThrows) {
+  CliParser cli("prog", "test");
+  cli.add_option("n", "count", "0");
+  const auto argv = argv_of({"prog", "--n"});
+  EXPECT_THROW(cli.parse(static_cast<int>(argv.size()), argv.data()),
+               std::invalid_argument);
+}
+
+TEST(Cli, TypeErrorsThrow) {
+  CliParser cli("prog", "test");
+  cli.add_option("n", "count", "0");
+  const auto argv = argv_of({"prog", "--n=abc"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_THROW(cli.get_int("n"), std::invalid_argument);
+}
+
+TEST(Cli, DoubleParsing) {
+  CliParser cli("prog", "test");
+  cli.add_option("x", "value", "0.5");
+  const auto argv = argv_of({"prog", "--x=2.25"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_DOUBLE_EQ(cli.get_double("x"), 2.25);
+}
+
+TEST(Cli, PositionalCollected) {
+  CliParser cli("prog", "test");
+  cli.add_option("n", "count", "0");
+  const auto argv = argv_of({"prog", "file1", "--n=1", "file2"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "file1");
+  EXPECT_EQ(cli.positional()[1], "file2");
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  CliParser cli("prog", "test");
+  const auto argv = argv_of({"prog", "--help"});
+  ::testing::internal::CaptureStdout();
+  EXPECT_FALSE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("options:"), std::string::npos);
+}
+
+TEST(Cli, UsageMentionsDeclaredOptions) {
+  CliParser cli("prog", "does things");
+  cli.add_option("alpha", "restriction parameter", "0.5");
+  cli.add_flag("csv", "emit CSV");
+  const std::string usage = cli.usage();
+  EXPECT_NE(usage.find("--alpha"), std::string::npos);
+  EXPECT_NE(usage.find("--csv"), std::string::npos);
+  EXPECT_NE(usage.find("restriction parameter"), std::string::npos);
+}
+
+TEST(Cli, DuplicateDeclarationThrows) {
+  CliParser cli("prog", "test");
+  cli.add_option("n", "count", "0");
+  EXPECT_THROW(cli.add_option("n", "again", "1"), std::invalid_argument);
+}
+
+TEST(Cli, UndeclaredQueryThrows) {
+  CliParser cli("prog", "test");
+  EXPECT_THROW(cli.get_string("ghost"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace resched

@@ -1,0 +1,107 @@
+#include "algorithms/compaction.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algorithms/fcfs.hpp"
+#include "algorithms/lsrc.hpp"
+#include "algorithms/scheduler.hpp"
+#include "generators/reservations.hpp"
+#include "generators/workload.hpp"
+
+namespace resched {
+namespace {
+
+TEST(Compaction, ShiftsAnArtificiallyDelayedSchedule) {
+  const Instance instance(2, {Job{0, 1, 3, 0, ""}, Job{1, 1, 2, 0, ""}});
+  Schedule padded(2);
+  padded.set_start(0, 10);
+  padded.set_start(1, 20);
+  const CompactionResult result = compact_schedule(instance, padded);
+  EXPECT_EQ(result.schedule.start(0), 0);
+  EXPECT_EQ(result.schedule.start(1), 0);
+  EXPECT_EQ(result.moved_jobs, 2);
+  EXPECT_EQ(result.makespan_before, 22);
+  EXPECT_EQ(result.makespan_after, 3);
+}
+
+TEST(Compaction, RespectsReleasesAndReservations) {
+  const Instance instance(2, {Job{0, 2, 2, 5, ""}},
+                          {Reservation{0, 2, 3, 8, ""}});
+  Schedule late(1);
+  late.set_start(0, 20);
+  const CompactionResult result = compact_schedule(instance, late);
+  // Earliest legal start: release 5, and [5,7) clears the reservation [8,11).
+  EXPECT_EQ(result.schedule.start(0), 5);
+  EXPECT_TRUE(result.schedule.validate(instance).ok);
+}
+
+TEST(Compaction, RejectsInfeasibleInput) {
+  const Instance instance(1, {Job{0, 1, 2, 0, ""}, Job{1, 1, 2, 0, ""}});
+  Schedule bad(2);
+  bad.set_start(0, 0);
+  bad.set_start(1, 1);
+  EXPECT_THROW(compact_schedule(instance, bad), std::invalid_argument);
+}
+
+// LSRC schedules are active: compaction must be the identity on them, for
+// every priority order (this is the dominance argument behind the exact
+// solver, checked mechanically).
+class CompactionOnLsrc : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CompactionOnLsrc, LsrcSchedulesAreFixedPoints) {
+  WorkloadConfig config;
+  config.n = 30;
+  config.m = 10;
+  config.alpha = Rational(1, 2);
+  const Instance base = random_workload(config, GetParam());
+  AlphaReservationConfig resa;
+  resa.alpha = Rational(1, 2);
+  const Instance instance =
+      with_alpha_restricted_reservations(base, resa, GetParam() + 3);
+  for (const ListOrder order :
+       {ListOrder::kSubmission, ListOrder::kLpt, ListOrder::kWidest}) {
+    const Schedule schedule = LsrcScheduler(order, 5).schedule(instance);
+    const CompactionResult result = compact_schedule(instance, schedule);
+    EXPECT_EQ(result.moved_jobs, 0) << to_string(order);
+    EXPECT_EQ(result.schedule, schedule) << to_string(order);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompactionOnLsrc,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+// Safety across every scheduler and instance class: compaction never
+// increases the makespan, output is always feasible, and compaction is
+// idempotent.
+class CompactionSafety : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CompactionSafety, NeverWorseFeasibleIdempotent) {
+  WorkloadConfig config;
+  config.n = 25;
+  config.m = 8;
+  config.mean_interarrival = 2.0;
+  const Instance instance = random_workload(config, GetParam());
+  for (const char* name : {"fcfs", "conservative", "easy", "lsrc"}) {
+    const Schedule schedule = make_scheduler(name)->schedule(instance);
+    const CompactionResult once = compact_schedule(instance, schedule);
+    ASSERT_TRUE(once.schedule.validate(instance).ok) << name;
+    EXPECT_LE(once.makespan_after, once.makespan_before) << name;
+    const CompactionResult twice = compact_schedule(instance, once.schedule);
+    EXPECT_EQ(twice.moved_jobs, 0) << name << " (not idempotent)";
+    EXPECT_EQ(twice.schedule, once.schedule) << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompactionSafety,
+                         ::testing::Values(11, 12, 13, 14, 15));
+
+TEST(Compaction, EmptySchedule) {
+  const Instance instance(3, {});
+  const CompactionResult result =
+      compact_schedule(instance, Schedule(0));
+  EXPECT_EQ(result.makespan_after, 0);
+  EXPECT_EQ(result.moved_jobs, 0);
+}
+
+}  // namespace
+}  // namespace resched

@@ -1,0 +1,81 @@
+#include "algorithms/conservative_bf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algorithms/fcfs.hpp"
+#include "generators/adversarial.hpp"
+#include "generators/workload.hpp"
+
+namespace resched {
+namespace {
+
+TEST(ConservativeBf, BackfillsIntoHoles) {
+  // Wide job 1 blocked behind job 0; narrow job 2 slides to t = 0.
+  const Instance instance(
+      2, {Job{0, 1, 10, 0, ""}, Job{1, 2, 1, 0, ""}, Job{2, 1, 1, 0, ""}});
+  const Schedule schedule = ConservativeBackfillScheduler().schedule(instance);
+  EXPECT_EQ(schedule.start(0), 0);
+  EXPECT_EQ(schedule.start(1), 10);
+  EXPECT_EQ(schedule.start(2), 0);  // overtakes without delaying job 1
+}
+
+TEST(ConservativeBf, NeverDelaysEarlierJobs) {
+  // The schedule each prefix of jobs receives must be unchanged by the jobs
+  // inserted after them (definition of conservative backfilling).
+  WorkloadConfig config;
+  config.n = 25;
+  config.m = 8;
+  const Instance full = random_workload(config, 33);
+  const Schedule schedule = ConservativeBackfillScheduler().schedule(full);
+  ASSERT_TRUE(schedule.validate(full).ok);
+  for (std::size_t prefix = 1; prefix < full.n(); ++prefix) {
+    std::vector<Job> jobs(full.jobs().begin(),
+                          full.jobs().begin() + static_cast<long>(prefix));
+    const Instance partial(full.m(), std::move(jobs));
+    const Schedule partial_schedule =
+        ConservativeBackfillScheduler().schedule(partial);
+    for (JobId id = 0; id < static_cast<JobId>(prefix); ++id)
+      ASSERT_EQ(partial_schedule.start(id), schedule.start(id))
+          << "job " << id << " moved when later jobs were submitted";
+  }
+}
+
+TEST(ConservativeBf, FixesTheFcfsBadFamily) {
+  // Conservative backfilling packs the narrow jobs in parallel, achieving
+  // the optimum on the family where FCFS degrades to ratio m.
+  const FcfsBadFamily family = fcfs_bad_instance(6);
+  const Schedule cbf = ConservativeBackfillScheduler().schedule(family.instance);
+  ASSERT_TRUE(cbf.validate(family.instance).ok);
+  EXPECT_EQ(cbf.makespan(family.instance), family.optimal_makespan);
+  const Schedule fcfs = FcfsScheduler().schedule(family.instance);
+  EXPECT_GT(fcfs.makespan(family.instance), cbf.makespan(family.instance));
+}
+
+TEST(ConservativeBf, RespectsReservationsAndReleases) {
+  const Instance instance(3,
+                          {Job{0, 3, 4, 0, ""}, Job{1, 1, 2, 5, ""}},
+                          {Reservation{0, 3, 3, 4, ""}});
+  const Schedule schedule = ConservativeBackfillScheduler().schedule(instance);
+  ASSERT_TRUE(schedule.validate(instance).ok);
+  EXPECT_EQ(schedule.start(0), 0);   // fits exactly before the reservation
+  EXPECT_EQ(schedule.start(1), 7);   // released at 5, blocked until 7
+}
+
+TEST(ConservativeBf, NeverWorseThanFcfs) {
+  // Earliest-fit insertion can only move jobs earlier than strict FCFS's
+  // non-overtaking start times.
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    WorkloadConfig config;
+    config.n = 30;
+    config.m = 12;
+    const Instance instance = random_workload(config, seed);
+    const Time cbf = ConservativeBackfillScheduler()
+                         .schedule(instance)
+                         .makespan(instance);
+    const Time fcfs = FcfsScheduler().schedule(instance).makespan(instance);
+    EXPECT_LE(cbf, fcfs) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace resched

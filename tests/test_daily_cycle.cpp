@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "algorithms/scheduler.hpp"
+#include "generators/workload.hpp"
+
+namespace resched {
+namespace {
+
+TEST(DailyCycle, ShapeAndDeterminism) {
+  DailyCycleConfig config;
+  config.n = 150;
+  const Instance a = daily_cycle_workload(config, 3);
+  const Instance b = daily_cycle_workload(config, 3);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.n(), 150u);
+  EXPECT_NE(a, daily_cycle_workload(config, 4));
+}
+
+TEST(DailyCycle, ArrivalsSortedWithinHorizon) {
+  DailyCycleConfig config;
+  config.n = 200;
+  config.days = 2;
+  config.ticks_per_day = 1440;
+  const Instance instance = daily_cycle_workload(config, 7);
+  Time previous = 0;
+  for (const Job& job : instance.jobs()) {
+    EXPECT_GE(job.release, previous);
+    EXPECT_LT(job.release, 2 * 1440);
+    previous = job.release;
+  }
+}
+
+TEST(DailyCycle, DaytimeBusierThanNight) {
+  DailyCycleConfig config;
+  config.n = 2000;
+  config.days = 4;
+  const Instance instance = daily_cycle_workload(config, 11);
+  int day_arrivals = 0;   // 08h-18h
+  int night_arrivals = 0; // 00h-06h
+  for (const Job& job : instance.jobs()) {
+    const Time tod = job.release % config.ticks_per_day;
+    const Time hour = tod * 24 / config.ticks_per_day;
+    if (hour >= 8 && hour < 18) ++day_arrivals;
+    if (hour < 6) ++night_arrivals;
+  }
+  // 10 daytime hours vs 6 night hours, but the intensity gap dominates:
+  // expect several times more daytime arrivals.
+  EXPECT_GT(day_arrivals, 3 * night_arrivals);
+}
+
+TEST(DailyCycle, RespectsWidthCapAndDurations) {
+  DailyCycleConfig config;
+  config.n = 300;
+  config.m = 32;
+  config.alpha = Rational(1, 4);
+  config.p_min = 5;
+  config.p_max = 50;
+  const Instance instance = daily_cycle_workload(config, 13);
+  for (const Job& job : instance.jobs()) {
+    EXPECT_LE(job.q, 8);
+    EXPECT_GE(job.p, 5);
+    EXPECT_LE(job.p, 50);
+  }
+}
+
+TEST(DailyCycle, SchedulableByEveryOnlineAlgorithm) {
+  DailyCycleConfig config;
+  config.n = 120;
+  config.m = 32;
+  const Instance instance = daily_cycle_workload(config, 17);
+  for (const char* name : {"fcfs", "conservative", "easy", "lsrc"}) {
+    const Schedule schedule = make_scheduler(name)->schedule(instance);
+    EXPECT_TRUE(schedule.validate(instance).ok) << name;
+  }
+}
+
+TEST(DailyCycle, RejectsBadConfig) {
+  DailyCycleConfig config;
+  config.days = 0;
+  EXPECT_THROW(daily_cycle_workload(config, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace resched

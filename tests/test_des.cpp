@@ -1,0 +1,74 @@
+#include "sim/des.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace resched {
+namespace {
+
+TEST(Des, RunsHandlersInTimeOrder) {
+  Simulation sim;
+  std::vector<Time> fired;
+  sim.at(5, [&](Simulation& s) { fired.push_back(s.now()); });
+  sim.at(2, [&](Simulation& s) { fired.push_back(s.now()); });
+  sim.at(9, [&](Simulation& s) { fired.push_back(s.now()); });
+  const Time end = sim.run();
+  EXPECT_EQ(fired, (std::vector<Time>{2, 5, 9}));
+  EXPECT_EQ(end, 9);
+}
+
+TEST(Des, HandlersMayScheduleMore) {
+  Simulation sim;
+  std::vector<Time> fired;
+  sim.at(1, [&](Simulation& s) {
+    fired.push_back(s.now());
+    s.after(3, [&](Simulation& s2) { fired.push_back(s2.now()); });
+  });
+  sim.run();
+  EXPECT_EQ(fired, (std::vector<Time>{1, 4}));
+}
+
+TEST(Des, HorizonStopsEarly) {
+  Simulation sim;
+  int count = 0;
+  sim.at(1, [&](Simulation&) { ++count; });
+  sim.at(100, [&](Simulation&) { ++count; });
+  sim.run(50);
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();  // drain the rest
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Des, RejectsPastEvents) {
+  Simulation sim;
+  sim.at(10, [](Simulation& s) {
+    EXPECT_THROW(s.at(5, [](Simulation&) {}), std::invalid_argument);
+  });
+  sim.run();
+}
+
+TEST(Des, EqualTimesFifo) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    sim.at(3, [&order, i](Simulation&) { order.push_back(i); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Des, NowAdvancesMonotonically) {
+  Simulation sim;
+  Time last = -1;
+  for (const Time t : {Time{4}, Time{1}, Time{8}, Time{8}, Time{2}})
+    sim.at(t, [&last](Simulation& s) {
+      EXPECT_GE(s.now(), last);
+      last = s.now();
+    });
+  sim.run();
+  EXPECT_EQ(last, 8);
+}
+
+}  // namespace
+}  // namespace resched

@@ -1,0 +1,64 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace resched {
+namespace {
+
+TEST(EventQueue, EmptyInitially) {
+  EventQueue<int> queue;
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.size(), 0u);
+  EXPECT_THROW(queue.pop(), std::invalid_argument);
+  EXPECT_THROW(queue.next_time(), std::invalid_argument);
+}
+
+TEST(EventQueue, OrdersByTime) {
+  EventQueue<std::string> queue;
+  queue.push(5, "b");
+  queue.push(2, "a");
+  queue.push(9, "c");
+  EXPECT_EQ(queue.next_time(), 2);
+  EXPECT_EQ(queue.pop().second, "a");
+  EXPECT_EQ(queue.pop().second, "b");
+  EXPECT_EQ(queue.pop().second, "c");
+}
+
+TEST(EventQueue, FifoAmongEqualTimes) {
+  EventQueue<int> queue;
+  for (int i = 0; i < 10; ++i) queue.push(7, i);
+  for (int i = 0; i < 10; ++i) {
+    const auto [time, payload] = queue.pop();
+    EXPECT_EQ(time, 7);
+    EXPECT_EQ(payload, i);
+  }
+}
+
+TEST(EventQueue, InterleavedPushPop) {
+  EventQueue<int> queue;
+  queue.push(3, 30);
+  queue.push(1, 10);
+  EXPECT_EQ(queue.pop().second, 10);
+  queue.push(2, 20);
+  EXPECT_EQ(queue.pop().second, 20);
+  EXPECT_EQ(queue.pop().second, 30);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, RejectsNegativeTime) {
+  EventQueue<int> queue;
+  EXPECT_THROW(queue.push(-1, 0), std::invalid_argument);
+}
+
+TEST(EventQueue, MovesPayloads) {
+  EventQueue<std::unique_ptr<int>> queue;
+  queue.push(1, std::make_unique<int>(42));
+  auto [time, payload] = queue.pop();
+  ASSERT_NE(payload, nullptr);
+  EXPECT_EQ(*payload, 42);
+}
+
+}  // namespace
+}  // namespace resched

@@ -1,0 +1,94 @@
+#include "core/gantt.hpp"
+
+#include <gtest/gtest.h>
+
+namespace resched {
+namespace {
+
+Instance demo_instance() {
+  return Instance(3, {Job{0, 2, 4, 0, "a"}, Job{1, 1, 8, 0, "b"}},
+                  {Reservation{0, 1, 3, 4, "maint"}});
+}
+
+Schedule demo_schedule() {
+  Schedule schedule(2);
+  schedule.set_start(0, 0);
+  schedule.set_start(1, 0);
+  return schedule;
+}
+
+TEST(AsciiGantt, HasOneRowPerMachine) {
+  const std::string art = ascii_gantt(demo_instance(), demo_schedule());
+  // Three machine rows labelled 0..2.
+  EXPECT_NE(art.find(" 0 |"), std::string::npos);
+  EXPECT_NE(art.find(" 1 |"), std::string::npos);
+  EXPECT_NE(art.find(" 2 |"), std::string::npos);
+  EXPECT_EQ(art.find(" 3 |"), std::string::npos);
+}
+
+TEST(AsciiGantt, ShowsJobsReservationAndIdle) {
+  const std::string art = ascii_gantt(demo_instance(), demo_schedule());
+  EXPECT_NE(art.find('A'), std::string::npos);   // job 0
+  EXPECT_NE(art.find('B'), std::string::npos);   // job 1
+  EXPECT_NE(art.find('#'), std::string::npos);   // reservation
+  EXPECT_NE(art.find('.'), std::string::npos);   // idle
+}
+
+TEST(AsciiGantt, LegendListsJobs) {
+  const std::string art = ascii_gantt(demo_instance(), demo_schedule());
+  EXPECT_NE(art.find("legend:"), std::string::npos);
+  EXPECT_NE(art.find("A=J0(q=2,p=4)"), std::string::npos);
+}
+
+TEST(AsciiGantt, RowCapRespected) {
+  std::vector<Job> jobs;
+  for (int i = 0; i < 4; ++i)
+    jobs.push_back(Job{static_cast<JobId>(i), 1, 2, 0, ""});
+  const Instance instance(100, std::move(jobs));
+  Schedule schedule(4);
+  for (JobId i = 0; i < 4; ++i) schedule.set_start(i, 0);
+  GanttOptions options;
+  options.max_rows = 8;
+  const std::string art = ascii_gantt(instance, schedule, options);
+  EXPECT_NE(art.find("more machines"), std::string::npos);
+}
+
+TEST(AsciiGantt, WidthControlsColumns) {
+  GanttOptions options;
+  options.width = 20;
+  options.show_legend = false;
+  const std::string art = ascii_gantt(demo_instance(), demo_schedule(),
+                                      options);
+  // Each machine row is " N |" + width chars + "|".
+  std::size_t row_start = art.find(" 0 |");
+  ASSERT_NE(row_start, std::string::npos);
+  const std::size_t row_end = art.find('\n', row_start);
+  EXPECT_EQ(row_end - row_start, 4u + 20u + 1u);
+}
+
+TEST(SvgGantt, WellFormedDocument) {
+  const std::string svg = svg_gantt(demo_instance(), demo_schedule());
+  EXPECT_EQ(svg.find("<svg"), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // One tooltip per job plus one per reservation.
+  EXPECT_NE(svg.find("<title>job 0"), std::string::npos);
+  EXPECT_NE(svg.find("<title>job 1"), std::string::npos);
+  EXPECT_NE(svg.find("<title>reservation 0"), std::string::npos);
+  EXPECT_NE(svg.find("url(#hatch)"), std::string::npos);
+}
+
+TEST(SvgGantt, DeterministicOutput) {
+  const std::string a = svg_gantt(demo_instance(), demo_schedule());
+  const std::string b = svg_gantt(demo_instance(), demo_schedule());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Gantt, RejectsBadOptions) {
+  GanttOptions options;
+  options.width = 0;
+  EXPECT_THROW(ascii_gantt(demo_instance(), demo_schedule(), options),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace resched

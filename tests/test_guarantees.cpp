@@ -1,0 +1,108 @@
+#include "bounds/guarantees.hpp"
+
+#include <gtest/gtest.h>
+
+namespace resched {
+namespace {
+
+TEST(Guarantees, GrahamBound) {
+  EXPECT_EQ(graham_bound(1), Rational(1));
+  EXPECT_EQ(graham_bound(2), Rational(3, 2));
+  EXPECT_EQ(graham_bound(10), Rational(19, 10));
+  EXPECT_THROW(graham_bound(0), std::invalid_argument);
+}
+
+TEST(Guarantees, AlphaUpperBound) {
+  EXPECT_EQ(alpha_upper_bound(Rational(1)), Rational(2));
+  EXPECT_EQ(alpha_upper_bound(Rational(1, 2)), Rational(4));
+  EXPECT_EQ(alpha_upper_bound(Rational(1, 3)), Rational(6));
+  EXPECT_THROW(alpha_upper_bound(Rational(0)), std::invalid_argument);
+  EXPECT_THROW(alpha_upper_bound(Rational(3, 2)), std::invalid_argument);
+}
+
+TEST(Guarantees, Prop2Ratio) {
+  // k - 1 + 1/k; the paper's Figure 3 value at k = 6 is 31/6.
+  EXPECT_EQ(prop2_ratio_for_k(6), Rational(31, 6));
+  EXPECT_EQ(prop2_ratio_for_k(2), Rational(3, 2));
+  EXPECT_EQ(prop2_ratio_for_k(3), Rational(7, 3));
+  EXPECT_THROW(prop2_ratio_for_k(1), std::invalid_argument);
+}
+
+TEST(Guarantees, Prop2RatioMatchesClosedForm) {
+  for (std::int64_t k = 2; k <= 20; ++k) {
+    const Rational alpha(2, k);
+    const Rational expected =
+        Rational(2) / alpha - Rational(1) + alpha / Rational(2);
+    EXPECT_EQ(prop2_ratio_for_k(k), expected) << "k = " << k;
+  }
+}
+
+TEST(Guarantees, B1AtIntegerTwoOverAlpha) {
+  // At alpha = 2/k the paper's B1 formula evaluates to:
+  //   k - 1 + 1 / (floor((1 - 1/k) / (1/k)) + 1) = k - 1 + 1/k,
+  // matching the constructive Prop. 2 ratio exactly.
+  for (std::int64_t k = 2; k <= 12; ++k)
+    EXPECT_EQ(lsrc_lower_bound_b1(Rational(2, k)), prop2_ratio_for_k(k))
+        << "k = " << k;
+}
+
+TEST(Guarantees, B2AtIntegerTwoOverAlpha) {
+  // B2(2/k) = k - (k-1)/k = k - 1 + 1/k as well: the two bounds coincide at
+  // the constructive points (Figure 4's curves touch there).
+  for (std::int64_t k = 2; k <= 12; ++k)
+    EXPECT_EQ(lsrc_lower_bound_b2(Rational(2, k)), prop2_ratio_for_k(k))
+        << "k = " << k;
+}
+
+TEST(Guarantees, B1DominatesB2Everywhere) {
+  // "The bound B2 is a bit less precise than B1" -- B2 <= B1 on a dense
+  // alpha grid.
+  for (int i = 1; i <= 100; ++i) {
+    const Rational alpha(i, 100);
+    EXPECT_LE(lsrc_lower_bound_b2(alpha), lsrc_lower_bound_b1(alpha))
+        << "alpha = " << alpha.to_string();
+  }
+}
+
+TEST(Guarantees, UpperBoundDominatesLowerBounds) {
+  // Figure 4: the 2/alpha upper bound lies above B1 (and hence B2).
+  for (int i = 1; i <= 100; ++i) {
+    const Rational alpha(i, 100);
+    EXPECT_LE(lsrc_lower_bound_b1(alpha), alpha_upper_bound(alpha))
+        << "alpha = " << alpha.to_string();
+  }
+}
+
+TEST(Guarantees, BoundsDecreaseInAlpha) {
+  // All curves of Figure 4 are non-increasing in alpha.
+  for (int i = 1; i < 100; ++i) {
+    const Rational a1(i, 100);
+    const Rational a2(i + 1, 100);
+    EXPECT_GE(alpha_upper_bound(a1), alpha_upper_bound(a2));
+    EXPECT_GE(lsrc_lower_bound_b2(a1), lsrc_lower_bound_b2(a2));
+  }
+}
+
+TEST(Guarantees, KnownFigure4Values) {
+  // Spot values readable off Figure 4.
+  EXPECT_EQ(alpha_upper_bound(Rational(1, 5)), Rational(10));
+  EXPECT_EQ(lsrc_lower_bound_b2(Rational(1)), Rational(3, 2));
+  EXPECT_EQ(lsrc_lower_bound_b1(Rational(1)), Rational(3, 2));
+  // alpha = 3/4: ceil(2/alpha) = 3, B2 = 3 - 2*(3/4)/2 = 9/4.
+  EXPECT_EQ(lsrc_lower_bound_b2(Rational(3, 4)), Rational(9, 4));
+}
+
+TEST(Guarantees, NonincreasingBound) {
+  EXPECT_EQ(nonincreasing_bound(4), Rational(7, 4));
+  EXPECT_EQ(nonincreasing_bound(1), Rational(1));
+  EXPECT_THROW(nonincreasing_bound(0), std::invalid_argument);
+}
+
+TEST(Guarantees, NonincreasingRefinesGraham) {
+  // m(C*) <= m implies 2 - 1/m(C*) <= 2 - 1/m.
+  for (ProcCount m_at = 1; m_at <= 16; ++m_at)
+    EXPECT_LE(nonincreasing_bound(m_at), graham_bound(16));
+}
+
+}  // namespace
+}  // namespace resched

@@ -1,0 +1,124 @@
+#include "core/instance.hpp"
+
+#include <gtest/gtest.h>
+
+namespace resched {
+namespace {
+
+Instance small_instance() {
+  return Instance(4,
+                  {Job{0, 2, 10, 0, "a"}, Job{1, 4, 5, 0, "b"},
+                   Job{2, 1, 7, 3, "c"}},
+                  {Reservation{0, 2, 6, 2, "r"}});
+}
+
+TEST(Instance, DefaultIsTrivial) {
+  const Instance instance;
+  EXPECT_EQ(instance.m(), 1);
+  EXPECT_EQ(instance.n(), 0u);
+  EXPECT_TRUE(instance.is_rigid_only());
+}
+
+TEST(Instance, BasicAccessors) {
+  const Instance instance = small_instance();
+  EXPECT_EQ(instance.m(), 4);
+  EXPECT_EQ(instance.n(), 3u);
+  EXPECT_EQ(instance.n_reservations(), 1u);
+  EXPECT_EQ(instance.job(1).q, 4);
+  EXPECT_EQ(instance.reservation(0).start, 2);
+  EXPECT_FALSE(instance.is_rigid_only());
+}
+
+TEST(Instance, DerivedQuantities) {
+  const Instance instance = small_instance();
+  EXPECT_EQ(instance.total_work(), 2 * 10 + 4 * 5 + 1 * 7);
+  EXPECT_EQ(instance.p_max(), 10);
+  EXPECT_EQ(instance.q_max(), 4);
+  EXPECT_EQ(instance.reservation_horizon(), 8);
+  EXPECT_TRUE(instance.has_release_times());
+}
+
+TEST(Instance, RejectsBadMachineCount) {
+  EXPECT_THROW(Instance(0, {}), std::invalid_argument);
+}
+
+TEST(Instance, RejectsNonDenseJobIds) {
+  EXPECT_THROW(Instance(2, {Job{1, 1, 1, 0, ""}}), std::invalid_argument);
+}
+
+TEST(Instance, RejectsJobWiderThanMachine) {
+  EXPECT_THROW(Instance(2, {Job{0, 3, 1, 0, ""}}), std::invalid_argument);
+}
+
+TEST(Instance, RejectsZeroWidthJob) {
+  EXPECT_THROW(Instance(2, {Job{0, 0, 1, 0, ""}}), std::invalid_argument);
+}
+
+TEST(Instance, RejectsNonPositiveDuration) {
+  EXPECT_THROW(Instance(2, {Job{0, 1, 0, 0, ""}}), std::invalid_argument);
+}
+
+TEST(Instance, RejectsNegativeRelease) {
+  EXPECT_THROW(Instance(2, {Job{0, 1, 1, -1, ""}}), std::invalid_argument);
+}
+
+TEST(Instance, RejectsBadReservation) {
+  EXPECT_THROW(Instance(2, {}, {Reservation{0, 3, 1, 0, ""}}),
+               std::invalid_argument);
+  EXPECT_THROW(Instance(2, {}, {Reservation{0, 1, 0, 0, ""}}),
+               std::invalid_argument);
+  EXPECT_THROW(Instance(2, {}, {Reservation{0, 1, 1, -1, ""}}),
+               std::invalid_argument);
+  EXPECT_THROW(Instance(2, {}, {Reservation{1, 1, 1, 0, ""}}),
+               std::invalid_argument);
+}
+
+TEST(Instance, RejectsOverlappingReservationsExceedingCapacity) {
+  // Two reservations of 2 machines each overlap on [3, 5) on a 3-machine
+  // cluster: U = 4 > 3 there.
+  EXPECT_THROW(Instance(3, {},
+                        {Reservation{0, 2, 5, 0, ""},
+                         Reservation{1, 2, 4, 3, ""}}),
+               std::invalid_argument);
+}
+
+TEST(Instance, AcceptsTouchingReservationsAtFullCapacity) {
+  // Back-to-back full-machine reservations are feasible (half-open windows).
+  const Instance instance(2, {},
+                          {Reservation{0, 2, 5, 0, ""},
+                           Reservation{1, 2, 4, 5, ""}});
+  EXPECT_EQ(instance.n_reservations(), 2u);
+}
+
+TEST(Instance, WithJobAppends) {
+  const Instance base = small_instance();
+  const Instance extended = base.with_job(2, 3, 1, "extra");
+  EXPECT_EQ(extended.n(), 4u);
+  EXPECT_EQ(extended.job(3).name, "extra");
+  EXPECT_EQ(extended.job(3).id, 3);
+  // Base unchanged (value semantics).
+  EXPECT_EQ(base.n(), 3u);
+}
+
+TEST(Instance, JobAccessorBoundsChecked) {
+  const Instance instance = small_instance();
+  EXPECT_THROW(instance.job(3), std::invalid_argument);
+  EXPECT_THROW(instance.job(-1), std::invalid_argument);
+  EXPECT_THROW(instance.reservation(1), std::invalid_argument);
+}
+
+TEST(Instance, EqualityIsStructural) {
+  EXPECT_EQ(small_instance(), small_instance());
+  EXPECT_NE(small_instance(), small_instance().with_job(1, 1));
+}
+
+TEST(Instance, JobAreaOverflowChecked) {
+  // q * p overflows int64.
+  const Instance instance(std::int64_t{1} << 32,
+                          {Job{0, std::int64_t{1} << 32,
+                               std::int64_t{1} << 33, 0, ""}});
+  EXPECT_THROW(instance.total_work(), std::overflow_error);
+}
+
+}  // namespace
+}  // namespace resched

@@ -1,0 +1,86 @@
+#include "algorithms/list_order.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace resched {
+namespace {
+
+Instance mixed_instance() {
+  // Deliberately non-sorted in every attribute.
+  return Instance(10, {
+                          Job{0, 3, 5, 0, ""},   // area 15
+                          Job{1, 1, 9, 0, ""},   // area 9
+                          Job{2, 7, 2, 0, ""},   // area 14
+                          Job{3, 2, 9, 0, ""},   // area 18 (p ties with 1)
+                          Job{4, 5, 1, 0, ""},   // area 5
+                      });
+}
+
+TEST(ListOrder, SubmissionIsIdentity) {
+  const auto list = make_list(mixed_instance(), ListOrder::kSubmission);
+  EXPECT_EQ(list, (std::vector<JobId>{0, 1, 2, 3, 4}));
+}
+
+TEST(ListOrder, LptSortsByDecreasingDuration) {
+  const auto list = make_list(mixed_instance(), ListOrder::kLpt);
+  // p: 9(id1), 9(id3), 5, 2, 1 -- stable tie-break by id.
+  EXPECT_EQ(list, (std::vector<JobId>{1, 3, 0, 2, 4}));
+}
+
+TEST(ListOrder, SptSortsByIncreasingDuration) {
+  const auto list = make_list(mixed_instance(), ListOrder::kSpt);
+  EXPECT_EQ(list, (std::vector<JobId>{4, 2, 0, 1, 3}));
+}
+
+TEST(ListOrder, WidestSortsByDecreasingWidth) {
+  const auto list = make_list(mixed_instance(), ListOrder::kWidest);
+  EXPECT_EQ(list, (std::vector<JobId>{2, 4, 0, 3, 1}));
+}
+
+TEST(ListOrder, NarrowestSortsByIncreasingWidth) {
+  const auto list = make_list(mixed_instance(), ListOrder::kNarrowest);
+  EXPECT_EQ(list, (std::vector<JobId>{1, 3, 0, 4, 2}));
+}
+
+TEST(ListOrder, AreaOrders) {
+  EXPECT_EQ(make_list(mixed_instance(), ListOrder::kMaxArea),
+            (std::vector<JobId>{3, 0, 2, 1, 4}));
+  EXPECT_EQ(make_list(mixed_instance(), ListOrder::kMinArea),
+            (std::vector<JobId>{4, 1, 2, 0, 3}));
+}
+
+TEST(ListOrder, RandomIsSeededPermutation) {
+  const auto a = make_list(mixed_instance(), ListOrder::kRandom, 7);
+  const auto b = make_list(mixed_instance(), ListOrder::kRandom, 7);
+  const auto c = make_list(mixed_instance(), ListOrder::kRandom, 8);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);  // overwhelmingly likely for n = 5
+  const auto identity = make_list(mixed_instance(), ListOrder::kSubmission);
+  EXPECT_TRUE(std::is_permutation(a.begin(), a.end(), identity.begin()));
+}
+
+TEST(ListOrder, EveryOrderIsAPermutation) {
+  const auto identity = make_list(mixed_instance(), ListOrder::kSubmission);
+  for (const ListOrder order : all_list_orders()) {
+    const auto list = make_list(mixed_instance(), order, 3);
+    EXPECT_TRUE(std::is_permutation(list.begin(), list.end(),
+                                    identity.begin()))
+        << to_string(order);
+  }
+}
+
+TEST(ListOrder, StringRoundTrip) {
+  for (const ListOrder order : all_list_orders())
+    EXPECT_EQ(list_order_from_string(to_string(order)), order);
+  EXPECT_THROW(list_order_from_string("bogus"), std::invalid_argument);
+}
+
+TEST(ListOrder, EmptyInstance) {
+  const Instance empty(4, {});
+  EXPECT_TRUE(make_list(empty, ListOrder::kLpt).empty());
+}
+
+}  // namespace
+}  // namespace resched

@@ -1,0 +1,69 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace resched {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, DefaultLevelIsWarn) {
+  // The library must stay quiet in tests by default.
+  EXPECT_EQ(static_cast<int>(log_level()),
+            static_cast<int>(LogLevel::kWarn));
+}
+
+TEST(Log, SetAndGetRoundTrip) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(static_cast<int>(log_level()),
+            static_cast<int>(LogLevel::kDebug));
+  set_log_level(LogLevel::kOff);
+  EXPECT_EQ(static_cast<int>(log_level()),
+            static_cast<int>(LogLevel::kOff));
+}
+
+TEST(Log, SuppressedBelowThreshold) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kError);
+  ::testing::internal::CaptureStderr();
+  RESCHED_INFO("should not appear");
+  RESCHED_WARN("also hidden");
+  EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+}
+
+TEST(Log, EmittedAtOrAboveThreshold) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  RESCHED_INFO("visible message " << 42);
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("visible message 42"), std::string::npos);
+  EXPECT_NE(out.find("[resched:INFO]"), std::string::npos);
+}
+
+TEST(Log, StreamExpressionNotEvaluatedWhenSuppressed) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kOff);
+  int evaluations = 0;
+  RESCHED_ERROR("side effect " << ++evaluations);
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(Log, OffSilencesEverything) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kOff);
+  ::testing::internal::CaptureStderr();
+  RESCHED_ERROR("even errors");
+  EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+}
+
+}  // namespace
+}  // namespace resched

@@ -1,0 +1,97 @@
+#include "bounds/lower_bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algorithms/lsrc.hpp"
+#include "exact/bnb.hpp"
+#include "generators/workload.hpp"
+
+namespace resched {
+namespace {
+
+TEST(LowerBounds, EmptyInstanceIsZero) {
+  const Instance instance(4, {});
+  EXPECT_EQ(makespan_lower_bound(instance), 0);
+}
+
+TEST(LowerBounds, JobBoundIsPmaxWithoutReservations) {
+  const Instance instance(4, {Job{0, 1, 7, 0, ""}, Job{1, 2, 3, 0, ""}});
+  EXPECT_EQ(job_lower_bound(instance), 7);
+}
+
+TEST(LowerBounds, JobBoundSeesReservationDelays) {
+  // Full-machine reservation on [0, 10): no job can finish before 10 + p.
+  const Instance instance(2, {Job{0, 2, 3, 0, ""}},
+                          {Reservation{0, 2, 10, 0, ""}});
+  EXPECT_EQ(job_lower_bound(instance), 13);
+}
+
+TEST(LowerBounds, JobBoundIncludesRelease) {
+  const Instance instance(2, {Job{0, 1, 3, 5, ""}});
+  EXPECT_EQ(job_lower_bound(instance), 8);
+}
+
+TEST(LowerBounds, AreaBoundWithoutReservations) {
+  // Work 14 on m = 4: ceil(14/4) = 4.
+  const Instance instance(4, {Job{0, 2, 3, 0, ""}, Job{1, 4, 2, 0, ""}});
+  EXPECT_EQ(area_lower_bound(instance), 4);
+}
+
+TEST(LowerBounds, AreaBoundAccountsForReservedArea) {
+  // m = 2, work = 8. Reservation removes 1 machine on [0, 4): free area
+  // reaches 8 at t = 6.
+  const Instance instance(
+      2, {Job{0, 1, 8, 0, ""}}, {Reservation{0, 1, 4, 0, ""}});
+  EXPECT_EQ(area_lower_bound(instance), 6);
+}
+
+TEST(LowerBounds, ReleaseAreaBoundTightensLateWork) {
+  // Two unit-area jobs released at 10 on m = 1: everything before 10 is
+  // irrelevant; bound = 12.
+  const Instance instance(1, {Job{0, 1, 1, 10, ""}, Job{1, 1, 1, 10, ""}});
+  EXPECT_EQ(release_area_lower_bound(instance), 12);
+  EXPECT_EQ(makespan_lower_bound(instance), 12);
+}
+
+TEST(LowerBounds, CombinedIsMaxOfParts) {
+  const Instance instance(
+      2, {Job{0, 1, 8, 0, ""}, Job{1, 2, 1, 0, ""}},
+      {Reservation{0, 1, 4, 0, ""}});
+  const Time combined = makespan_lower_bound(instance);
+  EXPECT_GE(combined, job_lower_bound(instance));
+  EXPECT_GE(combined, area_lower_bound(instance));
+  EXPECT_GE(combined, release_area_lower_bound(instance));
+}
+
+TEST(LowerBounds, RatioHelper) {
+  EXPECT_EQ(makespan_ratio(31, 6), Rational(31, 6));
+  EXPECT_THROW(makespan_ratio(1, 0), std::invalid_argument);
+}
+
+// Soundness: the certified bound never exceeds the exact optimum computed by
+// branch and bound (small random instances, with and without reservations).
+class LowerBoundSoundness : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LowerBoundSoundness, NeverExceedsExactOptimum) {
+  WorkloadConfig config;
+  config.n = 6;
+  config.m = 4;
+  config.p_max = 8;
+  const Instance base = random_workload(config, GetParam());
+  const Instance with_resa(base.m(), base.jobs(),
+                           {Reservation{0, 2, 5, 3, ""}});
+  for (const Instance& instance : {base, with_resa}) {
+    const Time lb = makespan_lower_bound(instance);
+    const Time opt = optimal_makespan(instance);
+    EXPECT_LE(lb, opt);
+    EXPECT_GE(lb, 1);  // non-empty job set
+    // And the bound is not absurdly loose on these tiny instances.
+    EXPECT_GE(2 * lb, opt);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LowerBoundSoundness,
+                         ::testing::Values(61, 62, 63, 64, 65, 66, 67, 68));
+
+}  // namespace
+}  // namespace resched

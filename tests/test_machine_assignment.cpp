@@ -1,0 +1,115 @@
+#include "core/machine_assignment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algorithms/lsrc.hpp"
+#include "generators/reservations.hpp"
+#include "generators/workload.hpp"
+
+namespace resched {
+namespace {
+
+TEST(MachineAssignment, SimpleTwoJobs) {
+  const Instance instance(3, {Job{0, 2, 4, 0, ""}, Job{1, 1, 4, 0, ""}});
+  Schedule schedule(2);
+  schedule.set_start(0, 0);
+  schedule.set_start(1, 0);
+  const MachineAssignment assignment = assign_machines(instance, schedule);
+  EXPECT_TRUE(validate_assignment(instance, schedule, assignment).ok);
+  EXPECT_EQ(assignment.job_machines[0].size(), 2u);
+  EXPECT_EQ(assignment.job_machines[1].size(), 1u);
+}
+
+TEST(MachineAssignment, ReservationsGetMachines) {
+  const Instance instance(4, {Job{0, 2, 3, 0, ""}},
+                          {Reservation{0, 2, 5, 0, ""}});
+  Schedule schedule(1);
+  schedule.set_start(0, 0);
+  const MachineAssignment assignment = assign_machines(instance, schedule);
+  EXPECT_TRUE(validate_assignment(instance, schedule, assignment).ok);
+  EXPECT_EQ(assignment.reservation_machines[0].size(), 2u);
+  // Reservations acquire first at equal times: they get the lowest ids.
+  EXPECT_EQ(assignment.reservation_machines[0][0], 0);
+  EXPECT_EQ(assignment.reservation_machines[0][1], 1);
+  EXPECT_EQ(assignment.job_machines[0][0], 2);
+}
+
+TEST(MachineAssignment, MachinesReusedAfterCompletion) {
+  // Sequential full-width jobs share the same machines.
+  const Instance instance(2, {Job{0, 2, 1, 0, ""}, Job{1, 2, 1, 0, ""}});
+  Schedule schedule(2);
+  schedule.set_start(0, 0);
+  schedule.set_start(1, 1);
+  const MachineAssignment assignment = assign_machines(instance, schedule);
+  EXPECT_TRUE(validate_assignment(instance, schedule, assignment).ok);
+  EXPECT_EQ(assignment.job_machines[0], assignment.job_machines[1]);
+}
+
+TEST(MachineAssignment, RejectsInfeasibleSchedule) {
+  const Instance instance(2, {Job{0, 2, 2, 0, ""}, Job{1, 2, 2, 0, ""}});
+  Schedule schedule(2);
+  schedule.set_start(0, 0);
+  schedule.set_start(1, 0);  // overload
+  EXPECT_THROW(assign_machines(instance, schedule), std::invalid_argument);
+}
+
+TEST(MachineAssignment, ValidatorCatchesDoubleBooking) {
+  const Instance instance(3, {Job{0, 1, 4, 0, ""}, Job{1, 1, 4, 0, ""}});
+  Schedule schedule(2);
+  schedule.set_start(0, 0);
+  schedule.set_start(1, 0);
+  MachineAssignment assignment = assign_machines(instance, schedule);
+  // Corrupt: both jobs on machine 0.
+  assignment.job_machines[1] = assignment.job_machines[0];
+  const ValidationResult result =
+      validate_assignment(instance, schedule, assignment);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("double-booked"), std::string::npos);
+}
+
+TEST(MachineAssignment, ValidatorCatchesWrongCount) {
+  const Instance instance(3, {Job{0, 2, 2, 0, ""}});
+  Schedule schedule(1);
+  schedule.set_start(0, 0);
+  MachineAssignment assignment = assign_machines(instance, schedule);
+  assignment.job_machines[0].pop_back();
+  EXPECT_FALSE(validate_assignment(instance, schedule, assignment).ok);
+}
+
+TEST(MachineAssignment, ValidatorCatchesOutOfRange) {
+  const Instance instance(3, {Job{0, 1, 2, 0, ""}});
+  Schedule schedule(1);
+  schedule.set_start(0, 0);
+  MachineAssignment assignment = assign_machines(instance, schedule);
+  assignment.job_machines[0][0] = 99;
+  EXPECT_FALSE(validate_assignment(instance, schedule, assignment).ok);
+}
+
+// Property: every LSRC schedule on random instances (with reservations)
+// admits a valid concrete machine assignment -- the constructive proof that
+// counting feasibility suffices (non-contiguity claim of section 2.1).
+class AssignmentProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AssignmentProperty, LsrcSchedulesAlwaysAssignable) {
+  WorkloadConfig config;
+  config.n = 40;
+  config.m = 16;
+  config.alpha = Rational(1, 2);
+  const Instance base = random_workload(config, GetParam());
+  AlphaReservationConfig resa;
+  resa.alpha = Rational(1, 2);
+  resa.count = 4;
+  const Instance instance =
+      with_alpha_restricted_reservations(base, resa, GetParam() + 1);
+
+  const Schedule schedule = LsrcScheduler().schedule(instance);
+  ASSERT_TRUE(schedule.validate(instance).ok);
+  const MachineAssignment assignment = assign_machines(instance, schedule);
+  EXPECT_TRUE(validate_assignment(instance, schedule, assignment).ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AssignmentProperty,
+                         ::testing::Values(100, 101, 102, 103, 104));
+
+}  // namespace
+}  // namespace resched

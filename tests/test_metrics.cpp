@@ -1,0 +1,85 @@
+#include "sim/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace resched {
+namespace {
+
+TEST(Metrics, EmptyInstance) {
+  const Instance instance(2, {});
+  const Schedule schedule(0);
+  const ScheduleMetrics metrics = compute_metrics(instance, schedule);
+  EXPECT_EQ(metrics.makespan, 0);
+  EXPECT_DOUBLE_EQ(metrics.mean_wait, 0.0);
+}
+
+TEST(Metrics, SingleImmediateJob) {
+  const Instance instance(2, {Job{0, 2, 4, 0, ""}});
+  Schedule schedule(1);
+  schedule.set_start(0, 0);
+  const ScheduleMetrics metrics = compute_metrics(instance, schedule);
+  EXPECT_EQ(metrics.makespan, 4);
+  EXPECT_DOUBLE_EQ(metrics.utilization, 1.0);
+  EXPECT_DOUBLE_EQ(metrics.mean_wait, 0.0);
+  EXPECT_EQ(metrics.max_wait, 0);
+  EXPECT_DOUBLE_EQ(metrics.mean_bounded_slowdown, 1.0);
+}
+
+TEST(Metrics, WaitsMeasuredFromRelease) {
+  const Instance instance(1, {Job{0, 1, 2, 3, ""}, Job{1, 1, 2, 0, ""}});
+  Schedule schedule(2);
+  schedule.set_start(1, 0);
+  schedule.set_start(0, 5);  // released 3, waited 2
+  const ScheduleMetrics metrics = compute_metrics(instance, schedule);
+  EXPECT_DOUBLE_EQ(metrics.mean_wait, 1.0);  // (2 + 0) / 2
+  EXPECT_EQ(metrics.max_wait, 2);
+}
+
+TEST(Metrics, BoundedSlowdownUsesTau) {
+  // Short job (p = 1) waits 9: raw slowdown (9+1)/1 = 10; with tau = 10 the
+  // bounded version is (9+1)/10 = 1.
+  const Instance instance(1, {Job{0, 1, 1, 0, ""}, Job{1, 1, 9, 0, ""}});
+  Schedule schedule(2);
+  schedule.set_start(1, 0);
+  schedule.set_start(0, 9);
+  const ScheduleMetrics with_tau10 = compute_metrics(instance, schedule, 10);
+  EXPECT_DOUBLE_EQ(with_tau10.max_bounded_slowdown, 1.0);
+  const ScheduleMetrics with_tau1 = compute_metrics(instance, schedule, 1);
+  EXPECT_DOUBLE_EQ(with_tau1.max_bounded_slowdown, 10.0);
+}
+
+TEST(Metrics, SlowdownFloorsAtOne) {
+  const Instance instance(2, {Job{0, 1, 100, 0, ""}});
+  Schedule schedule(1);
+  schedule.set_start(0, 0);
+  const ScheduleMetrics metrics = compute_metrics(instance, schedule);
+  EXPECT_DOUBLE_EQ(metrics.mean_bounded_slowdown, 1.0);
+}
+
+TEST(Metrics, UtilizationAccountsReservedArea) {
+  // m=2 with 1 machine reserved over the whole horizon: available area in
+  // [0,4) is 4, work is 4 -> utilization 1.
+  const Instance instance(2, {Job{0, 1, 4, 0, ""}},
+                          {Reservation{0, 1, 4, 0, ""}});
+  Schedule schedule(1);
+  schedule.set_start(0, 0);
+  EXPECT_DOUBLE_EQ(compute_metrics(instance, schedule).utilization, 1.0);
+}
+
+TEST(Metrics, RejectsInfeasibleSchedule) {
+  const Instance instance(1, {Job{0, 1, 1, 0, ""}, Job{1, 1, 1, 0, ""}});
+  Schedule schedule(2);
+  schedule.set_start(0, 0);
+  schedule.set_start(1, 0);
+  EXPECT_THROW(compute_metrics(instance, schedule), std::invalid_argument);
+}
+
+TEST(Metrics, RejectsBadTau) {
+  const Instance instance(1, {Job{0, 1, 1, 0, ""}});
+  Schedule schedule(1);
+  schedule.set_start(0, 0);
+  EXPECT_THROW(compute_metrics(instance, schedule, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace resched

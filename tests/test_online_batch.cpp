@@ -1,0 +1,106 @@
+#include "algorithms/online_batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algorithms/lsrc.hpp"
+#include "bounds/lower_bounds.hpp"
+#include "generators/workload.hpp"
+
+namespace resched {
+namespace {
+
+std::unique_ptr<Scheduler> lsrc() { return std::make_unique<LsrcScheduler>(); }
+
+TEST(OnlineBatch, OfflineInstanceIsOneBatch) {
+  const Instance instance(
+      4, {Job{0, 2, 3, 0, ""}, Job{1, 2, 3, 0, ""}, Job{2, 4, 1, 0, ""}});
+  OnlineBatchScheduler scheduler(lsrc());
+  std::vector<BatchInfo> batches;
+  const Schedule schedule = scheduler.schedule_with_batches(instance, batches);
+  ASSERT_TRUE(schedule.validate(instance).ok);
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].epoch, 0);
+  EXPECT_EQ(batches[0].job_count, 3u);
+}
+
+TEST(OnlineBatch, ArrivalsDuringBatchWaitForCompletion) {
+  // Job 1 arrives at t=1 while batch {job 0} runs until 10: it forms batch 2
+  // starting at 10.
+  const Instance instance(2, {Job{0, 2, 10, 0, ""}, Job{1, 2, 1, 1, ""}});
+  OnlineBatchScheduler scheduler(lsrc());
+  std::vector<BatchInfo> batches;
+  const Schedule schedule = scheduler.schedule_with_batches(instance, batches);
+  ASSERT_TRUE(schedule.validate(instance).ok);
+  ASSERT_EQ(batches.size(), 2u);
+  EXPECT_EQ(schedule.start(0), 0);
+  EXPECT_EQ(schedule.start(1), 10);
+  EXPECT_EQ(batches[1].epoch, 10);
+}
+
+TEST(OnlineBatch, IdleGapWhenNothingArrived) {
+  // Nothing at t=0; first job arrives at 5.
+  const Instance instance(2, {Job{0, 1, 2, 5, ""}});
+  OnlineBatchScheduler scheduler(lsrc());
+  const Schedule schedule = scheduler.schedule(instance);
+  ASSERT_TRUE(schedule.validate(instance).ok);
+  EXPECT_EQ(schedule.start(0), 5);
+}
+
+TEST(OnlineBatch, BatchesAreDisjointInTime) {
+  WorkloadConfig config;
+  config.n = 30;
+  config.m = 8;
+  config.mean_interarrival = 4.0;
+  const Instance instance = random_workload(config, 71);
+  OnlineBatchScheduler scheduler(lsrc());
+  std::vector<BatchInfo> batches;
+  const Schedule schedule = scheduler.schedule_with_batches(instance, batches);
+  ASSERT_TRUE(schedule.validate(instance).ok);
+  for (std::size_t b = 1; b < batches.size(); ++b)
+    EXPECT_GE(batches[b].epoch, batches[b - 1].completion);
+  std::size_t total = 0;
+  for (const BatchInfo& batch : batches) total += batch.job_count;
+  EXPECT_EQ(total, instance.n());
+}
+
+TEST(OnlineBatch, RespectsReservations) {
+  const Instance instance(2, {Job{0, 2, 3, 0, ""}, Job{1, 2, 3, 2, ""}},
+                          {Reservation{0, 2, 4, 8, ""}});
+  OnlineBatchScheduler scheduler(lsrc());
+  const Schedule schedule = scheduler.schedule(instance);
+  EXPECT_TRUE(schedule.validate(instance).ok);
+}
+
+// The doubling argument: with a rho-approximate base algorithm the online
+// makespan is at most 2 rho C*_offline. Against the certified offline lower
+// bound and rho = 2 - 1/m this gives C_online <= 2 (2 - 1/m) LB.
+TEST(OnlineBatch, DoublingGuaranteeAgainstLowerBound) {
+  for (const std::uint64_t seed : {81u, 82u, 83u, 84u, 85u}) {
+    WorkloadConfig config;
+    config.n = 40;
+    config.m = 8;
+    config.mean_interarrival = 2.0;
+    const Instance instance = random_workload(config, seed);
+    OnlineBatchScheduler scheduler(lsrc());
+    const Schedule schedule = scheduler.schedule(instance);
+    ASSERT_TRUE(schedule.validate(instance).ok);
+    const Time lb = makespan_lower_bound(instance);
+    const double bound =
+        2.0 * (2.0 - 1.0 / static_cast<double>(instance.m()));
+    EXPECT_LE(static_cast<double>(schedule.makespan(instance)),
+              bound * static_cast<double>(lb) + 1e-9)
+        << "seed " << seed;
+  }
+}
+
+TEST(OnlineBatch, NameComposesBase) {
+  OnlineBatchScheduler scheduler(lsrc());
+  EXPECT_EQ(scheduler.name(), "online-batch(lsrc[submission])");
+}
+
+TEST(OnlineBatch, NullBaseRejected) {
+  EXPECT_THROW(OnlineBatchScheduler(nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace resched

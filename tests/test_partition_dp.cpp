@@ -1,0 +1,127 @@
+#include "exact/partition_dp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "exact/bnb.hpp"
+#include "generators/workload.hpp"
+#include "util/prng.hpp"
+
+namespace resched {
+namespace {
+
+TEST(SubsetSums, EmptySetReachesOnlyZero) {
+  const auto reachable = subset_sums({}, 5);
+  ASSERT_EQ(reachable.size(), 6u);
+  EXPECT_TRUE(reachable[0]);
+  for (std::size_t s = 1; s <= 5; ++s) EXPECT_FALSE(reachable[s]);
+}
+
+TEST(SubsetSums, SmallKnownSet) {
+  // {2, 3}: reachable sums 0, 2, 3, 5.
+  const auto reachable = subset_sums({2, 3}, 6);
+  EXPECT_TRUE(reachable[0]);
+  EXPECT_FALSE(reachable[1]);
+  EXPECT_TRUE(reachable[2]);
+  EXPECT_TRUE(reachable[3]);
+  EXPECT_FALSE(reachable[4]);
+  EXPECT_TRUE(reachable[5]);
+  EXPECT_FALSE(reachable[6]);
+}
+
+TEST(SubsetSums, ValuesAboveCapIgnored) {
+  const auto reachable = subset_sums({10, 1}, 5);
+  EXPECT_TRUE(reachable[1]);
+  EXPECT_FALSE(reachable[5]);
+}
+
+TEST(SubsetSums, CrossesWordBoundaries) {
+  // Values that force shifts across the 64-bit word boundary.
+  const auto reachable = subset_sums({63, 2, 70}, 140);
+  EXPECT_TRUE(reachable[63]);
+  EXPECT_TRUE(reachable[65]);   // 63 + 2
+  EXPECT_TRUE(reachable[70]);
+  EXPECT_TRUE(reachable[135]);  // 63 + 2 + 70
+  EXPECT_FALSE(reachable[64]);
+  EXPECT_FALSE(reachable[1]);
+}
+
+TEST(SubsetSums, RejectsNonPositive) {
+  EXPECT_THROW(subset_sums({0}, 4), std::invalid_argument);
+  EXPECT_THROW(subset_sums({-3}, 4), std::invalid_argument);
+}
+
+// Differential check against naive enumeration.
+class SubsetSumsRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SubsetSumsRandom, MatchesEnumeration) {
+  Prng prng(GetParam());
+  std::vector<std::int64_t> values;
+  for (int i = 0; i < 10; ++i) values.push_back(prng.uniform_int(1, 20));
+  std::int64_t cap = 0;
+  for (const std::int64_t v : values) cap += v;
+  const auto fast = subset_sums(values, cap);
+  std::vector<bool> slow(static_cast<std::size_t>(cap) + 1, false);
+  for (std::uint32_t mask = 0; mask < (1u << values.size()); ++mask) {
+    std::int64_t sum = 0;
+    for (std::size_t i = 0; i < values.size(); ++i)
+      if (mask & (1u << i)) sum += values[i];
+    slow[static_cast<std::size_t>(sum)] = true;
+  }
+  EXPECT_EQ(fast, slow);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SubsetSumsRandom,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(TwoMachineOptimal, PartitionInstance) {
+  // {3,3,2,2,2}: total 12, best split 6|6.
+  const Instance instance(2, {Job{0, 1, 3, 0, ""}, Job{1, 1, 3, 0, ""},
+                              Job{2, 1, 2, 0, ""}, Job{3, 1, 2, 0, ""},
+                              Job{4, 1, 2, 0, ""}});
+  EXPECT_EQ(two_machine_optimal(instance), 6);
+}
+
+TEST(TwoMachineOptimal, UnbalancedInstance) {
+  // {7, 1, 1}: best split 7 | 2 -> C* = 7.
+  const Instance instance(2, {Job{0, 1, 7, 0, ""}, Job{1, 1, 1, 0, ""},
+                              Job{2, 1, 1, 0, ""}});
+  EXPECT_EQ(two_machine_optimal(instance), 7);
+}
+
+TEST(TwoMachineOptimal, EmptyAndSingle) {
+  EXPECT_EQ(two_machine_optimal(Instance(2, {})), 0);
+  EXPECT_EQ(two_machine_optimal(Instance(2, {Job{0, 1, 9, 0, ""}})), 9);
+}
+
+TEST(TwoMachineOptimal, DomainEnforced) {
+  EXPECT_THROW(two_machine_optimal(Instance(3, {Job{0, 1, 1, 0, ""}})),
+               std::invalid_argument);
+  EXPECT_THROW(two_machine_optimal(Instance(2, {Job{0, 2, 1, 0, ""}})),
+               std::invalid_argument);
+  EXPECT_THROW(two_machine_optimal(Instance(2, {Job{0, 1, 1, 5, ""}})),
+               std::invalid_argument);
+  EXPECT_THROW(two_machine_optimal(Instance(
+                   2, {Job{0, 1, 1, 0, ""}}, {Reservation{0, 1, 1, 0, ""}})),
+               std::invalid_argument);
+}
+
+// The DP must agree with branch and bound on its whole domain -- this is
+// the paper's footnote 1 ("exactly PARTITION, optimally solvable in
+// pseudo-polynomial time") made executable.
+class TwoMachineVsBnb : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TwoMachineVsBnb, AgreesWithBranchAndBound) {
+  WorkloadConfig config;
+  config.n = 8;
+  config.m = 2;
+  config.alpha = Rational(1, 2);  // forces q = 1
+  config.p_max = 12;
+  const Instance instance = random_workload(config, GetParam());
+  EXPECT_EQ(two_machine_optimal(instance), optimal_makespan(instance));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TwoMachineVsBnb,
+                         ::testing::Values(11, 12, 13, 14, 15, 16, 17, 18));
+
+}  // namespace
+}  // namespace resched

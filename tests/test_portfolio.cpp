@@ -1,0 +1,119 @@
+#include "algorithms/portfolio.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algorithms/lsrc.hpp"
+#include "bounds/checker.hpp"
+#include "bounds/guarantees.hpp"
+#include "bounds/lower_bounds.hpp"
+#include "exact/bnb.hpp"
+#include "generators/adversarial.hpp"
+#include "generators/reservations.hpp"
+#include "generators/workload.hpp"
+
+namespace resched {
+namespace {
+
+Instance reserved_workload(std::uint64_t seed, std::size_t n = 30,
+                           ProcCount m = 12) {
+  WorkloadConfig config;
+  config.n = n;
+  config.m = m;
+  config.alpha = Rational(1, 2);
+  const Instance base = random_workload(config, seed);
+  AlphaReservationConfig resa;
+  resa.alpha = Rational(1, 2);
+  return with_alpha_restricted_reservations(base, resa, seed + 77);
+}
+
+TEST(Portfolio, NeverWorseThanAnySingleOrder) {
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    const Instance instance = reserved_workload(seed);
+    const Schedule best = PortfolioScheduler(2, seed).schedule(instance);
+    ASSERT_TRUE(best.validate(instance).ok);
+    for (const ListOrder order : all_list_orders()) {
+      const Schedule single = LsrcScheduler(order, seed).schedule(instance);
+      EXPECT_LE(best.makespan(instance), single.makespan(instance))
+          << to_string(order) << " seed " << seed;
+    }
+  }
+}
+
+TEST(Portfolio, DefusesTheProp2Family) {
+  // The portfolio tries LPT among its orders, which is optimal on the
+  // adversarial family -- the worst case of a *fixed* bad order vanishes.
+  const Prop2Family family = prop2_instance(6);
+  const Schedule schedule = PortfolioScheduler().schedule(family.instance);
+  EXPECT_EQ(schedule.makespan(family.instance), family.optimal_makespan);
+}
+
+TEST(Portfolio, Deterministic) {
+  const Instance instance = reserved_workload(9);
+  EXPECT_EQ(PortfolioScheduler(3, 5).schedule(instance),
+            PortfolioScheduler(3, 5).schedule(instance));
+}
+
+TEST(Portfolio, ZeroRestartsStillCoversStandardOrders) {
+  const Instance instance = reserved_workload(10);
+  const Schedule schedule = PortfolioScheduler(0, 1).schedule(instance);
+  EXPECT_TRUE(schedule.validate(instance).ok);
+}
+
+TEST(Portfolio, InheritsGuarantees) {
+  const Instance instance = reserved_workload(11);
+  const Schedule schedule = PortfolioScheduler().schedule(instance);
+  const GuaranteeReport report = check_guarantee(instance, schedule);
+  EXPECT_NE(report.compliance, Compliance::kViolated);
+}
+
+TEST(LocalSearch, NeverWorseThanItsStartingOrder) {
+  for (const std::uint64_t seed : {21u, 22u, 23u}) {
+    const Instance instance = reserved_workload(seed);
+    const Schedule improved =
+        LocalSearchScheduler(150, ListOrder::kSubmission, seed)
+            .schedule(instance);
+    const Schedule start = LsrcScheduler(ListOrder::kSubmission, seed)
+                               .schedule(instance);
+    ASSERT_TRUE(improved.validate(instance).ok);
+    EXPECT_LE(improved.makespan(instance), start.makespan(instance));
+  }
+}
+
+TEST(LocalSearch, FindsTheOptimumOnSmallInstances) {
+  // With a decent budget, hill-climbing from LPT reaches the exact optimum
+  // on small instances reasonably often; assert it gets within the Graham
+  // bound and at least matches LPT.
+  WorkloadConfig config;
+  config.n = 7;
+  config.m = 3;
+  config.p_max = 9;
+  const Instance instance = random_workload(config, 31);
+  const Time optimum = optimal_makespan(instance);
+  const Schedule schedule =
+      LocalSearchScheduler(400, ListOrder::kLpt, 1).schedule(instance);
+  EXPECT_GE(schedule.makespan(instance), optimum);
+  EXPECT_LE(makespan_ratio(schedule.makespan(instance), optimum),
+            graham_bound(instance.m()));
+}
+
+TEST(LocalSearch, DeterministicGivenSeedAndBudget) {
+  const Instance instance = reserved_workload(41);
+  EXPECT_EQ(LocalSearchScheduler(100, ListOrder::kLpt, 7).schedule(instance),
+            LocalSearchScheduler(100, ListOrder::kLpt, 7).schedule(instance));
+}
+
+TEST(LocalSearch, ZeroIterationsEqualsInitialOrder) {
+  const Instance instance = reserved_workload(51);
+  EXPECT_EQ(LocalSearchScheduler(0, ListOrder::kLpt, 1).schedule(instance),
+            LsrcScheduler(ListOrder::kLpt, 1).schedule(instance));
+}
+
+TEST(LocalSearch, TinyInstances) {
+  const Instance empty(2, {});
+  EXPECT_EQ(LocalSearchScheduler().schedule(empty).makespan(empty), 0);
+  const Instance one(2, {Job{0, 1, 5, 0, ""}});
+  EXPECT_EQ(LocalSearchScheduler().schedule(one).makespan(one), 5);
+}
+
+}  // namespace
+}  // namespace resched

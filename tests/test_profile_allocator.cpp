@@ -1,0 +1,140 @@
+#include "core/profile_allocator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/availability.hpp"
+#include "util/prng.hpp"
+
+namespace resched {
+namespace {
+
+TEST(FreeProfile, RejectsNegativeCapacity) {
+  StepProfile profile(1);
+  profile.add(0, 3, -2);
+  EXPECT_THROW(FreeProfile{profile}, std::invalid_argument);
+}
+
+TEST(FreeProfile, FitsAtConstantCapacity) {
+  FreeProfile free{StepProfile(4)};
+  EXPECT_TRUE(free.fits_at(0, 4, 10));
+  EXPECT_FALSE(free.fits_at(0, 5, 1));
+  EXPECT_TRUE(free.fits_at(1'000'000, 1, 1));
+}
+
+TEST(FreeProfile, FitsAtRespectsDips) {
+  StepProfile profile(4);
+  profile.add(5, 7, -3);  // capacity 1 on [5,7)
+  FreeProfile free{profile};
+  EXPECT_TRUE(free.fits_at(0, 2, 5));    // [0,5) untouched
+  EXPECT_FALSE(free.fits_at(0, 2, 6));   // [0,6) touches the dip
+  EXPECT_TRUE(free.fits_at(5, 1, 2));    // inside the dip, q = 1 fits
+  EXPECT_FALSE(free.fits_at(6, 2, 1));   // [6,7) has only 1
+  EXPECT_TRUE(free.fits_at(7, 4, 100));
+}
+
+TEST(FreeProfile, EarliestFitImmediate) {
+  FreeProfile free{StepProfile(3)};
+  EXPECT_EQ(free.earliest_fit(0, 3, 5), 0);
+  EXPECT_EQ(free.earliest_fit(11, 1, 1), 11);
+}
+
+TEST(FreeProfile, EarliestFitSkipsDeficientSegment) {
+  StepProfile profile(4);
+  profile.add(2, 6, -4);  // zero capacity on [2,6)
+  FreeProfile free{profile};
+  // A job of length 3 from t=0 would hit [2,6); earliest is 6.
+  EXPECT_EQ(free.earliest_fit(0, 1, 3), 6);
+  // Length 2 fits exactly at [0,2).
+  EXPECT_EQ(free.earliest_fit(0, 1, 2), 0);
+  EXPECT_EQ(free.earliest_fit(1, 1, 2), 6);  // [1,3) overlaps the dip
+}
+
+TEST(FreeProfile, EarliestFitLandsOnCapacityIncrease) {
+  StepProfile profile(5);
+  profile.add(3, 8, -4);   // 1 on [3,8)
+  profile.add(8, 12, -2);  // 3 on [8,12)
+  FreeProfile free{profile};
+  // q = 2, p = 4: blocked through [3,8); at 8 capacity rises to 3 and the
+  // window [8,12) holds 3 >= 2.
+  EXPECT_EQ(free.earliest_fit(0, 2, 4), 8);
+  // q = 4, p = 1: 5 on [0,3) fits at t = 0 from t0 = 0; from t0 = 3 the
+  // next fit is 12.
+  EXPECT_EQ(free.earliest_fit(0, 4, 1), 0);
+  EXPECT_EQ(free.earliest_fit(3, 4, 1), 12);
+}
+
+TEST(FreeProfile, EarliestFitImpossibleWidthThrows) {
+  FreeProfile free{StepProfile(2)};
+  EXPECT_THROW(free.earliest_fit(0, 3, 1), std::invalid_argument);
+}
+
+TEST(FreeProfile, CommitSubtractsAndUncommitRestores) {
+  FreeProfile free{StepProfile(4)};
+  free.commit(2, 3, 5);
+  EXPECT_EQ(free.capacity_at(2), 1);
+  EXPECT_EQ(free.capacity_at(6), 1);
+  EXPECT_EQ(free.capacity_at(7), 4);
+  EXPECT_FALSE(free.fits_at(0, 2, 5));
+  free.uncommit(2, 3, 5);
+  EXPECT_EQ(free.capacity_at(2), 4);
+}
+
+TEST(FreeProfile, CommitRequiresFit) {
+  FreeProfile free{StepProfile(2)};
+  free.commit(0, 2, 3);
+  EXPECT_THROW(free.commit(1, 1, 1), std::invalid_argument);
+}
+
+TEST(FreeProfile, ForInstanceUsesAvailability) {
+  const Instance instance(6, {Job{0, 1, 1, 0, ""}},
+                          {Reservation{0, 4, 5, 2, ""}});
+  const FreeProfile free = FreeProfile::for_instance(instance);
+  EXPECT_EQ(free.capacity_at(0), 6);
+  EXPECT_EQ(free.capacity_at(2), 2);
+  EXPECT_EQ(free.capacity_at(7), 6);
+}
+
+// Differential property: earliest_fit agrees with a brute-force scan over
+// every candidate start time on random small profiles.
+class EarliestFitRandomized : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(EarliestFitRandomized, AgreesWithBruteForce) {
+  constexpr Time kHorizon = 48;
+  Prng prng(GetParam());
+  StepProfile profile(5);
+  for (int i = 0; i < 10; ++i) {
+    const Time a = prng.uniform_int(0, kHorizon - 1);
+    const Time len = prng.uniform_int(1, 12);
+    const std::int64_t delta = prng.uniform_int(-2, 0);
+    if (profile.min_in(a, a + len) + delta >= 0)
+      profile.add(a, a + len, delta);
+  }
+  FreeProfile free{profile};
+
+  for (int trial = 0; trial < 60; ++trial) {
+    const ProcCount q = prng.uniform_int(1, 5);
+    const Time p = prng.uniform_int(1, 10);
+    const Time t0 = prng.uniform_int(0, kHorizon);
+    const Time got = free.earliest_fit(t0, q, p);
+    // Brute force: first t >= t0 with min over [t, t+p) >= q; scanning past
+    // the last possible breakpoint (kHorizon + max added length) is enough
+    // because the profile is constant 5 beyond it.
+    Time expected = kTimeInfinity;
+    for (Time t = t0; t <= kHorizon + 13; ++t) {
+      if (profile.min_in(t, t + p) >= q) {
+        expected = t;
+        break;
+      }
+    }
+    ASSERT_EQ(got, expected) << "q=" << q << " p=" << p << " t0=" << t0;
+    // And the returned start indeed fits.
+    ASSERT_TRUE(free.fits_at(got, q, p));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EarliestFitRandomized,
+                         ::testing::Values(10, 11, 12, 13, 14, 15));
+
+}  // namespace
+}  // namespace resched

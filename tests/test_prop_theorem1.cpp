@@ -1,0 +1,121 @@
+// Property suite for Theorem 1: scheduling with unrestricted reservations
+// cannot be approximated. The 3-PARTITION reduction (Figure 1) is exercised
+// in both directions, and the gap behaviour is demonstrated on the actual
+// heuristics.
+#include <gtest/gtest.h>
+
+#include "algorithms/conservative_bf.hpp"
+#include "algorithms/fcfs.hpp"
+#include "algorithms/lsrc.hpp"
+#include "bounds/lower_bounds.hpp"
+#include "exact/bnb.hpp"
+#include "generators/adversarial.hpp"
+
+namespace resched {
+namespace {
+
+// Forward direction: a YES instance admits a schedule of makespan
+// k(B+1) - 1, and B&B finds exactly that optimum.
+class Theorem1Forward : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Theorem1Forward, YesInstanceOptimumEqualsGapPacking) {
+  Prng prng(GetParam());
+  const ThreePartitionInstance partition =
+      random_strict_yes_instance(3, 16, prng);
+  const Theorem1Reduction reduction = theorem1_reduction(partition, 2);
+  // Constructive: the known partition gives the optimal makespan.
+  const ThreePartitionSolution solution = solve_three_partition(partition);
+  ASSERT_TRUE(solution.solvable);
+  const Schedule constructed =
+      schedule_from_partition(reduction, solution.groups);
+  ASSERT_TRUE(constructed.validate(reduction.instance).ok);
+  EXPECT_EQ(constructed.makespan(reduction.instance),
+            reduction.opt_if_solvable);
+  // Exact solver agrees (9 unit-width jobs on one machine).
+  EXPECT_EQ(optimal_makespan(reduction.instance),
+            reduction.opt_if_solvable);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Theorem1Forward,
+                         ::testing::Values(901, 902, 903, 904));
+
+// Backward direction: ANY feasible schedule below the gap threshold encodes
+// a valid partition -- including those produced by our heuristics, whenever
+// they happen to beat the threshold.
+class Theorem1Backward : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Theorem1Backward, SubThresholdSchedulesEncodePartitions) {
+  Prng prng(GetParam());
+  const ThreePartitionInstance partition =
+      random_strict_yes_instance(3, 20, prng);
+  const Theorem1Reduction reduction = theorem1_reduction(partition, 2);
+  for (const ListOrder order : all_list_orders()) {
+    const Schedule schedule =
+        LsrcScheduler(order, GetParam()).schedule(reduction.instance);
+    ASSERT_TRUE(schedule.validate(reduction.instance).ok);
+    const auto recovered =
+        partition_from_schedule(reduction, partition, schedule);
+    if (schedule.makespan(reduction.instance) < reduction.gap_threshold) {
+      // The theorem's argument: sub-threshold => valid partition.
+      ASSERT_TRUE(recovered.has_value()) << to_string(order);
+      EXPECT_TRUE(is_valid_three_partition(partition, *recovered));
+    } else {
+      EXPECT_FALSE(recovered.has_value()) << to_string(order);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Theorem1Backward,
+                         ::testing::Values(911, 912, 913, 914, 915));
+
+// The gap itself: whenever a heuristic misses the packing, its makespan
+// explodes past the huge reservation -- the ratio is then at least rho + ~1,
+// refuting any presumed rho-approximation. This drives bench_fig1.
+TEST(Theorem1Gap, MissingThePackingCostsAtLeastRho) {
+  Prng prng(77);
+  int observed_misses = 0;
+  for (int trial = 0; trial < 12; ++trial) {
+    const ThreePartitionInstance partition =
+        random_strict_yes_instance(3, 24, prng);
+    if (!solve_three_partition(partition).solvable) continue;
+    const std::int64_t rho = 3;
+    const Theorem1Reduction reduction = theorem1_reduction(partition, rho);
+    const Schedule greedy = FcfsScheduler().schedule(reduction.instance);
+    ASSERT_TRUE(greedy.validate(reduction.instance).ok);
+    const Time makespan = greedy.makespan(reduction.instance);
+    if (makespan >= reduction.gap_threshold) {
+      ++observed_misses;
+      // Past the last reservation: makespan > (rho+1) k (B+1) - something;
+      // in ratio terms, at least rho times the optimum.
+      const Rational ratio =
+          makespan_ratio(makespan, reduction.opt_if_solvable);
+      EXPECT_GE(ratio, Rational(rho));
+    }
+  }
+  // FCFS in submission order essentially never solves 3-PARTITION by luck
+  // on these instances; the gap must have been observed.
+  EXPECT_GT(observed_misses, 0);
+}
+
+// n' = 1 variant: one full-width reservation right after a target makespan T
+// turns "is OPT <= T?" into a gap question (second reduction of Theorem 1).
+TEST(Theorem1SingleReservation, GapAmplifiesDecisionProblem) {
+  // PARTITION-like rigid instance: durations {3,3,2,2,2} on 2 machines,
+  // OPT = 6.
+  const Instance rigid(2, {Job{0, 1, 3, 0, ""}, Job{1, 1, 3, 0, ""},
+                           Job{2, 1, 2, 0, ""}, Job{3, 1, 2, 0, ""},
+                           Job{4, 1, 2, 0, ""}});
+  const Time target = 6;
+  const Instance gapped = add_gap_reservation(rigid, target, 1000);
+  // The optimum threads through the gap: still 6.
+  EXPECT_EQ(optimal_makespan(gapped), target);
+  // Any schedule that misses the perfect packing lands after the block:
+  // makespan > 1000. LSRC with an adversarial order demonstrates the jump.
+  const Schedule bad =
+      LsrcScheduler(std::vector<JobId>{2, 3, 4, 0, 1}).schedule(gapped);
+  ASSERT_TRUE(bad.validate(gapped).ok);
+  EXPECT_GT(bad.makespan(gapped), 1000);
+}
+
+}  // namespace
+}  // namespace resched

@@ -1,0 +1,156 @@
+#include "util/rational.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+
+namespace resched {
+namespace {
+
+TEST(Rational, DefaultIsZero) {
+  const Rational r;
+  EXPECT_EQ(r.num(), 0);
+  EXPECT_EQ(r.den(), 1);
+}
+
+TEST(Rational, NormalizesOnConstruction) {
+  const Rational r(6, 8);
+  EXPECT_EQ(r.num(), 3);
+  EXPECT_EQ(r.den(), 4);
+}
+
+TEST(Rational, NormalizesSign) {
+  const Rational r(3, -4);
+  EXPECT_EQ(r.num(), -3);
+  EXPECT_EQ(r.den(), 4);
+  const Rational s(-3, -4);
+  EXPECT_EQ(s.num(), 3);
+  EXPECT_EQ(s.den(), 4);
+}
+
+TEST(Rational, ZeroDenominatorThrows) {
+  EXPECT_THROW(Rational(1, 0), std::invalid_argument);
+}
+
+TEST(Rational, ZeroHasCanonicalForm) {
+  const Rational r(0, 7);
+  EXPECT_EQ(r.num(), 0);
+  EXPECT_EQ(r.den(), 1);
+}
+
+TEST(Rational, Arithmetic) {
+  EXPECT_EQ(Rational(1, 2) + Rational(1, 3), Rational(5, 6));
+  EXPECT_EQ(Rational(1, 2) - Rational(1, 3), Rational(1, 6));
+  EXPECT_EQ(Rational(2, 3) * Rational(3, 4), Rational(1, 2));
+  EXPECT_EQ(Rational(1, 2) / Rational(1, 4), Rational(2));
+}
+
+TEST(Rational, DivisionByZeroThrows) {
+  EXPECT_THROW(Rational(1) / Rational(0), std::invalid_argument);
+}
+
+TEST(Rational, Ordering) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_GT(Rational(-1, 3), Rational(-1, 2));
+  EXPECT_LE(Rational(2, 4), Rational(1, 2));
+  EXPECT_EQ(Rational(2, 4) <=> Rational(1, 2), std::strong_ordering::equal);
+}
+
+TEST(Rational, UsableAsMapKey) {
+  std::map<Rational, int> m;
+  m[Rational(1, 2)] = 1;
+  m[Rational(2, 4)] = 2;  // same key
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_EQ(m[Rational(1, 2)], 2);
+}
+
+TEST(Rational, FloorCeil) {
+  EXPECT_EQ(Rational(7, 2).floor(), 3);
+  EXPECT_EQ(Rational(7, 2).ceil(), 4);
+  EXPECT_EQ(Rational(-7, 2).floor(), -4);
+  EXPECT_EQ(Rational(-7, 2).ceil(), -3);
+  EXPECT_EQ(Rational(4).floor(), 4);
+  EXPECT_EQ(Rational(4).ceil(), 4);
+}
+
+TEST(Rational, Abs) {
+  EXPECT_EQ(Rational(-3, 4).abs(), Rational(3, 4));
+  EXPECT_EQ(Rational(3, 4).abs(), Rational(3, 4));
+}
+
+TEST(Rational, ToDouble) {
+  EXPECT_DOUBLE_EQ(Rational(1, 2).to_double(), 0.5);
+  EXPECT_DOUBLE_EQ(Rational(-1, 4).to_double(), -0.25);
+}
+
+TEST(Rational, ToStringAndStream) {
+  EXPECT_EQ(Rational(31, 6).to_string(), "31/6");
+  EXPECT_EQ(Rational(4).to_string(), "4");
+  std::ostringstream os;
+  os << Rational(2, 3);
+  EXPECT_EQ(os.str(), "2/3");
+}
+
+TEST(Rational, ParseFraction) {
+  EXPECT_EQ(Rational::parse("31/6"), Rational(31, 6));
+  EXPECT_EQ(Rational::parse("-3/9"), Rational(-1, 3));
+}
+
+TEST(Rational, ParseInteger) { EXPECT_EQ(Rational::parse("42"), Rational(42)); }
+
+TEST(Rational, ParseDecimal) {
+  EXPECT_EQ(Rational::parse("0.25"), Rational(1, 4));
+  EXPECT_EQ(Rational::parse("1.5"), Rational(3, 2));
+}
+
+TEST(Rational, ParseMalformedThrows) {
+  EXPECT_THROW(Rational::parse(""), std::invalid_argument);
+  EXPECT_THROW(Rational::parse("abc"), std::invalid_argument);
+  EXPECT_THROW(Rational::parse("1/0"), std::invalid_argument);
+  EXPECT_THROW(Rational::parse("1."), std::invalid_argument);
+}
+
+TEST(Rational, CrossCancellationAvoidsOverflow) {
+  // (2^40 / 3) * (3 / 2^40) = 1 without overflowing intermediates.
+  const Rational big(std::int64_t{1} << 40, 3);
+  const Rational inv(3, std::int64_t{1} << 40);
+  EXPECT_EQ(big * inv, Rational(1));
+}
+
+TEST(Rational, AdditionReducesCrossTerms) {
+  // 1/(2^40) + 1/(2^40) = 2^-39 -- naive a*d + c*b would overflow at 2^80.
+  const Rational tiny(1, std::int64_t{1} << 40);
+  EXPECT_EQ(tiny + tiny, Rational(1, std::int64_t{1} << 39));
+}
+
+// The paper's key constants round-trip exactly.
+TEST(Rational, PaperConstants) {
+  // Figure 3 ratio: 31/6 = 2/alpha - 1 + alpha/2 at alpha = 1/3.
+  const Rational alpha(1, 3);
+  const Rational ratio = Rational(2) / alpha - Rational(1) + alpha / Rational(2);
+  EXPECT_EQ(ratio, Rational(31, 6));
+}
+
+class RationalFieldAxioms : public ::testing::TestWithParam<int> {};
+
+TEST_P(RationalFieldAxioms, AssociativityCommutativityDistributivity) {
+  // Pseudo-exhaustive sweep over small fractions keyed by the parameter.
+  const int i = GetParam();
+  const Rational a(i % 7 - 3, (i % 5) + 1);
+  const Rational b((i / 7) % 9 - 4, (i % 3) + 1);
+  const Rational c(i % 11 - 5, (i % 4) + 1);
+  EXPECT_EQ((a + b) + c, a + (b + c));
+  EXPECT_EQ(a + b, b + a);
+  EXPECT_EQ((a * b) * c, a * (b * c));
+  EXPECT_EQ(a * b, b * a);
+  EXPECT_EQ(a * (b + c), a * b + a * c);
+  EXPECT_EQ(a - a, Rational(0));
+  if (a != Rational(0)) EXPECT_EQ(a / a, Rational(1));
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallFractions, RationalFieldAxioms,
+                         ::testing::Range(0, 120));
+
+}  // namespace
+}  // namespace resched

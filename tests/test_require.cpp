@@ -1,0 +1,53 @@
+#include "util/require.hpp"
+
+#include <gtest/gtest.h>
+
+namespace resched {
+namespace {
+
+TEST(Require, PassingConditionIsSilent) {
+  EXPECT_NO_THROW(RESCHED_REQUIRE(1 + 1 == 2));
+  EXPECT_NO_THROW(RESCHED_REQUIRE_MSG(true, "never shown"));
+  EXPECT_NO_THROW(RESCHED_CHECK(true));
+}
+
+TEST(Require, FailureThrowsInvalidArgument) {
+  EXPECT_THROW(RESCHED_REQUIRE(1 == 2), std::invalid_argument);
+  EXPECT_THROW(RESCHED_REQUIRE_MSG(false, "context"), std::invalid_argument);
+}
+
+TEST(Require, CheckThrowsLogicError) {
+  EXPECT_THROW(RESCHED_CHECK(false), std::logic_error);
+  EXPECT_THROW(RESCHED_CHECK_MSG(false, "internal"), std::logic_error);
+}
+
+TEST(Require, MessageContainsExpressionAndContext) {
+  try {
+    RESCHED_REQUIRE_MSG(2 < 1, "the context string");
+    FAIL() << "should have thrown";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("the context string"), std::string::npos);
+    EXPECT_NE(what.find("test_require.cpp"), std::string::npos);
+  }
+}
+
+TEST(Require, CheckMessageDistinguishesInvariant) {
+  try {
+    RESCHED_CHECK_MSG(false, "broke");
+    FAIL() << "should have thrown";
+  } catch (const std::logic_error& error) {
+    EXPECT_NE(std::string(error.what()).find("invariant violated"),
+              std::string::npos);
+  }
+}
+
+TEST(Require, ConditionEvaluatedExactlyOnce) {
+  int evaluations = 0;
+  RESCHED_REQUIRE((++evaluations, true));
+  EXPECT_EQ(evaluations, 1);
+}
+
+}  // namespace
+}  // namespace resched

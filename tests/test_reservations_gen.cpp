@@ -1,0 +1,113 @@
+#include "generators/reservations.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/availability.hpp"
+#include "generators/workload.hpp"
+
+namespace resched {
+namespace {
+
+Instance base_instance(std::uint64_t seed = 1) {
+  WorkloadConfig config;
+  config.n = 15;
+  config.m = 16;
+  config.alpha = Rational(1, 2);
+  return random_workload(config, seed);
+}
+
+TEST(AlphaReservations, NeverExceedCap) {
+  AlphaReservationConfig config;
+  config.alpha = Rational(1, 2);
+  config.count = 20;
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    const Instance instance =
+        with_alpha_restricted_reservations(base_instance(), config, seed);
+    // U(t) <= (1 - alpha) m = 8 everywhere.
+    EXPECT_LE(unavailability_profile(instance).max_value(), 8) << seed;
+    // Combined with alpha-capped jobs, the instance is alpha-restricted.
+    EXPECT_TRUE(is_alpha_restricted(instance, Rational(1, 2))) << seed;
+  }
+}
+
+TEST(AlphaReservations, Deterministic) {
+  AlphaReservationConfig config;
+  EXPECT_EQ(with_alpha_restricted_reservations(base_instance(), config, 7),
+            with_alpha_restricted_reservations(base_instance(), config, 7));
+}
+
+TEST(AlphaReservations, AlphaOneAddsNothing) {
+  AlphaReservationConfig config;
+  config.alpha = Rational(1);  // cap (1-1)m = 0: no reservations possible
+  const Instance instance =
+      with_alpha_restricted_reservations(base_instance(), config, 3);
+  EXPECT_EQ(instance.n_reservations(), 0u);
+}
+
+TEST(AlphaReservations, KeepsJobsIntact) {
+  AlphaReservationConfig config;
+  const Instance base = base_instance();
+  const Instance instance =
+      with_alpha_restricted_reservations(base, config, 5);
+  EXPECT_EQ(instance.jobs(), base.jobs());
+  EXPECT_EQ(instance.m(), base.m());
+}
+
+TEST(AlphaReservations, StartsWithinHorizon) {
+  AlphaReservationConfig config;
+  config.horizon = 50;
+  config.count = 10;
+  const Instance instance =
+      with_alpha_restricted_reservations(base_instance(), config, 9);
+  for (const Reservation& resa : instance.reservations())
+    EXPECT_LT(resa.start, 50);
+}
+
+TEST(Staircase, ProducesNonIncreasingUnavailability) {
+  StaircaseConfig config;
+  config.steps = 5;
+  for (const std::uint64_t seed : {11u, 12u, 13u}) {
+    const Instance instance =
+        with_nonincreasing_reservations(base_instance(), config, seed);
+    EXPECT_TRUE(has_non_increasing_unavailability(instance)) << seed;
+    EXPECT_GT(instance.n_reservations(), 0u);
+    // At least one machine always remains.
+    EXPECT_GE(min_availability(instance), 1);
+  }
+}
+
+TEST(Staircase, RespectsPeakCap) {
+  StaircaseConfig config;
+  config.max_initial = 5;
+  const Instance instance =
+      with_nonincreasing_reservations(base_instance(), config, 21);
+  EXPECT_LE(unavailability_profile(instance).max_value(), 5);
+}
+
+TEST(Staircase, RejectsFullPeak) {
+  StaircaseConfig config;
+  config.max_initial = 16;  // = m: would block the whole machine
+  EXPECT_THROW(with_nonincreasing_reservations(base_instance(), config, 1),
+               std::invalid_argument);
+}
+
+TEST(Maintenance, PeriodicPattern) {
+  const Instance instance =
+      with_periodic_maintenance(base_instance(), 4, 10, 100, 8, 3);
+  ASSERT_EQ(instance.n_reservations(), 3u);
+  EXPECT_EQ(instance.reservation(0).start, 10);
+  EXPECT_EQ(instance.reservation(1).start, 110);
+  EXPECT_EQ(instance.reservation(2).start, 210);
+  for (const Reservation& resa : instance.reservations()) {
+    EXPECT_EQ(resa.q, 4);
+    EXPECT_EQ(resa.p, 8);
+  }
+}
+
+TEST(Maintenance, RejectsOverlongWindow) {
+  EXPECT_THROW(with_periodic_maintenance(base_instance(), 4, 0, 10, 11, 2),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace resched

@@ -1,0 +1,148 @@
+#include "core/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+namespace resched {
+namespace {
+
+Instance two_job_instance() {
+  return Instance(3, {Job{0, 2, 4, 0, ""}, Job{1, 2, 2, 0, ""}});
+}
+
+TEST(Schedule, StartsUnscheduled) {
+  const Schedule schedule(3);
+  EXPECT_EQ(schedule.size(), 3u);
+  EXPECT_FALSE(schedule.is_scheduled(0));
+  EXPECT_FALSE(schedule.all_scheduled());
+}
+
+TEST(Schedule, SetAndQueryStart) {
+  Schedule schedule(2);
+  schedule.set_start(0, 5);
+  EXPECT_TRUE(schedule.is_scheduled(0));
+  EXPECT_EQ(schedule.start(0), 5);
+  EXPECT_THROW(schedule.start(1), std::invalid_argument);
+  EXPECT_THROW(schedule.set_start(2, 0), std::invalid_argument);
+  EXPECT_THROW(schedule.set_start(0, -1), std::invalid_argument);
+}
+
+TEST(Schedule, MakespanAndCompletion) {
+  const Instance instance = two_job_instance();
+  Schedule schedule(2);
+  schedule.set_start(0, 0);  // ends 4
+  schedule.set_start(1, 4);  // ends 6
+  EXPECT_EQ(schedule.completion(instance, 0), 4);
+  EXPECT_EQ(schedule.completion(instance, 1), 6);
+  EXPECT_EQ(schedule.makespan(instance), 6);
+}
+
+TEST(Schedule, MakespanIgnoresReservations) {
+  // A reservation ending later than every job does not extend C_max.
+  const Instance instance(3, {Job{0, 1, 2, 0, ""}},
+                          {Reservation{0, 1, 50, 10, ""}});
+  Schedule schedule(1);
+  schedule.set_start(0, 0);
+  EXPECT_EQ(schedule.makespan(instance), 2);
+}
+
+TEST(Schedule, UsageProfile) {
+  const Instance instance = two_job_instance();
+  Schedule schedule(2);
+  schedule.set_start(0, 0);
+  schedule.set_start(1, 1);
+  const StepProfile usage = schedule.usage_profile(instance);
+  EXPECT_EQ(usage.value_at(0), 2);
+  EXPECT_EQ(usage.value_at(1), 4);  // both running on [1,3)
+  EXPECT_EQ(usage.value_at(3), 2);
+  EXPECT_EQ(usage.value_at(4), 0);
+}
+
+TEST(Schedule, ValidateAcceptsFeasible) {
+  const Instance instance = two_job_instance();
+  Schedule schedule(2);
+  schedule.set_start(0, 0);
+  schedule.set_start(1, 4);
+  EXPECT_TRUE(schedule.validate(instance).ok);
+}
+
+TEST(Schedule, ValidateRejectsOverload) {
+  const Instance instance = two_job_instance();  // m = 3, both jobs q = 2
+  Schedule schedule(2);
+  schedule.set_start(0, 0);
+  schedule.set_start(1, 0);  // 4 > 3 processors on [0,2)
+  const ValidationResult result = schedule.validate(instance);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("capacity exceeded"), std::string::npos);
+}
+
+TEST(Schedule, ValidateRejectsReservationConflict) {
+  const Instance instance(3, {Job{0, 2, 4, 0, ""}},
+                          {Reservation{0, 2, 4, 2, ""}});
+  Schedule schedule(1);
+  schedule.set_start(0, 0);  // runs [0,4) but [2,4) has only 1 free
+  EXPECT_FALSE(schedule.validate(instance).ok);
+}
+
+TEST(Schedule, ValidateRejectsUnscheduled) {
+  const Instance instance = two_job_instance();
+  Schedule schedule(2);
+  schedule.set_start(0, 0);
+  const ValidationResult result = schedule.validate(instance);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("not scheduled"), std::string::npos);
+}
+
+TEST(Schedule, ValidateRejectsEarlyStart) {
+  const Instance instance(2, {Job{0, 1, 1, 5, ""}});
+  Schedule schedule(1);
+  schedule.set_start(0, 3);  // before release 5
+  EXPECT_FALSE(schedule.validate(instance).ok);
+}
+
+TEST(Schedule, ValidateRejectsSizeMismatch) {
+  const Instance instance = two_job_instance();
+  const Schedule schedule(1);
+  EXPECT_FALSE(schedule.validate(instance).ok);
+}
+
+TEST(Schedule, IdleAreaZeroWhenPacked) {
+  // Two q=2 jobs back to back on m=2: no idle area.
+  const Instance instance(2, {Job{0, 2, 3, 0, ""}, Job{1, 2, 2, 0, ""}});
+  Schedule schedule(2);
+  schedule.set_start(0, 0);
+  schedule.set_start(1, 3);
+  EXPECT_EQ(schedule.idle_area(instance), 0);
+  EXPECT_DOUBLE_EQ(schedule.utilization(instance), 1.0);
+}
+
+TEST(Schedule, IdleAreaCountsHoles) {
+  const Instance instance(2, {Job{0, 1, 4, 0, ""}});
+  Schedule schedule(1);
+  schedule.set_start(0, 0);
+  // Available 2*4 = 8, work 4 -> idle 4, utilization 0.5.
+  EXPECT_EQ(schedule.idle_area(instance), 4);
+  EXPECT_DOUBLE_EQ(schedule.utilization(instance), 0.5);
+}
+
+TEST(Schedule, IdleAreaExcludesReservedArea) {
+  // Reservation blocks 1 machine over the whole horizon [0,4): available
+  // area is (2-1)*4 = 4 = work -> idle 0.
+  const Instance instance(2, {Job{0, 1, 4, 0, ""}},
+                          {Reservation{0, 1, 4, 0, ""}});
+  Schedule schedule(1);
+  schedule.set_start(0, 0);
+  EXPECT_EQ(schedule.idle_area(instance), 0);
+}
+
+TEST(Schedule, EqualityIsStructural) {
+  Schedule a(2);
+  Schedule b(2);
+  EXPECT_EQ(a, b);
+  a.set_start(0, 1);
+  EXPECT_NE(a, b);
+  b.set_start(0, 1);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace resched

@@ -1,0 +1,99 @@
+#include "exact/three_partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace resched {
+namespace {
+
+TEST(ThreePartition, WellFormedChecks) {
+  EXPECT_TRUE((ThreePartitionInstance{{1, 2, 3}, 6}).well_formed());
+  EXPECT_FALSE((ThreePartitionInstance{{1, 2}, 3}).well_formed());     // not 3k
+  EXPECT_FALSE((ThreePartitionInstance{{1, 2, 4}, 6}).well_formed());  // sum
+  EXPECT_FALSE((ThreePartitionInstance{{0, 3, 3}, 6}).well_formed());  // <= 0
+  EXPECT_FALSE((ThreePartitionInstance{{}, 0}).well_formed());
+}
+
+TEST(ThreePartition, SolvesTrivialYes) {
+  const ThreePartitionInstance instance{{1, 2, 3}, 6};
+  const ThreePartitionSolution solution = solve_three_partition(instance);
+  ASSERT_TRUE(solution.solvable);
+  EXPECT_TRUE(is_valid_three_partition(instance, solution.groups));
+}
+
+TEST(ThreePartition, SolvesTwoGroupYes) {
+  // {4,4,4} and {5,5,2}: target 12.
+  const ThreePartitionInstance instance{{4, 5, 4, 5, 4, 2}, 12};
+  const ThreePartitionSolution solution = solve_three_partition(instance);
+  ASSERT_TRUE(solution.solvable);
+  EXPECT_TRUE(is_valid_three_partition(instance, solution.groups));
+}
+
+TEST(ThreePartition, DetectsNo) {
+  // Sum is 2*9 = 18 but no triple sums to 9: items {1,1,1,5,5,5}:
+  // triples: 1+1+1=3, 1+1+5=7, 1+5+5=11, 5+5+5=15 -- no 9.
+  const ThreePartitionInstance instance{{1, 1, 1, 5, 5, 5}, 9};
+  EXPECT_FALSE(solve_three_partition(instance).solvable);
+}
+
+TEST(ThreePartition, ValidatorRejectsBadGroupings) {
+  const ThreePartitionInstance instance{{1, 2, 3, 1, 2, 3}, 6};
+  // Wrong count.
+  EXPECT_FALSE(is_valid_three_partition(instance, {{0, 1, 2}}));
+  // Reused index.
+  EXPECT_FALSE(
+      is_valid_three_partition(instance, {{0, 1, 2}, {0, 4, 5}}));
+  // Wrong sum.
+  EXPECT_FALSE(
+      is_valid_three_partition(instance, {{0, 1, 3}, {2, 4, 5}}));
+  // Correct one accepted.
+  EXPECT_TRUE(
+      is_valid_three_partition(instance, {{0, 1, 2}, {3, 4, 5}}));
+}
+
+TEST(ThreePartition, RandomYesInstancesAreSolvable) {
+  Prng prng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    const ThreePartitionInstance instance = random_yes_instance(4, 20, prng);
+    EXPECT_TRUE(instance.well_formed());
+    const ThreePartitionSolution solution = solve_three_partition(instance);
+    EXPECT_TRUE(solution.solvable);
+    EXPECT_TRUE(is_valid_three_partition(instance, solution.groups));
+  }
+}
+
+TEST(ThreePartition, RandomNoInstancesAreUnsolvable) {
+  Prng prng(6);
+  const auto instance = random_no_instance(3, 6, prng);
+  if (instance.has_value()) {
+    EXPECT_TRUE(instance->well_formed());
+    EXPECT_FALSE(solve_three_partition(*instance).solvable);
+  }
+}
+
+TEST(ThreePartition, NodeLimitThrows) {
+  Prng prng(7);
+  const ThreePartitionInstance instance = random_yes_instance(8, 100, prng);
+  EXPECT_THROW(solve_three_partition(instance, 2), std::invalid_argument);
+}
+
+TEST(ThreePartition, MalformedInstanceThrows) {
+  EXPECT_THROW(solve_three_partition(ThreePartitionInstance{{1, 2}, 3}),
+               std::invalid_argument);
+}
+
+TEST(ThreePartition, LargerYesInstanceSolvedQuickly) {
+  Prng prng(8);
+  const ThreePartitionInstance instance = random_yes_instance(10, 50, prng);
+  const ThreePartitionSolution solution = solve_three_partition(instance);
+  EXPECT_TRUE(solution.solvable);
+  EXPECT_TRUE(is_valid_three_partition(instance, solution.groups));
+}
+
+TEST(ThreePartition, GroupCount) {
+  EXPECT_EQ((ThreePartitionInstance{{1, 2, 3, 1, 2, 3}, 6}).groups(), 2u);
+}
+
+}  // namespace
+}  // namespace resched

@@ -1,0 +1,120 @@
+#include "generators/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace resched {
+namespace {
+
+TEST(Workload, DeterministicGivenSeed) {
+  WorkloadConfig config;
+  config.n = 30;
+  EXPECT_EQ(random_workload(config, 9), random_workload(config, 9));
+  EXPECT_NE(random_workload(config, 9), random_workload(config, 10));
+}
+
+TEST(Workload, RespectsJobCountAndMachine) {
+  WorkloadConfig config;
+  config.n = 17;
+  config.m = 5;
+  const Instance instance = random_workload(config, 1);
+  EXPECT_EQ(instance.n(), 17u);
+  EXPECT_EQ(instance.m(), 5);
+  EXPECT_TRUE(instance.is_rigid_only());
+}
+
+TEST(Workload, DurationsWithinBounds) {
+  WorkloadConfig config;
+  config.n = 200;
+  config.p_min = 3;
+  config.p_max = 11;
+  const Instance instance = random_workload(config, 2);
+  for (const Job& job : instance.jobs()) {
+    EXPECT_GE(job.p, 3);
+    EXPECT_LE(job.p, 11);
+  }
+}
+
+TEST(Workload, AlphaCapsWidth) {
+  WorkloadConfig config;
+  config.n = 200;
+  config.m = 16;
+  config.alpha = Rational(1, 4);
+  config.width = WidthDistribution::kUniform;
+  const Instance instance = random_workload(config, 3);
+  for (const Job& job : instance.jobs()) EXPECT_LE(job.q, 4);
+}
+
+TEST(Workload, PowersOfTwoWidths) {
+  WorkloadConfig config;
+  config.n = 200;
+  config.m = 64;
+  config.width = WidthDistribution::kPowersOfTwo;
+  const Instance instance = random_workload(config, 4);
+  for (const Job& job : instance.jobs()) {
+    const ProcCount q = job.q;
+    EXPECT_EQ(q & (q - 1), 0) << q << " is not a power of two";
+  }
+}
+
+TEST(Workload, MostlyNarrowSkewsSmall) {
+  WorkloadConfig config;
+  config.n = 500;
+  config.m = 64;
+  config.width = WidthDistribution::kMostlyNarrow;
+  const Instance instance = random_workload(config, 5);
+  int narrow = 0;
+  for (const Job& job : instance.jobs())
+    if (job.q <= 8) ++narrow;
+  EXPECT_GT(narrow, 350);  // ~80% plus narrow draws from the wide branch
+}
+
+TEST(Workload, OfflineByDefault) {
+  WorkloadConfig config;
+  config.n = 50;
+  const Instance instance = random_workload(config, 6);
+  EXPECT_FALSE(instance.has_release_times());
+}
+
+TEST(Workload, ArrivalsAreMonotoneAndPresent) {
+  WorkloadConfig config;
+  config.n = 50;
+  config.mean_interarrival = 5.0;
+  const Instance instance = random_workload(config, 7);
+  EXPECT_TRUE(instance.has_release_times());
+  for (std::size_t i = 1; i < instance.n(); ++i)
+    EXPECT_GE(instance.jobs()[i].release, instance.jobs()[i - 1].release);
+}
+
+TEST(Workload, UniformWidthsCoverRange) {
+  WorkloadConfig config;
+  config.n = 500;
+  config.m = 8;
+  config.width = WidthDistribution::kUniform;
+  const Instance instance = random_workload(config, 8);
+  std::set<ProcCount> widths;
+  for (const Job& job : instance.jobs()) widths.insert(job.q);
+  EXPECT_EQ(widths.size(), 8u);
+}
+
+TEST(Workload, RejectsBadConfig) {
+  WorkloadConfig config;
+  config.p_min = 0;
+  EXPECT_THROW(random_workload(config, 1), std::invalid_argument);
+  config.p_min = 5;
+  config.p_max = 4;
+  EXPECT_THROW(random_workload(config, 1), std::invalid_argument);
+}
+
+TEST(Workload, TinyAlphaStillYieldsValidJobs) {
+  WorkloadConfig config;
+  config.n = 20;
+  config.m = 4;
+  config.alpha = Rational(1, 100);  // q_cap floors to 0 -> clamped to 1
+  const Instance instance = random_workload(config, 9);
+  for (const Job& job : instance.jobs()) EXPECT_EQ(job.q, 1);
+}
+
+}  // namespace
+}  // namespace resched
