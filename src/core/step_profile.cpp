@@ -8,66 +8,71 @@
 namespace resched {
 
 StepProfile::StepProfile(std::int64_t initial_value) {
-  steps_.emplace(Time{0}, initial_value);
+  steps_.push_back(Step{Time{0}, initial_value});
+}
+
+std::size_t StepProfile::index_of(Time t) const noexcept {
+  // Last index whose start is <= t; the front start of 0 and t >= 0 make the
+  // "- 1" safe.
+  const auto it = std::upper_bound(
+      steps_.begin(), steps_.end(), t,
+      [](Time value, const Step& step) { return value < step.start; });
+  return static_cast<std::size_t>(it - steps_.begin()) - 1;
 }
 
 std::int64_t StepProfile::value_at(Time t) const {
   RESCHED_REQUIRE_MSG(t >= 0, "profile queried at negative time");
-  auto it = steps_.upper_bound(t);
-  --it;  // safe: key 0 always present and t >= 0
-  return it->second;
+  return steps_[index_of(t)].value;
 }
 
-std::map<Time, std::int64_t>::iterator StepProfile::split_at(Time t) {
-  auto it = steps_.lower_bound(t);
-  if (it != steps_.end() && it->first == t) return it;
-  --it;  // segment containing t
-  return steps_.emplace_hint(std::next(it), t, it->second);
+std::size_t StepProfile::split_at(Time t) {
+  const std::size_t i = index_of(t);
+  if (steps_[i].start == t) return i;
+  steps_.insert(steps_.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                Step{t, steps_[i].value});
+  return i + 1;
 }
 
-void StepProfile::coalesce() {
-  auto it = steps_.begin();
-  while (it != steps_.end()) {
-    auto next = std::next(it);
-    if (next != steps_.end() && next->second == it->second) {
-      steps_.erase(next);
-    } else {
-      ++it;
-    }
-  }
+void StepProfile::coalesce_at(std::size_t i) {
+  if (i == 0 || i >= steps_.size()) return;
+  if (steps_[i].value == steps_[i - 1].value)
+    steps_.erase(steps_.begin() + static_cast<std::ptrdiff_t>(i));
 }
 
 void StepProfile::add(Time from, Time to, std::int64_t delta) {
   RESCHED_REQUIRE_MSG(from >= 0, "profile add with negative start");
   if (from >= to || delta == 0) return;
-  auto first = split_at(from);
+  const std::size_t first = split_at(from);
   // Split the right edge only for finite windows; [from, kTimeInfinity)
   // means "from `from` onwards".
-  auto last = (to >= kTimeInfinity) ? steps_.end() : split_at(to);
-  for (auto it = first; it != last; ++it)
-    it->second = checked_add(it->second, delta);
-  coalesce();
+  const std::size_t last =
+      (to >= kTimeInfinity) ? steps_.size() : split_at(to);
+  for (std::size_t i = first; i < last; ++i)
+    steps_[i].value = checked_add(steps_[i].value, delta);
+  // Interior neighbours shifted by the same delta stay distinct, so only the
+  // two window edges can need merging. Right edge first: erasing there does
+  // not move `first`.
+  coalesce_at(last);
+  coalesce_at(first);
 }
 
 std::int64_t StepProfile::min_in(Time from, Time to) const {
   RESCHED_REQUIRE_MSG(from < to, "empty window in min_in");
   RESCHED_REQUIRE(from >= 0);
-  auto it = steps_.upper_bound(from);
-  --it;
-  std::int64_t result = it->second;
-  for (++it; it != steps_.end() && it->first < to; ++it)
-    result = std::min(result, it->second);
+  std::size_t i = index_of(from);
+  std::int64_t result = steps_[i].value;
+  for (++i; i < steps_.size() && steps_[i].start < to; ++i)
+    result = std::min(result, steps_[i].value);
   return result;
 }
 
 std::int64_t StepProfile::max_in(Time from, Time to) const {
   RESCHED_REQUIRE_MSG(from < to, "empty window in max_in");
   RESCHED_REQUIRE(from >= 0);
-  auto it = steps_.upper_bound(from);
-  --it;
-  std::int64_t result = it->second;
-  for (++it; it != steps_.end() && it->first < to; ++it)
-    result = std::max(result, it->second);
+  std::size_t i = index_of(from);
+  std::int64_t result = steps_[i].value;
+  for (++i; i < steps_.size() && steps_[i].start < to; ++i)
+    result = std::max(result, steps_[i].value);
   return result;
 }
 
@@ -75,18 +80,17 @@ Time StepProfile::first_below(Time from, Time to,
                               std::int64_t threshold) const {
   RESCHED_REQUIRE(from >= 0);
   if (from >= to) return kTimeInfinity;
-  auto it = steps_.upper_bound(from);
-  --it;
-  if (it->second < threshold) return from;
-  for (++it; it != steps_.end() && it->first < to; ++it)
-    if (it->second < threshold) return it->first;
+  std::size_t i = index_of(from);
+  if (steps_[i].value < threshold) return from;
+  for (++i; i < steps_.size() && steps_[i].start < to; ++i)
+    if (steps_[i].value < threshold) return steps_[i].start;
   return kTimeInfinity;
 }
 
 Time StepProfile::next_change_after(Time t) const {
   RESCHED_REQUIRE(t >= 0);
-  const auto it = steps_.upper_bound(t);
-  return it == steps_.end() ? kTimeInfinity : it->first;
+  const std::size_t i = index_of(t);
+  return i + 1 < steps_.size() ? steps_[i + 1].start : kTimeInfinity;
 }
 
 std::int64_t StepProfile::integral(Time from, Time to) const {
@@ -94,15 +98,14 @@ std::int64_t StepProfile::integral(Time from, Time to) const {
   RESCHED_REQUIRE_MSG(to < kTimeInfinity, "integral over unbounded window");
   if (from == to) return 0;
   std::int64_t area = 0;
-  auto it = steps_.upper_bound(from);
-  --it;
+  std::size_t i = index_of(from);
   Time cursor = from;
   while (cursor < to) {
-    auto next = std::next(it);
-    const Time seg_end = (next == steps_.end()) ? to : std::min(next->first, to);
-    area = checked_add(area, checked_mul(it->second, seg_end - cursor));
+    const Time seg_end =
+        (i + 1 < steps_.size()) ? std::min(steps_[i + 1].start, to) : to;
+    area = checked_add(area, checked_mul(steps_[i].value, seg_end - cursor));
     cursor = seg_end;
-    it = next;
+    ++i;
   }
   return area;
 }
@@ -111,58 +114,55 @@ Time StepProfile::time_to_accumulate(Time from, std::int64_t target) const {
   RESCHED_REQUIRE(from >= 0 && target >= 0);
   if (target == 0) return from;
   std::int64_t remaining = target;
-  auto it = steps_.upper_bound(from);
-  --it;
+  std::size_t i = index_of(from);
   Time cursor = from;
   while (true) {
-    auto next = std::next(it);
-    const Time seg_end = (next == steps_.end()) ? kTimeInfinity : next->first;
-    const std::int64_t rate = it->second;
+    const bool is_last = (i + 1 == steps_.size());
+    const Time seg_end = is_last ? kTimeInfinity : steps_[i + 1].start;
+    const std::int64_t rate = steps_[i].value;
     if (rate > 0) {
       const Time needed = ceil_div(remaining, rate);
-      if (seg_end >= kTimeInfinity || needed <= seg_end - cursor)
-        return checked_add(cursor, needed) > kTimeInfinity ? kTimeInfinity
-                                                           : cursor + needed;
+      if (seg_end >= kTimeInfinity || needed <= seg_end - cursor) {
+        // cursor + needed can exceed INT64_MAX (e.g. target near the int64
+        // ceiling over a rate-1 tail); mathematically that is simply "past
+        // any horizon", so clamp instead of tripping the overflow check.
+        return needed >= kTimeInfinity - cursor ? kTimeInfinity
+                                                : cursor + needed;
+      }
       remaining -= checked_mul(rate, seg_end - cursor);
     }
-    if (next == steps_.end()) return kTimeInfinity;  // rate <= 0 forever
+    if (is_last) return kTimeInfinity;  // rate <= 0 forever
     cursor = seg_end;
-    it = next;
+    ++i;
   }
 }
 
 bool StepProfile::is_non_increasing() const noexcept {
-  std::int64_t prev = steps_.begin()->second;
-  for (const auto& [t, v] : steps_) {
-    if (v > prev) return false;
-    prev = v;
-  }
+  for (std::size_t i = 1; i < steps_.size(); ++i)
+    if (steps_[i].value > steps_[i - 1].value) return false;
   return true;
 }
 
 bool StepProfile::is_non_decreasing() const noexcept {
-  std::int64_t prev = steps_.begin()->second;
-  for (const auto& [t, v] : steps_) {
-    if (v < prev) return false;
-    prev = v;
-  }
+  for (std::size_t i = 1; i < steps_.size(); ++i)
+    if (steps_[i].value < steps_[i - 1].value) return false;
   return true;
 }
 
 std::int64_t StepProfile::min_value() const noexcept {
-  std::int64_t result = steps_.begin()->second;
-  for (const auto& [t, v] : steps_) result = std::min(result, v);
+  std::int64_t result = steps_.front().value;
+  for (const Step& step : steps_) result = std::min(result, step.value);
   return result;
 }
 
 std::int64_t StepProfile::max_value() const noexcept {
-  std::int64_t result = steps_.begin()->second;
-  for (const auto& [t, v] : steps_) result = std::max(result, v);
+  std::int64_t result = steps_.front().value;
+  for (const Step& step : steps_) result = std::max(result, step.value);
   return result;
 }
 
 std::int64_t StepProfile::final_value() const noexcept {
-  return steps_.rbegin()->second;
+  return steps_.back().value;
 }
 
 std::size_t StepProfile::segment_count() const noexcept {
@@ -172,11 +172,10 @@ std::size_t StepProfile::segment_count() const noexcept {
 std::vector<StepProfile::Segment> StepProfile::segments() const {
   std::vector<Segment> out;
   out.reserve(steps_.size());
-  for (auto it = steps_.begin(); it != steps_.end(); ++it) {
-    const auto next = std::next(it);
-    out.push_back(Segment{it->first,
-                          next == steps_.end() ? kTimeInfinity : next->first,
-                          it->second});
+  for (std::size_t i = 0; i < steps_.size(); ++i) {
+    const Time end =
+        (i + 1 < steps_.size()) ? steps_[i + 1].start : kTimeInfinity;
+    out.push_back(Segment{steps_[i].start, end, steps_[i].value});
   }
   return out;
 }
@@ -186,16 +185,14 @@ std::vector<StepProfile::Segment> StepProfile::segments_in(Time from,
   RESCHED_REQUIRE(from >= 0 && from <= to);
   std::vector<Segment> out;
   if (from == to) return out;
-  auto it = steps_.upper_bound(from);
-  --it;
+  std::size_t i = index_of(from);
   Time cursor = from;
-  while (cursor < to && it != steps_.end()) {
-    const auto next = std::next(it);
+  while (cursor < to && i < steps_.size()) {
     const Time seg_end =
-        (next == steps_.end()) ? to : std::min<Time>(next->first, to);
-    out.push_back(Segment{cursor, seg_end, it->second});
+        (i + 1 < steps_.size()) ? std::min(steps_[i + 1].start, to) : to;
+    out.push_back(Segment{cursor, seg_end, steps_[i].value});
     cursor = seg_end;
-    it = next;
+    ++i;
   }
   return out;
 }
@@ -203,35 +200,35 @@ std::vector<StepProfile::Segment> StepProfile::segments_in(Time from,
 StepProfile StepProfile::plus(const StepProfile& other) const {
   StepProfile result(0);
   result.steps_.clear();
-  auto a = steps_.begin();
-  auto b = other.steps_.begin();
-  std::int64_t va = a->second;
-  std::int64_t vb = b->second;
-  // Merge the two breakpoint sets.
-  while (a != steps_.end() || b != other.steps_.end()) {
+  result.steps_.reserve(steps_.size() + other.steps_.size());
+  std::size_t a = 0;
+  std::size_t b = 0;
+  std::int64_t va = steps_.front().value;
+  std::int64_t vb = other.steps_.front().value;
+  // Merge the two breakpoint sets; emitted starts are strictly increasing.
+  while (a < steps_.size() || b < other.steps_.size()) {
     Time t;
-    if (b == other.steps_.end() || (a != steps_.end() && a->first <= b->first)) {
-      t = a->first;
-      va = a->second;
-      if (b != other.steps_.end() && b->first == t) {
-        vb = b->second;
-        ++b;
-      }
+    if (b == other.steps_.size() ||
+        (a < steps_.size() && steps_[a].start <= other.steps_[b].start)) {
+      t = steps_[a].start;
+      va = steps_[a].value;
+      if (b < other.steps_.size() && other.steps_[b].start == t)
+        vb = other.steps_[b++].value;
       ++a;
     } else {
-      t = b->first;
-      vb = b->second;
-      ++b;
+      t = other.steps_[b].start;
+      vb = other.steps_[b++].value;
     }
-    result.steps_[t] = checked_add(va, vb);
+    const std::int64_t v = checked_add(va, vb);
+    if (result.steps_.empty() || result.steps_.back().value != v)
+      result.steps_.push_back(Step{t, v});
   }
-  result.coalesce();
   return result;
 }
 
 StepProfile StepProfile::minus(const StepProfile& other) const {
   StepProfile negated = other;
-  for (auto& [t, v] : negated.steps_) v = checked_neg(v);
+  for (Step& step : negated.steps_) step.value = checked_neg(step.value);
   return plus(negated);
 }
 

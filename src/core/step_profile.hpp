@@ -7,15 +7,18 @@
 // queries, range addition, windowed minima, area integrals and breakpoint
 // iteration, each in O(log s + k) for s segments and k touched segments.
 //
-// Representation: ordered map {segment start -> value}; the value holds from
-// its key (inclusive) to the next key (exclusive); the last segment extends
-// to +infinity. Invariants: the map contains key 0, and adjacent segments
-// have distinct values (canonical form), so operator== means pointwise
-// function equality.
+// Representation: flat vector of {segment start, value} sorted by start; the
+// value holds from its start (inclusive) to the next start (exclusive); the
+// last segment extends to +infinity. Invariants: the first start is 0, and
+// adjacent segments have distinct values (canonical form), so operator==
+// means pointwise function equality. The flat layout keeps the hot queries
+// (min_in / first_below / integral, which every scheduler issues per
+// placement) on a single contiguous cache-friendly scan instead of chasing
+// red-black tree nodes.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <map>
 #include <vector>
 
 #include "core/types.hpp"
@@ -86,12 +89,21 @@ class StepProfile {
   friend bool operator==(const StepProfile&, const StepProfile&) = default;
 
  private:
-  // {segment start -> value}; contains key 0; adjacent values distinct.
-  std::map<Time, std::int64_t> steps_;
+  struct Step {
+    Time start;  // inclusive; value holds until the next step's start
+    std::int64_t value;
+    friend bool operator==(const Step&, const Step&) = default;
+  };
 
-  // Ensures a breakpoint exists exactly at t (t > 0); returns iterator to it.
-  std::map<Time, std::int64_t>::iterator split_at(Time t);
-  void coalesce();
+  // Sorted by start; front().start == 0; adjacent values distinct.
+  std::vector<Step> steps_;
+
+  // Index of the segment containing t (t >= 0).
+  [[nodiscard]] std::size_t index_of(Time t) const noexcept;
+  // Ensures a breakpoint exists exactly at t; returns its index.
+  std::size_t split_at(Time t);
+  // Erases the step at index i if it duplicates its left neighbour's value.
+  void coalesce_at(std::size_t i);
 };
 
 }  // namespace resched

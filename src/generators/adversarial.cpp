@@ -5,6 +5,7 @@
 
 #include "util/checked.hpp"
 #include "util/require.hpp"
+#include "util/strings.hpp"
 
 namespace resched {
 
@@ -20,12 +21,12 @@ Prop2Family prop2_instance(std::int64_t k) {
   // Set 1: k narrow-short jobs, q = (k-1)^2, p = 1 (ids 0..k-1).
   for (std::int64_t i = 0; i < k; ++i)
     jobs.push_back(Job{static_cast<JobId>(i), checked_mul(k - 1, k - 1), 1, 0,
-                       "short" + std::to_string(i)});
+                       tag("short", i)});
   // Set 2: k-1 wide-long jobs, q = k(k-1)+1, p = k (ids k..2k-2).
   for (std::int64_t i = 0; i < k - 1; ++i)
     jobs.push_back(Job{static_cast<JobId>(k + i),
                        checked_add(checked_mul(k, k - 1), 1), k, 0,
-                       "wide" + std::to_string(i)});
+                       tag("wide", i)});
 
   std::vector<Reservation> reservations;
   // One reservation of (1 - alpha) m = k(k-1)(k-2) processors starting at
@@ -79,9 +80,9 @@ FcfsBadFamily fcfs_bad_instance(ProcCount m) {
   std::vector<Job> jobs;
   for (ProcCount i = 0; i < m; ++i) {
     jobs.push_back(Job{static_cast<JobId>(2 * i), 1, long_p, 0,
-                       "L" + std::to_string(i)});
+                       tag("L", i)});
     jobs.push_back(Job{static_cast<JobId>(2 * i + 1), m, 1, 0,
-                       "W" + std::to_string(i)});
+                       tag("W", i)});
   }
   family.instance = Instance(m, std::move(jobs));
   family.optimal_makespan = checked_add(long_p, m);       // m^2 + m
@@ -95,9 +96,9 @@ Instance cbf_trap_instance(std::int64_t rounds, ProcCount m,
   std::vector<Job> jobs;
   for (std::int64_t i = 0; i < rounds; ++i) {
     jobs.push_back(Job{static_cast<JobId>(2 * i), 1, narrow_duration, 2 * i,
-                       "F" + std::to_string(i)});
+                       tag("F", i)});
     jobs.push_back(Job{static_cast<JobId>(2 * i + 1), m, 1, 2 * i + 1,
-                       "G" + std::to_string(i)});
+                       tag("G", i)});
   }
   return Instance(m, std::move(jobs));
 }

@@ -5,6 +5,7 @@
 #include "core/availability.hpp"
 #include "util/checked.hpp"
 #include "util/require.hpp"
+#include "util/strings.hpp"
 
 namespace resched {
 
@@ -23,7 +24,7 @@ std::vector<Reservation> staircase_to_reservations(
     RESCHED_CHECK(drop > 0);  // canonical segments + non-increasing
     blocks.push_back(Reservation{static_cast<ReservationId>(blocks.size()),
                                  drop, segments[j].end, 0,
-                                 "step" + std::to_string(j)});
+                                 tag("step", static_cast<std::int64_t>(j))});
   }
   return blocks;
 }
@@ -59,7 +60,7 @@ HeadJobTransform reservations_to_head_jobs(const Instance& instance) {
   jobs.reserve(blocks.size() + instance.n());
   for (const Reservation& block : blocks) {
     const JobId id = static_cast<JobId>(jobs.size());
-    jobs.push_back(Job{id, block.q, block.p, 0, "head" + std::to_string(id)});
+    jobs.push_back(Job{id, block.q, block.p, 0, tag("head", id)});
     out.head_ids.push_back(id);
   }
   const JobId offset = static_cast<JobId>(jobs.size());

@@ -38,8 +38,11 @@ inline std::int64_t checked_mul(std::int64_t a, std::int64_t b) {
 inline std::int64_t checked_neg(std::int64_t a) { return checked_sub(0, a); }
 
 // Floor division with sign-correct semantics (C++ '/' truncates toward zero).
+// INT64_MIN / -1 is the one overflowing quotient; route it through
+// checked_neg so it throws instead of invoking UB.
 inline std::int64_t floor_div(std::int64_t a, std::int64_t b) {
   if (b == 0) throw std::domain_error("division by zero");
+  if (b == -1) return checked_neg(a);
   std::int64_t q = a / b;
   std::int64_t r = a % b;
   return (r != 0 && ((r < 0) != (b < 0))) ? q - 1 : q;
@@ -48,6 +51,7 @@ inline std::int64_t floor_div(std::int64_t a, std::int64_t b) {
 // Ceiling division with sign-correct semantics.
 inline std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
   if (b == 0) throw std::domain_error("division by zero");
+  if (b == -1) return checked_neg(a);
   std::int64_t q = a / b;
   std::int64_t r = a % b;
   return (r != 0 && ((r < 0) == (b < 0))) ? q + 1 : q;

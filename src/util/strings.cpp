@@ -64,4 +64,10 @@ std::string format_double(double value, int precision) {
   return buffer;
 }
 
+std::string tag(std::string_view prefix, std::int64_t n) {
+  std::string out(prefix);
+  out += std::to_string(n);
+  return out;
+}
+
 }  // namespace resched

@@ -1,6 +1,7 @@
 // Small string helpers shared by I/O, CLI and table code.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -22,5 +23,10 @@ namespace resched {
 
 // Fixed-precision double formatting ("%.*f").
 [[nodiscard]] std::string format_double(double value, int precision);
+
+// prefix + decimal n ("job", 7 -> "job7"). Generators label jobs this way;
+// written with append rather than an operator+ chain, which GCC 12
+// misdiagnoses under -O2 -Werror=restrict when inlined (PR105651).
+[[nodiscard]] std::string tag(std::string_view prefix, std::int64_t n);
 
 }  // namespace resched

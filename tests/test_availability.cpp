@@ -72,7 +72,7 @@ TEST(Availability, AlphaRestriction) {
   EXPECT_FALSE(is_alpha_restricted(instance, Rational(3, 5)));
   // alpha = 1/5: job cap 2 < 4 -> violated.
   EXPECT_FALSE(is_alpha_restricted(instance, Rational(1, 5)));
-  EXPECT_THROW(is_alpha_restricted(instance, Rational(0)),
+  EXPECT_THROW((void)is_alpha_restricted(instance, Rational(0)),
                std::invalid_argument);
 }
 

@@ -86,7 +86,8 @@ TEST(Bnb, NodeLimitReportsUnproven) {
   options.node_limit = 3;
   const BnbResult result = branch_and_bound(instance, options);
   EXPECT_FALSE(result.proven);
-  EXPECT_THROW(optimal_makespan(instance, options), std::invalid_argument);
+  EXPECT_THROW((void)optimal_makespan(instance, options),
+               std::invalid_argument);
 }
 
 TEST(Bnb, UpperBoundHintDoesNotChangeResult) {

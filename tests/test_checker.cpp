@@ -128,7 +128,7 @@ TEST(Lemma1, RejectsReservedInstances) {
                           {Reservation{0, 1, 1, 0, ""}});
   Schedule schedule(1);
   schedule.set_start(0, 1);
-  EXPECT_THROW(check_lemma1(instance, schedule), std::invalid_argument);
+  EXPECT_THROW((void)check_lemma1(instance, schedule), std::invalid_argument);
 }
 
 // Property: Lemma 1 holds for LSRC under every priority order on random

@@ -73,7 +73,7 @@ TEST(Cli, TypeErrorsThrow) {
   cli.add_option("n", "count", "0");
   const auto argv = argv_of({"prog", "--n=abc"});
   ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
-  EXPECT_THROW(cli.get_int("n"), std::invalid_argument);
+  EXPECT_THROW((void)cli.get_int("n"), std::invalid_argument);
 }
 
 TEST(Cli, DoubleParsing) {

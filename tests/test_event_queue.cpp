@@ -11,8 +11,8 @@ TEST(EventQueue, EmptyInitially) {
   EventQueue<int> queue;
   EXPECT_TRUE(queue.empty());
   EXPECT_EQ(queue.size(), 0u);
-  EXPECT_THROW(queue.pop(), std::invalid_argument);
-  EXPECT_THROW(queue.next_time(), std::invalid_argument);
+  EXPECT_THROW((void)queue.pop(), std::invalid_argument);
+  EXPECT_THROW((void)queue.next_time(), std::invalid_argument);
 }
 
 TEST(EventQueue, OrdersByTime) {

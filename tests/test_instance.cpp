@@ -102,9 +102,9 @@ TEST(Instance, WithJobAppends) {
 
 TEST(Instance, JobAccessorBoundsChecked) {
   const Instance instance = small_instance();
-  EXPECT_THROW(instance.job(3), std::invalid_argument);
-  EXPECT_THROW(instance.job(-1), std::invalid_argument);
-  EXPECT_THROW(instance.reservation(1), std::invalid_argument);
+  EXPECT_THROW((void)instance.job(3), std::invalid_argument);
+  EXPECT_THROW((void)instance.job(-1), std::invalid_argument);
+  EXPECT_THROW((void)instance.reservation(1), std::invalid_argument);
 }
 
 TEST(Instance, EqualityIsStructural) {
@@ -117,7 +117,7 @@ TEST(Instance, JobAreaOverflowChecked) {
   const Instance instance(std::int64_t{1} << 32,
                           {Job{0, std::int64_t{1} << 32,
                                std::int64_t{1} << 33, 0, ""}});
-  EXPECT_THROW(instance.total_work(), std::overflow_error);
+  EXPECT_THROW((void)instance.total_work(), std::overflow_error);
 }
 
 }  // namespace

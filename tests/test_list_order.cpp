@@ -74,7 +74,7 @@ TEST(ListOrder, EveryOrderIsAPermutation) {
 TEST(ListOrder, StringRoundTrip) {
   for (const ListOrder order : all_list_orders())
     EXPECT_EQ(list_order_from_string(to_string(order)), order);
-  EXPECT_THROW(list_order_from_string("bogus"), std::invalid_argument);
+  EXPECT_THROW((void)list_order_from_string("bogus"), std::invalid_argument);
 }
 
 TEST(ListOrder, EmptyInstance) {

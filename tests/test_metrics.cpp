@@ -71,14 +71,14 @@ TEST(Metrics, RejectsInfeasibleSchedule) {
   Schedule schedule(2);
   schedule.set_start(0, 0);
   schedule.set_start(1, 0);
-  EXPECT_THROW(compute_metrics(instance, schedule), std::invalid_argument);
+  EXPECT_THROW((void)compute_metrics(instance, schedule), std::invalid_argument);
 }
 
 TEST(Metrics, RejectsBadTau) {
   const Instance instance(1, {Job{0, 1, 1, 0, ""}});
   Schedule schedule(1);
   schedule.set_start(0, 0);
-  EXPECT_THROW(compute_metrics(instance, schedule, 0), std::invalid_argument);
+  EXPECT_THROW((void)compute_metrics(instance, schedule, 0), std::invalid_argument);
 }
 
 }  // namespace

@@ -94,13 +94,13 @@ TEST(TwoMachineOptimal, EmptyAndSingle) {
 }
 
 TEST(TwoMachineOptimal, DomainEnforced) {
-  EXPECT_THROW(two_machine_optimal(Instance(3, {Job{0, 1, 1, 0, ""}})),
+  EXPECT_THROW((void)two_machine_optimal(Instance(3, {Job{0, 1, 1, 0, ""}})),
                std::invalid_argument);
-  EXPECT_THROW(two_machine_optimal(Instance(2, {Job{0, 2, 1, 0, ""}})),
+  EXPECT_THROW((void)two_machine_optimal(Instance(2, {Job{0, 2, 1, 0, ""}})),
                std::invalid_argument);
-  EXPECT_THROW(two_machine_optimal(Instance(2, {Job{0, 1, 1, 5, ""}})),
+  EXPECT_THROW((void)two_machine_optimal(Instance(2, {Job{0, 1, 1, 5, ""}})),
                std::invalid_argument);
-  EXPECT_THROW(two_machine_optimal(Instance(
+  EXPECT_THROW((void)two_machine_optimal(Instance(
                    2, {Job{0, 1, 1, 0, ""}}, {Reservation{0, 1, 1, 0, ""}})),
                std::invalid_argument);
 }

@@ -65,7 +65,7 @@ TEST(FreeProfile, EarliestFitLandsOnCapacityIncrease) {
 
 TEST(FreeProfile, EarliestFitImpossibleWidthThrows) {
   FreeProfile free{StepProfile(2)};
-  EXPECT_THROW(free.earliest_fit(0, 3, 1), std::invalid_argument);
+  EXPECT_THROW((void)free.earliest_fit(0, 3, 1), std::invalid_argument);
 }
 
 TEST(FreeProfile, CommitSubtractsAndUncommitRestores) {

@@ -146,7 +146,9 @@ TEST_P(RationalFieldAxioms, AssociativityCommutativityDistributivity) {
   EXPECT_EQ(a * b, b * a);
   EXPECT_EQ(a * (b + c), a * b + a * c);
   EXPECT_EQ(a - a, Rational(0));
-  if (a != Rational(0)) EXPECT_EQ(a / a, Rational(1));
+  if (a != Rational(0)) {
+    EXPECT_EQ(a / a, Rational(1));
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(SmallFractions, RationalFieldAxioms,

@@ -21,7 +21,7 @@ TEST(Schedule, SetAndQueryStart) {
   schedule.set_start(0, 5);
   EXPECT_TRUE(schedule.is_scheduled(0));
   EXPECT_EQ(schedule.start(0), 5);
-  EXPECT_THROW(schedule.start(1), std::invalid_argument);
+  EXPECT_THROW((void)schedule.start(1), std::invalid_argument);
   EXPECT_THROW(schedule.set_start(2, 0), std::invalid_argument);
   EXPECT_THROW(schedule.set_start(0, -1), std::invalid_argument);
 }

@@ -85,8 +85,8 @@ TEST(Percentile, Interpolates) {
 }
 
 TEST(Percentile, RejectsBadInput) {
-  EXPECT_THROW(percentile({}, 0.5), std::invalid_argument);
-  EXPECT_THROW(percentile({1.0}, 1.5), std::invalid_argument);
+  EXPECT_THROW((void)percentile({}, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)percentile({1.0}, 1.5), std::invalid_argument);
 }
 
 }  // namespace

@@ -19,7 +19,7 @@ TEST(StepProfile, ConstantFunction) {
 
 TEST(StepProfile, NegativeQueryThrows) {
   const StepProfile profile(0);
-  EXPECT_THROW(profile.value_at(-1), std::invalid_argument);
+  EXPECT_THROW((void)profile.value_at(-1), std::invalid_argument);
 }
 
 TEST(StepProfile, AddCreatesSegments) {
@@ -89,8 +89,8 @@ TEST(StepProfile, MinMaxInWindow) {
 
 TEST(StepProfile, MinInEmptyWindowThrows) {
   const StepProfile profile(0);
-  EXPECT_THROW(profile.min_in(5, 5), std::invalid_argument);
-  EXPECT_THROW(profile.min_in(6, 5), std::invalid_argument);
+  EXPECT_THROW((void)profile.min_in(5, 5), std::invalid_argument);
+  EXPECT_THROW((void)profile.min_in(6, 5), std::invalid_argument);
 }
 
 TEST(StepProfile, FirstBelow) {
@@ -125,7 +125,7 @@ TEST(StepProfile, Integral) {
 
 TEST(StepProfile, IntegralRejectsUnbounded) {
   const StepProfile profile(1);
-  EXPECT_THROW(profile.integral(0, kTimeInfinity), std::invalid_argument);
+  EXPECT_THROW((void)profile.integral(0, kTimeInfinity), std::invalid_argument);
 }
 
 TEST(StepProfile, TimeToAccumulate) {
