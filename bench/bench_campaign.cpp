@@ -1,0 +1,61 @@
+// Experiment E9c -- campaign throughput across thread counts.
+//
+// run_campaign fans seeded instances across schedulers on a thread pool;
+// this bench pins down the scaling of that fan-out (same aggregated table
+// for every thread count -- the determinism test asserts it, this measures
+// what the parallelism buys).
+#include "bench_util.hpp"
+
+#include "generators/reservations.hpp"
+#include "generators/workload.hpp"
+#include "sim/campaign.hpp"
+
+namespace {
+
+using namespace resched;
+
+Instance sweep_instance(std::uint64_t seed) {
+  WorkloadConfig workload;
+  workload.n = 300;
+  workload.m = 64;
+  workload.alpha = Rational(1, 2);
+  Instance instance = random_workload(workload, seed);
+  AlphaReservationConfig resa;
+  resa.alpha = Rational(1, 2);
+  resa.count = 10;
+  resa.horizon = 2000;
+  resa.max_duration = 200;
+  return with_alpha_restricted_reservations(instance, resa,
+                                            seed ^ 0x9e3779b97f4a7c15ull);
+}
+
+void print_tables() {
+  benchutil::print_header(
+      "Campaign throughput (E9c)",
+      "run_campaign over 16 reserved instances x 4 schedulers; "
+      "Arg = worker threads.");
+}
+
+void BM_Campaign(benchmark::State& state) {
+  CampaignConfig config;
+  config.instances = 16;
+  config.seed = 7;
+  config.threads = static_cast<std::size_t>(state.range(0));
+  config.schedulers = {"lsrc", "conservative", "easy", "fcfs"};
+  const InstanceGenerator generator = [](std::size_t, std::uint64_t seed) {
+    return sweep_instance(seed);
+  };
+  for (auto _ : state) {
+    const CampaignResult result = run_campaign(generator, config);
+    benchmark::DoNotOptimize(result.cells.front().makespan.mean());
+  }
+  state.counters["schedules/s"] = benchmark::Counter(
+      static_cast<double>(config.instances * config.schedulers.size()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Campaign)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+RESCHED_BENCH_MAIN(print_tables)

@@ -55,7 +55,32 @@ void BM_ProfileMinIn(benchmark::State& state) {
     benchmark::DoNotOptimize(profile.min_in(start, start + 1000));
   }
 }
-BENCHMARK(BM_ProfileMinIn)->Range(64, 4096);
+BENCHMARK(BM_ProfileMinIn)->Range(64, 16384);
+
+void BM_ProfileMinInWide(benchmark::State& state) {
+  // Windows spanning a quarter of the horizon: the regime where a linear
+  // scan visits thousands of segments per query.
+  const StepProfile profile = busy_profile(state.range(0), 3);
+  Prng prng(4);
+  for (auto _ : state) {
+    const Time start = prng.uniform_int(0, 75'000);
+    benchmark::DoNotOptimize(profile.min_in(start, start + 25'000));
+  }
+}
+BENCHMARK(BM_ProfileMinInWide)->Range(64, 16384);
+
+void BM_ProfileFirstBelow(benchmark::State& state) {
+  const StepProfile profile = busy_profile(state.range(0), 3);
+  // A threshold at the profile floor forces the worst case: the whole
+  // window is searched and nothing is found.
+  const std::int64_t floor = profile.min_value();
+  Prng prng(11);
+  for (auto _ : state) {
+    const Time start = prng.uniform_int(0, 100'000);
+    benchmark::DoNotOptimize(profile.first_below(start, start + 50'000, floor));
+  }
+}
+BENCHMARK(BM_ProfileFirstBelow)->Range(64, 16384);
 
 void BM_ProfileIntegral(benchmark::State& state) {
   const StepProfile profile = busy_profile(state.range(0), 5);
@@ -72,7 +97,7 @@ void BM_EarliestFit(benchmark::State& state) {
     benchmark::DoNotOptimize(free.earliest_fit(0, q, 300));
   }
 }
-BENCHMARK(BM_EarliestFit)->Range(64, 4096);
+BENCHMARK(BM_EarliestFit)->Range(64, 16384);
 
 void BM_ProfilePlus(benchmark::State& state) {
   const StepProfile a = busy_profile(state.range(0), 8);

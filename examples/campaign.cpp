@@ -1,11 +1,15 @@
-// Campaign runner: regenerate the paper's figure data as CSV.
+// Campaign runner: regenerate the paper's figure data as CSV, or sweep all
+// schedulers over seeded random instances in parallel.
 //
-// A thin sweep driver over the library, for users who want the raw series
-// behind bench_fig3/bench_fig4 to plot themselves:
+// A thin driver over the library:
 //
 //   ./build/examples/campaign --experiment=fig3 > fig3.csv
 //   ./build/examples/campaign --experiment=fig4 --step=0.01 > fig4.csv
 //   ./build/examples/campaign --experiment=alpha --seeds=20 > alpha.csv
+//   ./build/examples/campaign --experiment=sweep --instances=64 --threads=8
+//
+// The sweep experiment is powered by sim/campaign.hpp's run_campaign: same
+// seed means the same aggregated table for any --threads value.
 //
 // Also doubles as an instance exporter: --dump-instances writes every
 // generated instance in SWF form next to the CSV.
@@ -20,6 +24,7 @@
 #include "generators/adversarial.hpp"
 #include "generators/reservations.hpp"
 #include "generators/workload.hpp"
+#include "sim/campaign.hpp"
 #include "util/cli.hpp"
 #include "util/strings.hpp"
 
@@ -100,14 +105,59 @@ int run_alpha(std::uint64_t seeds, bool dump) {
   return 0;
 }
 
+int run_sweep(const CliParser& cli) {
+  CampaignConfig config;
+  config.instances = static_cast<std::size_t>(cli.get_int("instances"));
+  config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  config.threads = static_cast<std::size_t>(cli.get_int("threads"));
+  const std::string schedulers = cli.get_string("schedulers");
+  if (!schedulers.empty()) config.schedulers = split(schedulers, ',');
+
+  const std::size_t n = static_cast<std::size_t>(cli.get_int("n"));
+  const ProcCount m = cli.get_int("m");
+  const std::int64_t reservations = cli.get_int("reservations");
+  const InstanceGenerator generator =
+      [n, m, reservations](std::size_t, std::uint64_t seed) {
+        WorkloadConfig workload;
+        workload.n = n;
+        workload.m = m;
+        workload.alpha = Rational(1, 2);
+        Instance instance = random_workload(workload, seed);
+        if (reservations > 0) {
+          AlphaReservationConfig resa;
+          resa.alpha = Rational(1, 2);
+          resa.count = static_cast<std::size_t>(reservations);
+          resa.horizon = 2000;
+          resa.max_duration = 200;
+          instance = with_alpha_restricted_reservations(
+              instance, resa, seed ^ 0x9e3779b97f4a7c15ull);
+        }
+        return instance;
+      };
+
+  const CampaignResult result = run_campaign(generator, config);
+  std::cout << "campaign: " << result.instances << " instances, seed "
+            << config.seed << "\n\n";
+  result.to_table().print(std::cout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace resched;
   CliParser cli("campaign", "CSV sweep runner for the paper's figures");
-  cli.add_option("experiment", "one of: fig3, fig4, alpha", "fig3");
+  cli.add_option("experiment", "one of: fig3, fig4, alpha, sweep", "fig3");
   cli.add_option("step", "alpha grid step for fig4", "0.05");
   cli.add_option("seeds", "seeds per cell for the alpha sweep", "10");
+  cli.add_option("instances", "sweep: number of generated instances", "32");
+  cli.add_option("seed", "sweep: master seed", "1");
+  cli.add_option("threads", "sweep: worker threads (0 = all cores)", "0");
+  cli.add_option("schedulers",
+                 "sweep: comma-separated scheduler names (empty = all)", "");
+  cli.add_option("n", "sweep: jobs per instance", "120");
+  cli.add_option("m", "sweep: processors", "64");
+  cli.add_option("reservations", "sweep: reservations per instance", "8");
   cli.add_flag("dump-instances", "also write generated instances as SWF");
   if (!cli.parse(argc, argv)) return 0;
 
@@ -117,6 +167,7 @@ int main(int argc, char** argv) {
   if (experiment == "fig4") return run_fig4(cli.get_double("step"));
   if (experiment == "alpha")
     return run_alpha(static_cast<std::uint64_t>(cli.get_int("seeds")), dump);
+  if (experiment == "sweep") return run_sweep(cli);
   std::cerr << "unknown experiment '" << experiment << "'\n" << cli.usage();
   return 1;
 }

@@ -22,7 +22,9 @@ ProcCount FreeProfile::capacity_at(Time t) const {
 
 bool FreeProfile::fits_at(Time t, ProcCount q, Time p) const {
   RESCHED_REQUIRE(t >= 0 && q >= 1 && p > 0);
-  return profile_.min_in(t, checked_add(t, p)) >= q;
+  // Equivalent to min_in(t, t+p) >= q, but bails out at the first deficient
+  // segment (and descends the index on wide windows).
+  return profile_.first_below(t, checked_add(t, p), q) == kTimeInfinity;
 }
 
 Time FreeProfile::earliest_fit(Time t0, ProcCount q, Time p) const {
@@ -32,14 +34,20 @@ Time FreeProfile::earliest_fit(Time t0, ProcCount q, Time p) const {
       "job can never fit: q exceeds the eventual free capacity");
   Time t = t0;
   while (true) {
-    // First moment in the window where capacity dips below q.
+    // First moment in the window where capacity dips below q; an O(log s)
+    // tree descent on indexed profiles.
     const Time deficient = profile_.first_below(t, checked_add(t, p), q);
     if (deficient == kTimeInfinity) return t;
-    // The window can only become feasible once the deficient segment ends;
-    // jump there and retry. Each jump lands on a breakpoint, and breakpoints
-    // are finite, so this terminates (see candidate-start lemma in header).
-    const Time resume = profile_.next_change_after(deficient);
-    RESCHED_CHECK_MSG(resume > t, "earliest_fit failed to advance");
+    // The window can only become feasible once capacity comes back up to q;
+    // leap over the entire deficient run in one descent. The landing point
+    // is a capacity-increase breakpoint (value < q just before it, >= q at
+    // it), so the candidate-start lemma in the header still holds, and the
+    // result is unchanged: the old breakpoint-by-breakpoint walk stopped at
+    // exactly this position. final_value() >= q makes the leap finite, and
+    // finitely many breakpoints make the loop terminate.
+    const Time resume = profile_.first_at_least(deficient, q);
+    RESCHED_CHECK_MSG(resume > t && resume != kTimeInfinity,
+                      "earliest_fit failed to advance");
     t = resume;
   }
 }

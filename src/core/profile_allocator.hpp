@@ -18,6 +18,11 @@
 // Hence earliest_fit only ever returns t0 or an increase breakpoint, and a
 // scheduler that re-examines its queue at capacity-increase events (job
 // completions, reservation ends) never misses a feasible start.
+//
+// Complexity: fits_at and each earliest_fit probe are O(log s) on fragmented
+// profiles through StepProfile's lazily built min/max segment-tree index;
+// earliest_fit leaps over whole runs of deficient segments per iteration
+// (first_at_least), so placements no longer rescan the profile linearly.
 #pragma once
 
 #include "core/instance.hpp"

@@ -1,11 +1,34 @@
 #include "core/step_profile.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <limits>
 
 #include "util/checked.hpp"
 #include "util/require.hpp"
 
 namespace resched {
+
+namespace {
+
+// Saturating arithmetic for the index (invariant I4): padding leaves hold
+// +/-inf sentinels, so tree math must clamp instead of wrapping. Exact for
+// all |values| < 2^62.
+std::int64_t sat_add(std::int64_t a, std::int64_t b) noexcept {
+  std::int64_t r = 0;
+  if (!__builtin_add_overflow(a, b, &r)) return r;
+  return b > 0 ? std::numeric_limits<std::int64_t>::max()
+               : std::numeric_limits<std::int64_t>::min();
+}
+
+std::int64_t sat_sub(std::int64_t a, std::int64_t b) noexcept {
+  std::int64_t r = 0;
+  if (!__builtin_sub_overflow(a, b, &r)) return r;
+  return b < 0 ? std::numeric_limits<std::int64_t>::max()
+               : std::numeric_limits<std::int64_t>::min();
+}
+
+}  // namespace
 
 StepProfile::StepProfile(std::int64_t initial_value) {
   steps_.push_back(Step{Time{0}, initial_value});
@@ -42,37 +65,370 @@ void StepProfile::coalesce_at(std::size_t i) {
 void StepProfile::add(Time from, Time to, std::int64_t delta) {
   RESCHED_REQUIRE_MSG(from >= 0, "profile add with negative start");
   if (from >= to || delta == 0) return;
+  // Strong exception guarantee: probe every affected segment's checked
+  // addition before the first structural change. Without this, an overflow
+  // mid-window would throw with partial deltas applied and the split
+  // breakpoints uncoalesced -- a silently non-canonical profile.
+  for (std::size_t i = index_of(from);
+       i < steps_.size() && steps_[i].start < to; ++i)
+    (void)checked_add(steps_[i].value, delta);
   const std::size_t first = split_at(from);
   // Split the right edge only for finite windows; [from, kTimeInfinity)
   // means "from `from` onwards".
   const std::size_t last =
       (to >= kTimeInfinity) ? steps_.size() : split_at(to);
-  for (std::size_t i = first; i < last; ++i)
-    steps_[i].value = checked_add(steps_[i].value, delta);
+  // Validated above: the split pieces carry the same values that were probed.
+  for (std::size_t i = first; i < last; ++i) steps_[i].value += delta;
   // Interior neighbours shifted by the same delta stay distinct, so only the
   // two window edges can need merging. Right edge first: erasing there does
   // not move `first`.
   coalesce_at(last);
   coalesce_at(first);
+  index_apply_add(from, to, delta);
 }
 
-std::int64_t StepProfile::min_in(Time from, Time to) const {
-  RESCHED_REQUIRE_MSG(from < to, "empty window in min_in");
-  RESCHED_REQUIRE(from >= 0);
-  std::size_t i = index_of(from);
+// ---------------------------------------------------------------------------
+// Linear-scan query fallbacks (exact; used below kMinIndexedSegments and for
+// the partial boundary leaves of indexed queries).
+// ---------------------------------------------------------------------------
+
+std::int64_t StepProfile::scan_min_at(std::size_t i, Time to) const {
   std::int64_t result = steps_[i].value;
   for (++i; i < steps_.size() && steps_[i].start < to; ++i)
     result = std::min(result, steps_[i].value);
   return result;
 }
 
-std::int64_t StepProfile::max_in(Time from, Time to) const {
-  RESCHED_REQUIRE_MSG(from < to, "empty window in max_in");
-  RESCHED_REQUIRE(from >= 0);
-  std::size_t i = index_of(from);
+std::int64_t StepProfile::scan_max_at(std::size_t i, Time to) const {
   std::int64_t result = steps_[i].value;
   for (++i; i < steps_.size() && steps_[i].start < to; ++i)
     result = std::max(result, steps_[i].value);
+  return result;
+}
+
+Time StepProfile::scan_first_below_at(std::size_t i, Time from, Time to,
+                                      std::int64_t threshold) const {
+  if (steps_[i].value < threshold) return from;
+  for (++i; i < steps_.size() && steps_[i].start < to; ++i)
+    if (steps_[i].value < threshold) return steps_[i].start;
+  return kTimeInfinity;
+}
+
+Time StepProfile::scan_first_at_least_at(std::size_t i, Time from,
+                                         std::int64_t threshold) const {
+  if (steps_[i].value >= threshold) return from;
+  for (++i; i < steps_.size(); ++i)
+    if (steps_[i].value >= threshold) return steps_[i].start;
+  return kTimeInfinity;
+}
+
+std::int64_t StepProfile::scan_min(Time from, Time to) const {
+  return scan_min_at(index_of(from), to);
+}
+
+std::int64_t StepProfile::scan_max(Time from, Time to) const {
+  return scan_max_at(index_of(from), to);
+}
+
+Time StepProfile::scan_first_below(Time from, Time to,
+                                   std::int64_t threshold) const {
+  return scan_first_below_at(index_of(from), from, to, threshold);
+}
+
+Time StepProfile::scan_first_at_least(Time from,
+                                      std::int64_t threshold) const {
+  return scan_first_at_least_at(index_of(from), from, threshold);
+}
+
+// ---------------------------------------------------------------------------
+// Segment-tree index (invariants I1-I5 in the header).
+// ---------------------------------------------------------------------------
+
+void StepProfile::index_build() const {
+  const std::size_t leaves = steps_.size();
+  index_.times.resize(leaves);
+  for (std::size_t i = 0; i < leaves; ++i)
+    index_.times[i] = steps_[i].start;
+  index_.cap = std::bit_ceil(leaves);
+  index_.min.assign(2 * index_.cap,
+                    std::numeric_limits<std::int64_t>::max());
+  index_.max.assign(2 * index_.cap,
+                    std::numeric_limits<std::int64_t>::min());
+  index_.lazy.assign(2 * index_.cap, 0);
+  for (std::size_t i = 0; i < leaves; ++i) {
+    index_.min[index_.cap + i] = steps_[i].value;
+    index_.max[index_.cap + i] = steps_[i].value;
+  }
+  for (std::size_t v = index_.cap - 1; v >= 1; --v) {
+    index_.min[v] = std::min(index_.min[2 * v], index_.min[2 * v + 1]);
+    index_.max[v] = std::max(index_.max[2 * v], index_.max[2 * v + 1]);
+  }
+  // Amortization: after ~s incremental adds a boundary leaf's span may hold
+  // enough real segments that recompute scans stop being cheap; an O(s)
+  // rebuild every Theta(s) adds keeps everything O(1) amortized.
+  index_.budget = std::max<std::size_t>(64, leaves);
+  index_.valid = true;
+}
+
+Time StepProfile::index_leaf_end(std::size_t j) const {
+  return j + 1 < index_.times.size() ? index_.times[j + 1] : kTimeInfinity;
+}
+
+std::size_t StepProfile::index_leaf_of(Time t) const {
+  const auto it =
+      std::upper_bound(index_.times.begin(), index_.times.end(), t);
+  return static_cast<std::size_t>(it - index_.times.begin()) - 1;
+}
+
+StepProfile::LeafWindow StepProfile::index_leaf_window(Time from,
+                                                       Time to) const {
+  LeafWindow window{};
+  window.lo_leaf = index_leaf_of(from);
+  window.left_partial = from > index_.times[window.lo_leaf];
+  if (to >= kTimeInfinity) {
+    // [from, +inf) covers the unbounded last leaf in full.
+    window.hi_leaf = index_.times.size() - 1;
+    window.right_partial = false;
+  } else {
+    window.hi_leaf = index_leaf_of(to);
+    if (index_.times[window.hi_leaf] == to) {
+      // to > from >= times[lo_leaf] makes hi_leaf >= lo_leaf + 1 here.
+      window.hi_leaf -= 1;
+      window.right_partial = false;
+    } else {
+      window.right_partial = index_leaf_end(window.hi_leaf) > to;
+    }
+  }
+  return window;
+}
+
+void StepProfile::index_recompute_leaf(std::size_t j) const {
+  const Time end = index_leaf_end(j);
+  std::size_t i = index_of(index_.times[j]);
+  std::int64_t lo = steps_[i].value;
+  std::int64_t hi = steps_[i].value;
+  for (++i; i < steps_.size() && steps_[i].start < end; ++i) {
+    lo = std::min(lo, steps_[i].value);
+    hi = std::max(hi, steps_[i].value);
+  }
+  // Descend to the leaf, accumulating the pending lazy of strict ancestors;
+  // the stored leaf value must exclude it (invariant I2).
+  std::size_t node = 1;
+  std::size_t node_lo = 0;
+  std::size_t node_hi = index_.cap - 1;
+  std::int64_t acc = 0;
+  while (node_lo != node_hi) {
+    acc = sat_add(acc, index_.lazy[node]);
+    const std::size_t mid = node_lo + (node_hi - node_lo) / 2;
+    if (j <= mid) {
+      node = 2 * node;
+      node_hi = mid;
+    } else {
+      node = 2 * node + 1;
+      node_lo = mid + 1;
+    }
+  }
+  index_.min[node] = sat_sub(lo, acc);
+  index_.max[node] = sat_sub(hi, acc);
+  while (node > 1) {
+    node /= 2;
+    index_.min[node] =
+        sat_add(std::min(index_.min[2 * node], index_.min[2 * node + 1]),
+                index_.lazy[node]);
+    index_.max[node] =
+        sat_add(std::max(index_.max[2 * node], index_.max[2 * node + 1]),
+                index_.lazy[node]);
+  }
+}
+
+void StepProfile::index_range_add(std::size_t node, std::size_t node_lo,
+                                  std::size_t node_hi, std::size_t lo,
+                                  std::size_t hi, std::int64_t delta) {
+  if (hi < node_lo || node_hi < lo) return;
+  if (lo <= node_lo && node_hi <= hi) {
+    index_.min[node] = sat_add(index_.min[node], delta);
+    index_.max[node] = sat_add(index_.max[node], delta);
+    if (node_lo != node_hi)
+      index_.lazy[node] = sat_add(index_.lazy[node], delta);
+    return;
+  }
+  const std::size_t mid = node_lo + (node_hi - node_lo) / 2;
+  index_range_add(2 * node, node_lo, mid, lo, hi, delta);
+  index_range_add(2 * node + 1, mid + 1, node_hi, lo, hi, delta);
+  index_.min[node] =
+      sat_add(std::min(index_.min[2 * node], index_.min[2 * node + 1]),
+              index_.lazy[node]);
+  index_.max[node] =
+      sat_add(std::max(index_.max[2 * node], index_.max[2 * node + 1]),
+              index_.lazy[node]);
+}
+
+void StepProfile::index_apply_add(Time from, Time to, std::int64_t delta) {
+  if (!index_.valid) return;
+  if (steps_.size() < kMinIndexedSegments || index_.budget == 0) {
+    index_.valid = false;
+    return;
+  }
+  --index_.budget;
+  const LeafWindow window = index_leaf_window(from, to);
+  // A leaf is recomputed iff the window covers it only partially; that is
+  // the lone leaf itself when the whole window sits inside one leaf.
+  const bool lo_partial =
+      window.left_partial ||
+      (window.lo_leaf == window.hi_leaf && window.right_partial);
+  const bool hi_partial =
+      window.right_partial && window.hi_leaf != window.lo_leaf;
+  if (lo_partial) index_recompute_leaf(window.lo_leaf);
+  if (hi_partial) index_recompute_leaf(window.hi_leaf);
+  const std::ptrdiff_t full_lo =
+      static_cast<std::ptrdiff_t>(window.lo_leaf) + (lo_partial ? 1 : 0);
+  const std::ptrdiff_t full_hi =
+      static_cast<std::ptrdiff_t>(window.hi_leaf) - (hi_partial ? 1 : 0);
+  if (full_lo <= full_hi)
+    index_range_add(1, 0, index_.cap - 1, static_cast<std::size_t>(full_lo),
+                    static_cast<std::size_t>(full_hi), delta);
+}
+
+std::int64_t StepProfile::index_range_min(std::size_t node,
+                                          std::size_t node_lo,
+                                          std::size_t node_hi, std::size_t lo,
+                                          std::size_t hi,
+                                          std::int64_t acc) const {
+  if (hi < node_lo || node_hi < lo)
+    return std::numeric_limits<std::int64_t>::max();
+  if (lo <= node_lo && node_hi <= hi) return sat_add(index_.min[node], acc);
+  const std::size_t mid = node_lo + (node_hi - node_lo) / 2;
+  const std::int64_t child_acc = sat_add(acc, index_.lazy[node]);
+  return std::min(
+      index_range_min(2 * node, node_lo, mid, lo, hi, child_acc),
+      index_range_min(2 * node + 1, mid + 1, node_hi, lo, hi, child_acc));
+}
+
+std::int64_t StepProfile::index_range_max(std::size_t node,
+                                          std::size_t node_lo,
+                                          std::size_t node_hi, std::size_t lo,
+                                          std::size_t hi,
+                                          std::int64_t acc) const {
+  if (hi < node_lo || node_hi < lo)
+    return std::numeric_limits<std::int64_t>::min();
+  if (lo <= node_lo && node_hi <= hi) return sat_add(index_.max[node], acc);
+  const std::size_t mid = node_lo + (node_hi - node_lo) / 2;
+  const std::int64_t child_acc = sat_add(acc, index_.lazy[node]);
+  return std::max(
+      index_range_max(2 * node, node_lo, mid, lo, hi, child_acc),
+      index_range_max(2 * node + 1, mid + 1, node_hi, lo, hi, child_acc));
+}
+
+std::size_t StepProfile::index_first_leaf_below(
+    std::size_t node, std::size_t node_lo, std::size_t node_hi,
+    std::size_t lo, std::size_t hi, std::int64_t threshold,
+    std::int64_t acc) const {
+  if (hi < node_lo || node_hi < lo) return kNoLeaf;
+  if (sat_add(index_.min[node], acc) >= threshold) return kNoLeaf;
+  if (node_lo == node_hi) return node_lo;
+  const std::size_t mid = node_lo + (node_hi - node_lo) / 2;
+  const std::int64_t child_acc = sat_add(acc, index_.lazy[node]);
+  const std::size_t left = index_first_leaf_below(2 * node, node_lo, mid, lo,
+                                                  hi, threshold, child_acc);
+  if (left != kNoLeaf) return left;
+  return index_first_leaf_below(2 * node + 1, mid + 1, node_hi, lo, hi,
+                                threshold, child_acc);
+}
+
+std::size_t StepProfile::index_first_leaf_at_least(
+    std::size_t node, std::size_t node_lo, std::size_t node_hi,
+    std::size_t lo, std::size_t hi, std::int64_t threshold,
+    std::int64_t acc) const {
+  if (hi < node_lo || node_hi < lo) return kNoLeaf;
+  if (sat_add(index_.max[node], acc) < threshold) return kNoLeaf;
+  if (node_lo == node_hi) return node_lo;
+  const std::size_t mid = node_lo + (node_hi - node_lo) / 2;
+  const std::int64_t child_acc = sat_add(acc, index_.lazy[node]);
+  const std::size_t left = index_first_leaf_at_least(
+      2 * node, node_lo, mid, lo, hi, threshold, child_acc);
+  if (left != kNoLeaf) return left;
+  return index_first_leaf_at_least(2 * node + 1, mid + 1, node_hi, lo, hi,
+                                   threshold, child_acc);
+}
+
+// ---------------------------------------------------------------------------
+// Windowed queries: indexed descent with linear-scan boundary leaves.
+// ---------------------------------------------------------------------------
+
+std::int64_t StepProfile::min_in(Time from, Time to) const {
+  RESCHED_REQUIRE_MSG(from < to, "empty window in min_in");
+  RESCHED_REQUIRE(from >= 0);
+  // Bounded scan: answer narrow windows at exactly the flat-vector cost and
+  // fall through to the tree only when the window proves wide. The at most
+  // kIndexedLeafCutoff wasted visits are dwarfed by what the descent saves.
+  const std::size_t lo_idx = index_of(from);
+  const std::size_t scan_stop =
+      std::min(steps_.size(), lo_idx + kIndexedLeafCutoff + 1);
+  std::int64_t result = steps_[lo_idx].value;
+  std::size_t i = lo_idx + 1;
+  for (; i < scan_stop && steps_[i].start < to; ++i)
+    result = std::min(result, steps_[i].value);
+  if (i == steps_.size() || steps_[i].start >= to) return result;
+  // Wide window: resume with the tree from where the scan stopped, so the
+  // scanned prefix is not wasted work.
+  return std::min(result, indexed_min_in(steps_[i].start, to, i));
+}
+
+std::int64_t StepProfile::indexed_min_in(Time from, Time to,
+                                         std::size_t lo_idx) const {
+  if (!index_.valid) index_build();
+  const LeafWindow window = index_leaf_window(from, to);
+  if (window.lo_leaf == window.hi_leaf) return scan_min_at(lo_idx, to);
+  std::int64_t result = std::numeric_limits<std::int64_t>::max();
+  if (window.left_partial)
+    result = scan_min_at(lo_idx, index_leaf_end(window.lo_leaf));
+  if (window.right_partial)
+    result = std::min(result, scan_min(index_.times[window.hi_leaf], to));
+  const std::ptrdiff_t full_lo = static_cast<std::ptrdiff_t>(window.lo_leaf) +
+                                 (window.left_partial ? 1 : 0);
+  const std::ptrdiff_t full_hi = static_cast<std::ptrdiff_t>(window.hi_leaf) -
+                                 (window.right_partial ? 1 : 0);
+  if (full_lo <= full_hi)
+    result = std::min(
+        result, index_range_min(1, 0, index_.cap - 1,
+                                static_cast<std::size_t>(full_lo),
+                                static_cast<std::size_t>(full_hi), 0));
+  return result;
+}
+
+std::int64_t StepProfile::max_in(Time from, Time to) const {
+  RESCHED_REQUIRE_MSG(from < to, "empty window in max_in");
+  RESCHED_REQUIRE(from >= 0);
+  const std::size_t lo_idx = index_of(from);
+  const std::size_t scan_stop =
+      std::min(steps_.size(), lo_idx + kIndexedLeafCutoff + 1);
+  std::int64_t result = steps_[lo_idx].value;
+  std::size_t i = lo_idx + 1;
+  for (; i < scan_stop && steps_[i].start < to; ++i)
+    result = std::max(result, steps_[i].value);
+  if (i == steps_.size() || steps_[i].start >= to) return result;
+  return std::max(result, indexed_max_in(steps_[i].start, to, i));
+}
+
+std::int64_t StepProfile::indexed_max_in(Time from, Time to,
+                                         std::size_t lo_idx) const {
+  if (!index_.valid) index_build();
+  const LeafWindow window = index_leaf_window(from, to);
+  if (window.lo_leaf == window.hi_leaf) return scan_max_at(lo_idx, to);
+  std::int64_t result = std::numeric_limits<std::int64_t>::min();
+  if (window.left_partial)
+    result = scan_max_at(lo_idx, index_leaf_end(window.lo_leaf));
+  if (window.right_partial)
+    result = std::max(result, scan_max(index_.times[window.hi_leaf], to));
+  const std::ptrdiff_t full_lo = static_cast<std::ptrdiff_t>(window.lo_leaf) +
+                                 (window.left_partial ? 1 : 0);
+  const std::ptrdiff_t full_hi = static_cast<std::ptrdiff_t>(window.hi_leaf) -
+                                 (window.right_partial ? 1 : 0);
+  if (full_lo <= full_hi)
+    result = std::max(
+        result, index_range_max(1, 0, index_.cap - 1,
+                                static_cast<std::size_t>(full_lo),
+                                static_cast<std::size_t>(full_hi), 0));
   return result;
 }
 
@@ -80,11 +436,81 @@ Time StepProfile::first_below(Time from, Time to,
                               std::int64_t threshold) const {
   RESCHED_REQUIRE(from >= 0);
   if (from >= to) return kTimeInfinity;
-  std::size_t i = index_of(from);
-  if (steps_[i].value < threshold) return from;
-  for (++i; i < steps_.size() && steps_[i].start < to; ++i)
+  const std::size_t lo_idx = index_of(from);
+  if (steps_[lo_idx].value < threshold) return from;
+  const std::size_t scan_stop =
+      std::min(steps_.size(), lo_idx + kIndexedLeafCutoff + 1);
+  std::size_t i = lo_idx + 1;
+  for (; i < scan_stop && steps_[i].start < to; ++i)
     if (steps_[i].value < threshold) return steps_[i].start;
+  if (i == steps_.size() || steps_[i].start >= to) return kTimeInfinity;
+  // The scanned prefix is clean; the tree takes over from the stop point.
+  return indexed_first_below(steps_[i].start, to, threshold, i);
+}
+
+Time StepProfile::indexed_first_below(Time from, Time to,
+                                      std::int64_t threshold,
+                                      std::size_t lo_idx) const {
+  if (!index_.valid) index_build();
+  const LeafWindow window = index_leaf_window(from, to);
+  if (window.lo_leaf == window.hi_leaf)
+    return scan_first_below_at(lo_idx, from, to, threshold);
+  if (window.left_partial) {
+    const Time r = scan_first_below_at(
+        lo_idx, from, index_leaf_end(window.lo_leaf), threshold);
+    if (r != kTimeInfinity) return r;
+  }
+  const std::ptrdiff_t full_lo = static_cast<std::ptrdiff_t>(window.lo_leaf) +
+                                 (window.left_partial ? 1 : 0);
+  const std::ptrdiff_t full_hi = static_cast<std::ptrdiff_t>(window.hi_leaf) -
+                                 (window.right_partial ? 1 : 0);
+  if (full_lo <= full_hi) {
+    const std::size_t j = index_first_leaf_below(
+        1, 0, index_.cap - 1, static_cast<std::size_t>(full_lo),
+        static_cast<std::size_t>(full_hi), threshold, 0);
+    if (j != kNoLeaf) {
+      const Time r =
+          scan_first_below(index_.times[j], index_leaf_end(j), threshold);
+      RESCHED_CHECK_MSG(r != kTimeInfinity,
+                        "index/leaf disagreement in first_below");
+      return r;
+    }
+  }
+  if (window.right_partial) {
+    const Time r =
+        scan_first_below(index_.times[window.hi_leaf], to, threshold);
+    if (r != kTimeInfinity) return r;
+  }
   return kTimeInfinity;
+}
+
+Time StepProfile::first_at_least(Time from, std::int64_t threshold) const {
+  RESCHED_REQUIRE(from >= 0);
+  const std::size_t lo_idx = index_of(from);
+  if (steps_.size() - lo_idx <= kIndexedLeafCutoff)
+    return scan_first_at_least_at(lo_idx, from, threshold);
+  if (!index_.valid) index_build();
+  const LeafWindow window = index_leaf_window(from, kTimeInfinity);
+  if (window.left_partial) {
+    // Clipped scan over the remainder of the leaf. index_leaf_end is
+    // kTimeInfinity when `from` sits inside the last snapshot leaf (which
+    // holds many real segments after incremental splits beyond the last
+    // snapshot breakpoint), so the scan then covers the whole tail.
+    std::size_t i = lo_idx;
+    if (steps_[i].value >= threshold) return from;
+    const Time end = index_leaf_end(window.lo_leaf);
+    for (++i; i < steps_.size() && steps_[i].start < end; ++i)
+      if (steps_[i].value >= threshold) return steps_[i].start;
+    if (window.lo_leaf == window.hi_leaf) return kTimeInfinity;
+  }
+  const std::size_t full_lo = window.lo_leaf + (window.left_partial ? 1 : 0);
+  const std::size_t j = index_first_leaf_at_least(
+      1, 0, index_.cap - 1, full_lo, window.hi_leaf, threshold, 0);
+  if (j == kNoLeaf) return kTimeInfinity;
+  const Time r = scan_first_at_least(index_.times[j], threshold);
+  RESCHED_CHECK_MSG(r < index_leaf_end(j),
+                    "index/leaf disagreement in first_at_least");
+  return r;
 }
 
 Time StepProfile::next_change_after(Time t) const {
@@ -227,7 +653,7 @@ StepProfile StepProfile::plus(const StepProfile& other) const {
 }
 
 StepProfile StepProfile::minus(const StepProfile& other) const {
-  StepProfile negated = other;
+  StepProfile negated = other;  // copying drops the (now stale) index cache
   for (Step& step : negated.steps_) step.value = checked_neg(step.value);
   return plus(negated);
 }

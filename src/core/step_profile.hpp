@@ -5,16 +5,49 @@
 // unavailability U(t), availability m(t) = m - U(t), schedule usage r(t) and
 // the schedulers' free-capacity view all are StepProfiles. It supports point
 // queries, range addition, windowed minima, area integrals and breakpoint
-// iteration, each in O(log s + k) for s segments and k touched segments.
+// iteration.
 //
 // Representation: flat vector of {segment start, value} sorted by start; the
 // value holds from its start (inclusive) to the next start (exclusive); the
 // last segment extends to +infinity. Invariants: the first start is 0, and
 // adjacent segments have distinct values (canonical form), so operator==
-// means pointwise function equality. The flat layout keeps the hot queries
-// (min_in / first_below / integral, which every scheduler issues per
-// placement) on a single contiguous cache-friendly scan instead of chasing
-// red-black tree nodes.
+// means pointwise function equality. The flat layout keeps small profiles on
+// a single contiguous cache-friendly scan instead of chasing tree nodes.
+//
+// Windowed queries (min_in / max_in / first_below / first_at_least) are the
+// schedulers' per-placement hot path. Each starts as a bounded linear scan
+// (faster than any descent while windows are short) and hands over to a
+// lazily built min/max-augmented implicit segment tree, O(log s), once the
+// window proves to span more than kIndexedLeafCutoff segments.
+//
+// Segment-tree index invariants (mutable cache; steps_ stays authoritative):
+//  I1. The index is built on demand from a snapshot of the breakpoints:
+//      leaf j covers the time span [times[j], times[j+1]) (the last leaf
+//      extends to +infinity). `times` never changes between rebuilds, even
+//      as steps_ keeps splitting and coalescing, so a leaf's span can come
+//      to contain several real segments.
+//  I2. Node v covers a contiguous leaf range. Its stored min/max are exact
+//      aggregates of the *current* function over that span, up to pending
+//      lazy addends: true_agg(v) = stored(v) + sum of lazy[a] over strict
+//      ancestors a of v. lazy[v] is an addend that applies to both children's
+//      subtrees and is already folded into stored(v).
+//  I3. add(from, to, delta) keeps the index exact incrementally: leaves
+//      fully covered by [from, to) receive an O(log s) lazy range-add; the
+//      at-most-two partially covered boundary leaves are recomputed exactly
+//      by scanning steps_ over their spans. Adds beyond a per-build budget
+//      (or structural churn on a small profile) invalidate the index, and
+//      the next windowed query rebuilds it in O(s) -- O(1) amortized.
+//  I4. Tree arithmetic saturates at the int64 extremes instead of wrapping
+//      (padding leaves hold +/-inf sentinels). Saturation is exact for all
+//      |values| < 2^62; checked segment arithmetic keeps real capacity
+//      profiles far below that.
+//  I5. Queries never mutate steps_; they may build the index, so concurrent
+//      *const* access from multiple threads is NOT safe. Give each thread
+//      its own copy (CampaignRunner regenerates instances per task).
+//
+// add() provides the strong exception guarantee: it validates every affected
+// segment's checked addition before the first structural change, so an
+// overflowing add throws with the profile (and its canonical form) intact.
 #pragma once
 
 #include <cstddef>
@@ -37,9 +70,24 @@ class StepProfile {
   // Constant function with the given value everywhere.
   explicit StepProfile(std::int64_t initial_value = 0);
 
+  // Copies drop the query-index cache (it is rebuilt on demand; at 20k+
+  // segments the cache is megabytes, and copy sites -- snapshots, minus()'s
+  // negation -- rarely reuse it). Moves keep it.
+  StepProfile(const StepProfile& other) : steps_(other.steps_) {}
+  StepProfile& operator=(const StepProfile& other) {
+    steps_ = other.steps_;
+    index_ = Index{};
+    return *this;
+  }
+  StepProfile(StepProfile&&) = default;
+  StepProfile& operator=(StepProfile&&) = default;
+  ~StepProfile() = default;
+
   [[nodiscard]] std::int64_t value_at(Time t) const;
 
   // Adds delta on [from, to); no-op when from >= to. Times must be >= 0.
+  // Strong exception guarantee: throws std::overflow_error with the profile
+  // unchanged when any affected segment's value would overflow.
   void add(Time from, Time to, std::int64_t delta);
 
   // Minimum value over the window [from, to); requires from < to.
@@ -52,6 +100,11 @@ class StepProfile {
   // earliest-fit search.
   [[nodiscard]] Time first_below(Time from, Time to,
                                  std::int64_t threshold) const;
+
+  // Earliest t >= from with value_at(t) >= threshold, or kTimeInfinity.
+  // Lets earliest_fit leap over an entire run of deficient segments in one
+  // O(log s) descent instead of stepping breakpoint by breakpoint.
+  [[nodiscard]] Time first_at_least(Time from, std::int64_t threshold) const;
 
   // Smallest breakpoint strictly greater than t, or kTimeInfinity if the
   // function is constant after t.
@@ -86,7 +139,11 @@ class StepProfile {
   [[nodiscard]] StepProfile plus(const StepProfile& other) const;
   [[nodiscard]] StepProfile minus(const StepProfile& other) const;
 
-  friend bool operator==(const StepProfile&, const StepProfile&) = default;
+  // Pointwise function equality (canonical form makes it structural on the
+  // segment vector; the index cache is explicitly not compared).
+  friend bool operator==(const StepProfile& a, const StepProfile& b) {
+    return a.steps_ == b.steps_;
+  }
 
  private:
   struct Step {
@@ -95,8 +152,30 @@ class StepProfile {
     friend bool operator==(const Step&, const Step&) = default;
   };
 
+  // Profiles below this size answer windowed queries by linear scan; the
+  // index only pays for itself once scans get long.
+  static constexpr std::size_t kMinIndexedSegments = 32;
+  // Windows spanning fewer index leaves than this are answered by linear
+  // scan even on indexed profiles: a short contiguous scan beats the
+  // pointer-chasing descent until a few hundred segments (measured in
+  // bench_profile_ops; see BUILDING.md).
+  static constexpr std::size_t kIndexedLeafCutoff = 256;
+
+  // Lazily built min/max segment tree over a breakpoint snapshot; see the
+  // invariants I1-I5 in the header comment.
+  struct Index {
+    std::vector<Time> times;        // snapshot breakpoints; times[0] == 0
+    std::vector<std::int64_t> min;  // implicit tree, 2*cap entries
+    std::vector<std::int64_t> max;
+    std::vector<std::int64_t> lazy;
+    std::size_t cap = 0;     // power-of-two leaf capacity
+    std::size_t budget = 0;  // incremental adds left before a rebuild
+    bool valid = false;
+  };
+
   // Sorted by start; front().start == 0; adjacent values distinct.
   std::vector<Step> steps_;
+  mutable Index index_;
 
   // Index of the segment containing t (t >= 0).
   [[nodiscard]] std::size_t index_of(Time t) const noexcept;
@@ -104,6 +183,78 @@ class StepProfile {
   std::size_t split_at(Time t);
   // Erases the step at index i if it duplicates its left neighbour's value.
   void coalesce_at(std::size_t i);
+
+  // Linear-scan fallbacks (exact over [from, to) clipped to the function).
+  // The *_at variants take the precomputed index_of(from) so hot callers
+  // pay for one binary search, not two.
+  [[nodiscard]] std::int64_t scan_min_at(std::size_t i, Time to) const;
+  [[nodiscard]] std::int64_t scan_max_at(std::size_t i, Time to) const;
+  [[nodiscard]] Time scan_first_below_at(std::size_t i, Time from, Time to,
+                                         std::int64_t threshold) const;
+  [[nodiscard]] Time scan_first_at_least_at(std::size_t i, Time from,
+                                            std::int64_t threshold) const;
+  [[nodiscard]] std::int64_t scan_min(Time from, Time to) const;
+  [[nodiscard]] std::int64_t scan_max(Time from, Time to) const;
+  [[nodiscard]] Time scan_first_below(Time from, Time to,
+                                      std::int64_t threshold) const;
+  [[nodiscard]] Time scan_first_at_least(Time from,
+                                         std::int64_t threshold) const;
+
+  // Indexed descents behind the public queries; require the window to span
+  // more than one leaf. lo_idx = index_of(from).
+  [[nodiscard]] std::int64_t indexed_min_in(Time from, Time to,
+                                            std::size_t lo_idx) const;
+  [[nodiscard]] std::int64_t indexed_max_in(Time from, Time to,
+                                            std::size_t lo_idx) const;
+  [[nodiscard]] Time indexed_first_below(Time from, Time to,
+                                         std::int64_t threshold,
+                                         std::size_t lo_idx) const;
+
+  // ---- segment-tree index plumbing ----
+  void index_build() const;
+  // Incremental maintenance hook, called at the end of a successful add().
+  void index_apply_add(Time from, Time to, std::int64_t delta);
+  // Leaf j's time span is [times[j], index_leaf_end(j)).
+  [[nodiscard]] Time index_leaf_end(std::size_t j) const;
+  // Leaf containing time t.
+  [[nodiscard]] std::size_t index_leaf_of(Time t) const;
+  // How a window [from, to) decomposes onto the snapshot leaves: lo/hi are
+  // the first/last leaves it intersects; a *_partial flag means the window
+  // covers that edge leaf only partially. Shared by every indexed query and
+  // by index_apply_add, so the boundary rules live in exactly one place.
+  struct LeafWindow {
+    std::size_t lo_leaf;
+    std::size_t hi_leaf;
+    bool left_partial;
+    bool right_partial;
+  };
+  [[nodiscard]] LeafWindow index_leaf_window(Time from, Time to) const;
+  // Recomputes leaf j's min/max exactly from steps_ and pulls up.
+  void index_recompute_leaf(std::size_t j) const;
+  void index_range_add(std::size_t node, std::size_t node_lo,
+                       std::size_t node_hi, std::size_t lo, std::size_t hi,
+                       std::int64_t delta);
+  [[nodiscard]] std::int64_t index_range_min(std::size_t node,
+                                             std::size_t node_lo,
+                                             std::size_t node_hi,
+                                             std::size_t lo, std::size_t hi,
+                                             std::int64_t acc) const;
+  [[nodiscard]] std::int64_t index_range_max(std::size_t node,
+                                             std::size_t node_lo,
+                                             std::size_t node_hi,
+                                             std::size_t lo, std::size_t hi,
+                                             std::int64_t acc) const;
+  // Leftmost leaf in [lo, hi] whose exact min is < threshold (kNoLeaf when
+  // none) / whose exact max is >= threshold.
+  static constexpr std::size_t kNoLeaf = static_cast<std::size_t>(-1);
+  [[nodiscard]] std::size_t index_first_leaf_below(
+      std::size_t node, std::size_t node_lo, std::size_t node_hi,
+      std::size_t lo, std::size_t hi, std::int64_t threshold,
+      std::int64_t acc) const;
+  [[nodiscard]] std::size_t index_first_leaf_at_least(
+      std::size_t node, std::size_t node_lo, std::size_t node_hi,
+      std::size_t lo, std::size_t hi, std::int64_t threshold,
+      std::int64_t acc) const;
 };
 
 }  // namespace resched

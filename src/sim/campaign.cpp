@@ -1,0 +1,166 @@
+#include "sim/campaign.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "algorithms/scheduler.hpp"
+#include "core/schedule.hpp"
+#include "sim/metrics.hpp"
+#include "util/prng.hpp"
+#include "util/require.hpp"
+
+namespace resched {
+
+namespace {
+
+// One (instance, scheduler) outcome, written by exactly one worker.
+struct TaskResult {
+  bool scheduled = false;
+  ScheduleMetrics metrics;
+  double seconds = 0.0;
+};
+
+}  // namespace
+
+CampaignResult run_campaign(const InstanceGenerator& generator,
+                            const CampaignConfig& config) {
+  RESCHED_REQUIRE_MSG(generator != nullptr,
+                      "campaign needs an instance generator");
+  const std::vector<std::string> names =
+      config.schedulers.empty() ? registered_schedulers() : config.schedulers;
+  RESCHED_REQUIRE_MSG(!names.empty(), "campaign needs at least one scheduler");
+  // Surface unknown scheduler names before spawning any thread.
+  for (const std::string& name : names) (void)make_scheduler(name);
+
+  // One deterministic seed per instance index, derived sequentially from the
+  // master seed before any worker starts; which thread runs which index can
+  // then never influence the data.
+  std::vector<std::uint64_t> seeds(config.instances);
+  {
+    Prng master(config.seed);
+    for (std::uint64_t& seed : seeds) seed = master.fork_seed();
+  }
+
+  std::vector<std::vector<TaskResult>> results(
+      config.instances, std::vector<TaskResult>(names.size()));
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex error_mutex;
+
+  const auto worker = [&]() noexcept {
+    while (!failed.load(std::memory_order_relaxed)) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= config.instances) return;
+      try {
+        const Instance instance = generator(i, seeds[i]);
+        for (std::size_t s = 0; s < names.size(); ++s) {
+          TaskResult& slot = results[i][s];
+          const auto scheduler = make_scheduler(names[s]);
+          const auto start = std::chrono::steady_clock::now();
+          Schedule schedule;
+          try {
+            schedule = scheduler->schedule(instance);
+          } catch (const std::invalid_argument&) {
+            continue;  // outside the algorithm's domain; stays skipped
+          }
+          slot.seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+          if (config.validate) {
+            const ValidationResult check = schedule.validate(instance);
+            RESCHED_CHECK_MSG(check.ok, "campaign: scheduler '" + names[s] +
+                                            "' produced an infeasible "
+                                            "schedule: " +
+                                            check.error);
+          }
+          slot.metrics = compute_metrics(instance, schedule, config.tau);
+          slot.scheduled = true;
+        }
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  const std::size_t hardware = std::thread::hardware_concurrency();
+  std::size_t threads = config.threads ? config.threads
+                                       : (hardware ? hardware : 1);
+  threads = std::min(threads, std::max<std::size_t>(config.instances, 1));
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& thread : pool) thread.join();
+  }
+  if (error) std::rethrow_exception(error);
+
+  // Single-threaded aggregation in (scheduler, instance) order: OnlineStats
+  // accumulation order is fixed, so the result is bit-identical for any
+  // thread count.
+  CampaignResult out;
+  out.instances = config.instances;
+  out.cells.resize(names.size());
+  for (std::size_t s = 0; s < names.size(); ++s) {
+    CampaignCell& cell = out.cells[s];
+    cell.scheduler = names[s];
+    for (std::size_t i = 0; i < config.instances; ++i) {
+      const TaskResult& slot = results[i][s];
+      if (!slot.scheduled) {
+        ++cell.skipped;
+        continue;
+      }
+      ++cell.scheduled;
+      cell.makespan.add(static_cast<double>(slot.metrics.makespan));
+      cell.utilization.add(slot.metrics.utilization);
+      cell.mean_wait.add(slot.metrics.mean_wait);
+      cell.max_wait.add(static_cast<double>(slot.metrics.max_wait));
+      cell.mean_bounded_slowdown.add(slot.metrics.mean_bounded_slowdown);
+      cell.seconds += slot.seconds;
+    }
+  }
+  return out;
+}
+
+Table CampaignResult::to_table(bool include_timing) const {
+  std::vector<std::string> headers{"scheduler",  "ok",       "skip",
+                                   "cmax.mean",  "cmax.max", "util.mean",
+                                   "wait.mean",  "wait.max", "bsld.mean"};
+  if (include_timing) headers.push_back("sched/s");
+  Table table(std::move(headers));
+  for (const CampaignCell& cell : cells) {
+    std::vector<std::string> row{
+        cell.scheduler,
+        std::to_string(cell.scheduled),
+        std::to_string(cell.skipped)};
+    const auto fmt = [](double v) {
+      char buffer[32];
+      std::snprintf(buffer, sizeof(buffer), "%.4g", v);
+      return std::string(buffer);
+    };
+    row.push_back(fmt(cell.makespan.mean()));
+    row.push_back(fmt(cell.makespan.max()));
+    row.push_back(fmt(cell.utilization.mean()));
+    row.push_back(fmt(cell.mean_wait.mean()));
+    row.push_back(fmt(cell.max_wait.max()));
+    row.push_back(fmt(cell.mean_bounded_slowdown.mean()));
+    if (include_timing)
+      row.push_back(fmt(cell.seconds > 0.0
+                            ? static_cast<double>(cell.scheduled) /
+                                  cell.seconds
+                            : 0.0));
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace resched

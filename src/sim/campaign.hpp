@@ -1,0 +1,80 @@
+// CampaignRunner: fan a generator-driven set of instances across schedulers
+// on a thread pool, with bit-reproducible results.
+//
+// The sweep drivers (examples/campaign, bench_campaign) all share the same
+// shape: generate N seeded instances, run every scheduler on each, aggregate
+// ScheduleMetrics per scheduler. run_campaign is that engine. Determinism
+// contract: the result is a pure function of (generator, config) -- never of
+// the thread count or of scheduling order. This holds because
+//   * each instance index gets its own PRNG seed, derived sequentially from
+//     the master seed before any thread starts;
+//   * workers regenerate their instance from that per-index seed, so every
+//     task owns its data (StepProfile's lazy query index also makes shared
+//     const profiles unsafe to read concurrently -- regeneration sidesteps
+//     that entirely);
+//   * per-task metrics land in a preallocated slot, and aggregation runs
+//     single-threaded afterwards in (scheduler, instance) order.
+//
+// Wall-clock timings are recorded per scheduler but excluded from
+// to_table(false), which the determinism test compares across thread counts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/types.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace resched {
+
+// Builds the index-th instance of the campaign from its derived seed. Must
+// be thread-safe for concurrent calls with distinct indices (pure functions
+// of (index, seed) trivially are).
+using InstanceGenerator =
+    std::function<Instance(std::size_t index, std::uint64_t seed)>;
+
+struct CampaignConfig {
+  std::size_t instances = 16;
+  std::uint64_t seed = 1;
+  // 0 = std::thread::hardware_concurrency().
+  std::size_t threads = 0;
+  // Empty = every scheduler in the registry.
+  std::vector<std::string> schedulers;
+  // Bounded-slowdown threshold passed to compute_metrics.
+  Time tau = 10;
+  // Re-validate every schedule against the instance (differential oracle for
+  // the scheduler + profile stack); throws on the first violation.
+  bool validate = true;
+};
+
+// Aggregates over the instances one scheduler handled.
+struct CampaignCell {
+  std::string scheduler;
+  std::size_t scheduled = 0;  // instances inside the algorithm's domain
+  std::size_t skipped = 0;    // std::invalid_argument (domain) rejections
+  OnlineStats makespan;
+  OnlineStats utilization;
+  OnlineStats mean_wait;
+  OnlineStats max_wait;
+  OnlineStats mean_bounded_slowdown;
+  double seconds = 0.0;  // wall-clock inside schedule(), summed
+};
+
+struct CampaignResult {
+  std::size_t instances = 0;
+  std::vector<CampaignCell> cells;  // one per scheduler, in request order
+
+  // Aggregated metrics table; include_timing adds the (non-deterministic)
+  // schedules/sec column.
+  [[nodiscard]] Table to_table(bool include_timing = true) const;
+};
+
+[[nodiscard]] CampaignResult run_campaign(const InstanceGenerator& generator,
+                                          const CampaignConfig& config);
+
+}  // namespace resched
