@@ -103,4 +103,4 @@ BENCHMARK(BM_AlphaSweepCell)->Arg(2)->Arg(4)->Arg(8);
 
 }  // namespace
 
-RESCHED_BENCH_MAIN(print_tables)
+RESCHED_BENCH_MAIN(print_tables, "BENCH_alpha_sweep.json")

@@ -107,4 +107,4 @@ BENCHMARK(BM_AnomalyScan)->Arg(8)->Arg(16)->Arg(32);
 
 }  // namespace
 
-RESCHED_BENCH_MAIN(print_tables)
+RESCHED_BENCH_MAIN(print_tables, "BENCH_anomalies.json")

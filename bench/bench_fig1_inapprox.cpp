@@ -104,4 +104,4 @@ BENCHMARK(BM_ThreePartitionSolver)->Arg(3)->Arg(6)->Arg(9);
 
 }  // namespace
 
-RESCHED_BENCH_MAIN(print_tables)
+RESCHED_BENCH_MAIN(print_tables, "BENCH_fig1_inapprox.json")

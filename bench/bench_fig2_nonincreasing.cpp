@@ -122,4 +122,4 @@ BENCHMARK(BM_HeadJobTransform)->Arg(64)->Arg(512);
 
 }  // namespace
 
-RESCHED_BENCH_MAIN(print_tables)
+RESCHED_BENCH_MAIN(print_tables, "BENCH_fig2_nonincreasing.json")

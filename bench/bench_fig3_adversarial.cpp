@@ -65,4 +65,4 @@ BENCHMARK(BM_Prop2InstanceConstruction)->Arg(8)->Arg(32);
 
 }  // namespace
 
-RESCHED_BENCH_MAIN(print_tables)
+RESCHED_BENCH_MAIN(print_tables, "BENCH_fig3_adversarial.json")

@@ -76,4 +76,4 @@ BENCHMARK(BM_RationalArithmetic);
 
 }  // namespace
 
-RESCHED_BENCH_MAIN(print_tables)
+RESCHED_BENCH_MAIN(print_tables, "BENCH_fig4_bounds.json")

@@ -140,4 +140,4 @@ BENCHMARK(BM_OnlineBatchWrapper)->Arg(50)->Arg(200);
 
 }  // namespace
 
-RESCHED_BENCH_MAIN(print_tables)
+RESCHED_BENCH_MAIN(print_tables, "BENCH_online.json")

@@ -139,4 +139,4 @@ BENCHMARK(BM_OrderedLsrc)->DenseRange(0, 7);
 
 }  // namespace
 
-RESCHED_BENCH_MAIN(print_tables)
+RESCHED_BENCH_MAIN(print_tables, "BENCH_priority_ablation.json")

@@ -83,11 +83,27 @@ void BM_ProfileFirstBelow(benchmark::State& state) {
 BENCHMARK(BM_ProfileFirstBelow)->Range(64, 16384);
 
 void BM_ProfileIntegral(benchmark::State& state) {
+  // Whole-horizon window: the regime where the pre-sum-index scan visited
+  // every segment (the /16384 profile holds ~22k of them).
   const StepProfile profile = busy_profile(state.range(0), 5);
   for (auto _ : state)
     benchmark::DoNotOptimize(profile.integral(0, 100'000));
 }
-BENCHMARK(BM_ProfileIntegral)->Range(64, 4096);
+BENCHMARK(BM_ProfileIntegral)->Range(64, 16384);
+
+void BM_TimeToAccumulate(benchmark::State& state) {
+  // Target sized to ~3/4 of the horizon's area, so the lower-bound style
+  // query (lower_bounds.cpp, bnb.cpp) has to cross most of the profile
+  // before finding its answer.
+  const StepProfile profile = busy_profile(state.range(0), 5);
+  const std::int64_t target = profile.integral(0, 100'000) * 3 / 4;
+  Prng prng(13);
+  for (auto _ : state) {
+    const Time from = prng.uniform_int(0, 10'000);
+    benchmark::DoNotOptimize(profile.time_to_accumulate(from, target));
+  }
+}
+BENCHMARK(BM_TimeToAccumulate)->Range(64, 16384);
 
 void BM_EarliestFit(benchmark::State& state) {
   FreeProfile free(busy_profile(state.range(0), 6));
@@ -108,4 +124,4 @@ BENCHMARK(BM_ProfilePlus)->Range(64, 4096);
 
 }  // namespace
 
-RESCHED_BENCH_MAIN(print_tables)
+RESCHED_BENCH_MAIN(print_tables, "BENCH_profile.json")

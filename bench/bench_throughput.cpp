@@ -90,4 +90,4 @@ BENCHMARK(BM_LowerBound)->RangeMultiplier(4)->Range(128, 4096)->Complexity();
 
 }  // namespace
 
-RESCHED_BENCH_MAIN(print_tables)
+RESCHED_BENCH_MAIN(print_tables, "BENCH_throughput.json")

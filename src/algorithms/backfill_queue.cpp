@@ -1,0 +1,113 @@
+#include "algorithms/backfill_queue.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace resched {
+
+BackfillQueue::BackfillQueue(ProcCount max_q) {
+  RESCHED_REQUIRE_MSG(max_q >= 1, "backfill queue needs max_q >= 1");
+  buckets_.resize(static_cast<std::size_t>(max_q) + 1);
+}
+
+void BackfillQueue::insert(JobId id, std::int64_t rank, ProcCount q) {
+  RESCHED_REQUIRE_MSG(!pass_open_, "insert during an open pass");
+  RESCHED_REQUIRE(q >= 1 &&
+                  static_cast<std::size_t>(q) < buckets_.size());
+  Bucket& bucket = buckets_[static_cast<std::size_t>(q)];
+  // Ranks arrive mostly in increasing order (release-sorted feeds), so the
+  // binary search almost always lands at the back.
+  const auto at = std::lower_bound(
+      bucket.items.begin(), bucket.items.end(), rank,
+      [](const Entry& entry, std::int64_t value) { return entry.rank < value; });
+  bucket.items.insert(at, Entry{id, rank, q});
+  ++size_;
+}
+
+void BackfillQueue::begin_pass() {
+  RESCHED_REQUIRE_MSG(!pass_open_, "pass already open");
+  pass_open_ = true;
+  current_ = -1;
+  heap_.clear();
+  for (std::size_t q = 1; q < buckets_.size(); ++q) {
+    if (buckets_[q].items.empty()) continue;
+    heap_.push_back(Head{buckets_[q].items.front().rank,
+                         static_cast<ProcCount>(q)});
+  }
+  std::make_heap(heap_.begin(), heap_.end(), std::greater<>{});
+}
+
+void BackfillQueue::touch(Bucket& bucket, ProcCount q) {
+  if (!bucket.in_pass) {
+    bucket.in_pass = true;
+    bucket.read = 0;
+    bucket.write = 0;
+    pass_qs_.push_back(q);
+  }
+}
+
+std::optional<BackfillQueue::Entry> BackfillQueue::next(
+    std::int64_t capacity, bool ignore_capacity) {
+  RESCHED_ASSERT(pass_open_ && current_ < 0);
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    const Head head = heap_.back();
+    heap_.pop_back();
+    Bucket& bucket = buckets_[static_cast<std::size_t>(head.q)];
+    touch(bucket, head.q);
+    if (!ignore_capacity && head.q > capacity) {
+      // Retire the bucket for this pass: capacity at the event time cannot
+      // come back up, so none of its jobs can start (see header sketch).
+      continue;
+    }
+    current_ = head.q;
+    return bucket.items[bucket.read];
+  }
+  return std::nullopt;
+}
+
+void BackfillQueue::keep() {
+  RESCHED_ASSERT(pass_open_ && current_ >= 0);
+  Bucket& bucket = buckets_[static_cast<std::size_t>(current_)];
+  bucket.items[bucket.write++] = bucket.items[bucket.read++];
+  if (bucket.read < bucket.items.size()) {
+    heap_.push_back(Head{bucket.items[bucket.read].rank, current_});
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  }
+  current_ = -1;
+}
+
+void BackfillQueue::take() {
+  RESCHED_ASSERT(pass_open_ && current_ >= 0);
+  Bucket& bucket = buckets_[static_cast<std::size_t>(current_)];
+  ++bucket.read;
+  --size_;
+  if (bucket.read < bucket.items.size()) {
+    heap_.push_back(Head{bucket.items[bucket.read].rank, current_});
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  }
+  current_ = -1;
+}
+
+void BackfillQueue::end_pass() {
+  RESCHED_REQUIRE_MSG(pass_open_ && current_ < 0,
+                      "end_pass with an unanswered candidate");
+  for (const ProcCount q : pass_qs_) {
+    Bucket& bucket = buckets_[static_cast<std::size_t>(q)];
+    // Survivors [write, read) were already compacted; shift the unexamined
+    // tail [read, end) down next to them.
+    if (bucket.write != bucket.read)
+      bucket.items.erase(
+          bucket.items.begin() + static_cast<std::ptrdiff_t>(bucket.write),
+          bucket.items.begin() + static_cast<std::ptrdiff_t>(bucket.read));
+    bucket.read = 0;
+    bucket.write = 0;
+    bucket.in_pass = false;
+  }
+  pass_qs_.clear();
+  heap_.clear();
+  pass_open_ = false;
+}
+
+}  // namespace resched

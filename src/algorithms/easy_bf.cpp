@@ -1,11 +1,10 @@
 #include "algorithms/easy_bf.hpp"
 
 #include <algorithm>
-#include <deque>
 #include <numeric>
-#include <queue>
 #include <vector>
 
+#include "algorithms/backfill_queue.hpp"
 #include "core/profile_allocator.hpp"
 #include "util/checked.hpp"
 #include "util/require.hpp"
@@ -24,66 +23,84 @@ Schedule EasyBackfillScheduler::schedule(const Instance& instance) const {
     return instance.job(a).release < instance.job(b).release;
   });
 
-  std::priority_queue<Time, std::vector<Time>, std::greater<>> events;
+  EventTimes events;
   for (const Reservation& resa : instance.reservations())
     events.push(resa.end());
 
-  std::deque<JobId> waiting;  // released, not yet started, FCFS order
-  std::size_t next_arrival = 0;
   Time t = instance.job(arrival[0]).release;
-  // Feed releases as events too.
   for (const Job& job : instance.jobs())
     if (job.release > t) events.push(job.release);
 
+  // Waiting jobs, event-indexed by processor demand; rank = arrival-order
+  // position, so passes examine candidates in exactly the FCFS order the
+  // seed's deque walk used.
+  BackfillQueue waiting(instance.m());
+  std::size_t next_arrival = 0;
   std::size_t started = 0;
   while (started < instance.n()) {
     while (next_arrival < arrival.size() &&
-           instance.job(arrival[next_arrival]).release <= t)
-      waiting.push_back(arrival[next_arrival++]);
+           instance.job(arrival[next_arrival]).release <= t) {
+      const Job& job = instance.job(arrival[next_arrival]);
+      waiting.insert(job.id, static_cast<std::int64_t>(next_arrival), job.q);
+      ++next_arrival;
+    }
+
+    std::int64_t capacity = free.capacity_at(t);
+    waiting.begin_pass();
 
     // Phase 1: start the head (and successive heads) while they fit now.
-    while (!waiting.empty()) {
-      const Job& head = instance.job(waiting.front());
-      if (!free.fits_at(t, head.q, head.p)) break;
+    // The head is the globally lowest-ranked waiting job regardless of its
+    // bucket's capacity threshold, hence ignore_capacity.
+    bool head_blocked = false;
+    JobId head_id = -1;
+    while (const auto candidate =
+               waiting.next(capacity, /*ignore_capacity=*/true)) {
+      const Job& head = instance.job(candidate->id);
+      if (!free.fits_at(t, head.q, head.p)) {
+        head_id = head.id;
+        head_blocked = true;
+        waiting.keep();
+        break;
+      }
       free.commit(t, head.q, head.p);
       schedule.set_start(head.id, t);
       events.push(checked_add(t, head.p));
-      waiting.pop_front();
+      capacity -= head.q;
+      waiting.take();
       ++started;
     }
 
-    // Phase 2: head blocked -> reserve its start, then backfill.
-    if (!waiting.empty()) {
-      const Job& head = instance.job(waiting.front());
+    // Phase 2: head blocked -> reserve its start, then backfill the rest in
+    // FCFS order. Only buckets with q <= capacity wake up; the retired ones
+    // would have failed fits_at outright.
+    if (head_blocked) {
+      const Job& head = instance.job(head_id);
       const Time head_start = free.earliest_fit(t, head.q, head.p);
-      for (std::size_t i = 1; i < waiting.size(); ++i) {
-        const Job& job = instance.job(waiting[i]);
-        if (!free.fits_at(t, job.q, job.p)) continue;
+      while (const auto candidate = waiting.next(capacity)) {
+        const Job& job = instance.job(candidate->id);
+        if (!free.fits_at(t, job.q, job.p)) {
+          waiting.keep();
+          continue;
+        }
         // Tentatively start; keep only if the head is not pushed back.
         free.commit(t, job.q, job.p);
         if (free.earliest_fit(t, head.q, head.p) > head_start) {
           free.uncommit(t, job.q, job.p);
+          waiting.keep();
           continue;
         }
         schedule.set_start(job.id, t);
         events.push(checked_add(t, job.p));
-        waiting.erase(waiting.begin() + static_cast<std::ptrdiff_t>(i));
-        --i;  // re-examine this position
+        capacity -= job.q;
+        waiting.take();
         ++started;
       }
     }
+    waiting.end_pass();
 
     if (started == instance.n()) break;
 
-    Time next = kTimeInfinity;
-    while (!events.empty()) {
-      const Time candidate = events.top();
-      events.pop();
-      if (candidate > t) {
-        next = candidate;
-        break;
-      }
-    }
+    const Time next = events.next_after(t);
     RESCHED_CHECK_MSG(next < kTimeInfinity,
                       "EASY stalled: waiting jobs but no future event");
     t = next;

@@ -1,8 +1,10 @@
 #include "algorithms/lsrc.hpp"
 
 #include <algorithm>
-#include <queue>
+#include <numeric>
+#include <vector>
 
+#include "algorithms/backfill_queue.hpp"
 #include "core/profile_allocator.hpp"
 #include "util/checked.hpp"
 #include "util/require.hpp"
@@ -49,8 +51,8 @@ Schedule LsrcScheduler::run(const Instance& instance,
   FreeProfile free = FreeProfile::for_instance(instance);
 
   // Wake-up times: capacity increases (completions, reservation ends) and
-  // job releases. A min-heap of candidate times; duplicates are harmless.
-  std::priority_queue<Time, std::vector<Time>, std::greater<>> events;
+  // job releases; EventTimes coalesces collisions.
+  EventTimes events;
   for (const Reservation& resa : instance.reservations())
     events.push(resa.end());
   Time t = kTimeInfinity;
@@ -59,35 +61,55 @@ Schedule LsrcScheduler::run(const Instance& instance,
     t = std::min(t, job.release);
   }
 
-  // pending jobs in priority order.
-  std::vector<JobId> pending(list.begin(), list.end());
-  while (!pending.empty()) {
-    // Single pass in priority order: start everything that fits now.
-    std::vector<JobId> still_pending;
-    still_pending.reserve(pending.size());
-    for (const JobId id : pending) {
-      const Job& job = instance.job(id);
-      if (job.release <= t && free.fits_at(t, job.q, job.p)) {
+  // Pending jobs, event-indexed by processor demand; rank = priority-list
+  // position, so a pass examines them in exactly the list order the seed's
+  // linear rescan used. Unreleased jobs stay out of the queue entirely (the
+  // rescan re-skipped them at every event) and enter when t reaches their
+  // release, via the release-sorted feed below.
+  std::vector<std::int64_t> rank_of(instance.n());
+  for (std::size_t r = 0; r < list.size(); ++r)
+    rank_of[static_cast<std::size_t>(list[r])] = static_cast<std::int64_t>(r);
+  std::vector<JobId> by_release(instance.n());
+  std::iota(by_release.begin(), by_release.end(), JobId{0});
+  std::sort(by_release.begin(), by_release.end(), [&](JobId a, JobId b) {
+    const Time ra = instance.job(a).release;
+    const Time rb = instance.job(b).release;
+    return ra != rb ? ra < rb : a < b;
+  });
+
+  BackfillQueue pending(instance.m());
+  std::size_t next_release = 0;
+  std::size_t remaining = instance.n();
+  while (remaining > 0) {
+    while (next_release < by_release.size() &&
+           instance.job(by_release[next_release]).release <= t) {
+      const Job& job = instance.job(by_release[next_release++]);
+      pending.insert(job.id, rank_of[static_cast<std::size_t>(job.id)],
+                     job.q);
+    }
+
+    // Single pass in priority order: start everything that fits now. Only
+    // buckets with q <= capacity wake up; the rest provably cannot start.
+    std::int64_t capacity = free.capacity_at(t);
+    pending.begin_pass();
+    while (const auto candidate = pending.next(capacity)) {
+      const Job& job = instance.job(candidate->id);
+      if (free.fits_at(t, job.q, job.p)) {
         free.commit(t, job.q, job.p);
-        schedule.set_start(id, t);
+        schedule.set_start(job.id, t);
         events.push(checked_add(t, job.p));
+        capacity -= job.q;
+        --remaining;
+        pending.take();
       } else {
-        still_pending.push_back(id);
+        pending.keep();
       }
     }
-    pending.swap(still_pending);
-    if (pending.empty()) break;
+    pending.end_pass();
+    if (remaining == 0) break;
 
     // Advance to the next wake-up strictly after t.
-    Time next = kTimeInfinity;
-    while (!events.empty()) {
-      const Time candidate = events.top();
-      events.pop();
-      if (candidate > t) {
-        next = candidate;
-        break;
-      }
-    }
+    const Time next = events.next_after(t);
     RESCHED_CHECK_MSG(next < kTimeInfinity,
                       "LSRC stalled: pending jobs but no future event -- "
                       "instance must be infeasible");

@@ -28,6 +28,31 @@ std::int64_t sat_sub(std::int64_t a, std::int64_t b) noexcept {
                : std::numeric_limits<std::int64_t>::min();
 }
 
+// 128-bit checked helpers for the sum augmentation. A single int64 * int64
+// product always fits (|v| * |len| < 2^126), so only additions can
+// overflow; they report it instead of wrapping and the caller degrades to
+// the exact linear scan (Index::sums_ok).
+using Wide = __int128;
+
+[[nodiscard]] bool wide_add(Wide& a, Wide b) noexcept {
+  return !__builtin_add_overflow(a, b, &a);
+}
+
+Wide wide_mul(std::int64_t a, Time b) noexcept {
+  return static_cast<Wide>(a) * static_cast<Wide>(b);
+}
+
+// Accumulated-lazy times span products: the lazy sum itself is wider than
+// int64, so this multiply needs a real overflow check.
+[[nodiscard]] bool wide_mul_add(Wide& acc, Wide a, Wide b) noexcept {
+  Wide product = 0;
+  if (__builtin_mul_overflow(a, b, &product)) return false;
+  return !__builtin_add_overflow(acc, product, &acc);
+}
+
+constexpr std::int64_t kInt64Min = std::numeric_limits<std::int64_t>::min();
+constexpr std::int64_t kInt64Max = std::numeric_limits<std::int64_t>::max();
+
 }  // namespace
 
 StepProfile::StepProfile(std::int64_t initial_value) {
@@ -140,6 +165,48 @@ Time StepProfile::scan_first_at_least(Time from,
   return scan_first_at_least_at(index_of(from), from, threshold);
 }
 
+StepProfile::Wide StepProfile::scan_integral_at(std::size_t i, Time from,
+                                                Time to, bool& ok) const {
+  Wide area = 0;
+  Time cursor = from;
+  while (cursor < to) {
+    const Time seg_end =
+        (i + 1 < steps_.size()) ? std::min(steps_[i + 1].start, to) : to;
+    if (!wide_add(area, wide_mul(steps_[i].value, seg_end - cursor)))
+      ok = false;
+    cursor = seg_end;
+    ++i;
+  }
+  return area;
+}
+
+Time StepProfile::scan_accumulate(std::size_t i, Time cursor, Time stop,
+                                  std::int64_t& remaining) const {
+  while (true) {
+    if (cursor >= stop) return kTimeInfinity;  // bound hit; remaining updated
+    const bool is_last = (i + 1 == steps_.size());
+    const Time seg_end =
+        std::min(is_last ? kTimeInfinity : steps_[i + 1].start, stop);
+    const std::int64_t rate = steps_[i].value;
+    if (rate > 0) {
+      const Time needed = ceil_div(remaining, rate);
+      if (seg_end >= kTimeInfinity || needed <= seg_end - cursor) {
+        // cursor + needed can exceed INT64_MAX (e.g. target near the int64
+        // ceiling over a rate-1 tail); mathematically that is simply "past
+        // any horizon", so clamp instead of tripping the overflow check.
+        return needed >= kTimeInfinity - cursor ? kTimeInfinity
+                                                : cursor + needed;
+      }
+      // Never overflows: the subtraction only runs when rate * len <
+      // remaining <= INT64_MAX (a crossing segment returned above).
+      remaining -= checked_mul(rate, seg_end - cursor);
+    }
+    if (seg_end >= kTimeInfinity) return kTimeInfinity;  // deficient tail
+    cursor = seg_end;
+    ++i;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Segment-tree index (invariants I1-I5 in the header).
 // ---------------------------------------------------------------------------
@@ -155,13 +222,28 @@ void StepProfile::index_build() const {
   index_.max.assign(2 * index_.cap,
                     std::numeric_limits<std::int64_t>::min());
   index_.lazy.assign(2 * index_.cap, 0);
+  // Sum augmentation: len is the finite span length under each node; the
+  // unbounded last leaf and the padding leaves carry 0 so they never
+  // contribute to a range sum (invariant I4).
+  index_.sum.assign(2 * index_.cap, 0);
+  index_.len.assign(2 * index_.cap, 0);
+  index_.sums_ok = true;
   for (std::size_t i = 0; i < leaves; ++i) {
     index_.min[index_.cap + i] = steps_[i].value;
     index_.max[index_.cap + i] = steps_[i].value;
+    if (i + 1 < leaves) {
+      index_.len[index_.cap + i] = steps_[i + 1].start - steps_[i].start;
+      index_.sum[index_.cap + i] =
+          wide_mul(steps_[i].value, index_.len[index_.cap + i]);
+    }
   }
   for (std::size_t v = index_.cap - 1; v >= 1; --v) {
     index_.min[v] = std::min(index_.min[2 * v], index_.min[2 * v + 1]);
     index_.max[v] = std::max(index_.max[2 * v], index_.max[2 * v + 1]);
+    index_.len[v] = index_.len[2 * v] + index_.len[2 * v + 1];
+    index_.sum[v] = index_.sum[2 * v];
+    if (!wide_add(index_.sum[v], index_.sum[2 * v + 1]))
+      index_.sums_ok = false;
   }
   // Amortization: after ~s incremental adds a boundary leaf's span may hold
   // enough real segments that recompute scans stop being cheap; an O(s)
@@ -207,6 +289,14 @@ void StepProfile::index_recompute_leaf(std::size_t j) const {
   std::size_t i = index_of(index_.times[j]);
   std::int64_t lo = steps_[i].value;
   std::int64_t hi = steps_[i].value;
+  // Exact integral over the leaf span. The unbounded last leaf has finite
+  // length 0 by invariant I4, so its sum stays 0 regardless of content.
+  Wide area = 0;
+  if (end < kTimeInfinity) {
+    bool ok = true;
+    area = scan_integral_at(i, index_.times[j], end, ok);
+    if (!ok) index_.sums_ok = false;
+  }
   for (++i; i < steps_.size() && steps_[i].start < end; ++i) {
     lo = std::min(lo, steps_[i].value);
     hi = std::max(hi, steps_[i].value);
@@ -217,8 +307,11 @@ void StepProfile::index_recompute_leaf(std::size_t j) const {
   std::size_t node_lo = 0;
   std::size_t node_hi = index_.cap - 1;
   std::int64_t acc = 0;
+  Wide acc_wide = 0;
   while (node_lo != node_hi) {
     acc = sat_add(acc, index_.lazy[node]);
+    if (!wide_add(acc_wide, static_cast<Wide>(index_.lazy[node])))
+      index_.sums_ok = false;
     const std::size_t mid = node_lo + (node_hi - node_lo) / 2;
     if (j <= mid) {
       node = 2 * node;
@@ -230,6 +323,10 @@ void StepProfile::index_recompute_leaf(std::size_t j) const {
   }
   index_.min[node] = sat_sub(lo, acc);
   index_.max[node] = sat_sub(hi, acc);
+  index_.sum[node] = area;
+  if (!wide_mul_add(index_.sum[node], -acc_wide,
+                    static_cast<Wide>(index_.len[node])))
+    index_.sums_ok = false;
   while (node > 1) {
     node /= 2;
     index_.min[node] =
@@ -238,6 +335,11 @@ void StepProfile::index_recompute_leaf(std::size_t j) const {
     index_.max[node] =
         sat_add(std::max(index_.max[2 * node], index_.max[2 * node + 1]),
                 index_.lazy[node]);
+    index_.sum[node] = index_.sum[2 * node];
+    if (!wide_add(index_.sum[node], index_.sum[2 * node + 1]) ||
+        !wide_add(index_.sum[node],
+                  wide_mul(index_.lazy[node], index_.len[node])))
+      index_.sums_ok = false;
   }
 }
 
@@ -248,6 +350,8 @@ void StepProfile::index_range_add(std::size_t node, std::size_t node_lo,
   if (lo <= node_lo && node_hi <= hi) {
     index_.min[node] = sat_add(index_.min[node], delta);
     index_.max[node] = sat_add(index_.max[node], delta);
+    if (!wide_add(index_.sum[node], wide_mul(delta, index_.len[node])))
+      index_.sums_ok = false;
     if (node_lo != node_hi)
       index_.lazy[node] = sat_add(index_.lazy[node], delta);
     return;
@@ -261,6 +365,11 @@ void StepProfile::index_range_add(std::size_t node, std::size_t node_lo,
   index_.max[node] =
       sat_add(std::max(index_.max[2 * node], index_.max[2 * node + 1]),
               index_.lazy[node]);
+  index_.sum[node] = index_.sum[2 * node];
+  if (!wide_add(index_.sum[node], index_.sum[2 * node + 1]) ||
+      !wide_add(index_.sum[node],
+                wide_mul(index_.lazy[node], index_.len[node])))
+    index_.sums_ok = false;
 }
 
 void StepProfile::index_apply_add(Time from, Time to, std::int64_t delta) {
@@ -349,6 +458,80 @@ std::size_t StepProfile::index_first_leaf_at_least(
   if (left != kNoLeaf) return left;
   return index_first_leaf_at_least(2 * node + 1, mid + 1, node_hi, lo, hi,
                                    threshold, child_acc);
+}
+
+StepProfile::Wide StepProfile::index_range_sum(std::size_t node,
+                                               std::size_t node_lo,
+                                               std::size_t node_hi,
+                                               std::size_t lo, std::size_t hi,
+                                               Wide acc, bool& ok) const {
+  if (hi < node_lo || node_hi < lo) return 0;
+  if (lo <= node_lo && node_hi <= hi) {
+    Wide result = index_.sum[node];
+    if (!wide_mul_add(result, acc, static_cast<Wide>(index_.len[node])))
+      ok = false;
+    return result;
+  }
+  const std::size_t mid = node_lo + (node_hi - node_lo) / 2;
+  Wide child_acc = acc;
+  if (!wide_add(child_acc, static_cast<Wide>(index_.lazy[node]))) ok = false;
+  Wide result =
+      index_range_sum(2 * node, node_lo, mid, lo, hi, child_acc, ok);
+  if (!wide_add(result, index_range_sum(2 * node + 1, mid + 1, node_hi, lo,
+                                        hi, child_acc, ok)))
+    ok = false;
+  return result;
+}
+
+Time StepProfile::index_accumulate(std::size_t node, std::size_t node_lo,
+                                   std::size_t node_hi, std::size_t lo,
+                                   std::size_t hi, std::int64_t acc,
+                                   Wide acc_wide, std::int64_t& remaining,
+                                   bool& ok) const {
+  if (hi < node_lo || node_hi < lo || !ok) return kTimeInfinity;
+  const bool covered = lo <= node_lo && node_hi <= hi;
+  if (covered && sat_add(index_.min[node], acc) >= 0) {
+    // Non-negative span: the positive-rate accumulation equals the range
+    // sum and the running total is monotone, so the whole node can be
+    // consumed (or identified as containing the crossing) in O(1).
+    Wide total = index_.sum[node];
+    if (!wide_mul_add(total, acc_wide, static_cast<Wide>(index_.len[node]))) {
+      ok = false;
+      return kTimeInfinity;
+    }
+    if (total < static_cast<Wide>(remaining)) {
+      // total >= 0 and < remaining <= INT64_MAX: the narrowing is exact.
+      remaining -= static_cast<std::int64_t>(total);
+      return kTimeInfinity;
+    }
+    if (node_lo == node_hi) {
+      const Time found =
+          scan_accumulate(index_of(index_.times[node_lo]),
+                          index_.times[node_lo], index_leaf_end(node_lo),
+                          remaining);
+      RESCHED_CHECK_MSG(found != kTimeInfinity,
+                        "index/leaf disagreement in time_to_accumulate");
+      return found;
+    }
+  } else if (node_lo == node_hi) {
+    // Leaf containing negative values: its range sum under-counts the
+    // positive-rate accumulation, so walk the real segments instead.
+    return scan_accumulate(index_of(index_.times[node_lo]),
+                           index_.times[node_lo], index_leaf_end(node_lo),
+                           remaining);
+  }
+  const std::size_t mid = node_lo + (node_hi - node_lo) / 2;
+  const std::int64_t child_acc = sat_add(acc, index_.lazy[node]);
+  Wide child_wide = acc_wide;
+  if (!wide_add(child_wide, static_cast<Wide>(index_.lazy[node]))) {
+    ok = false;
+    return kTimeInfinity;
+  }
+  const Time left = index_accumulate(2 * node, node_lo, mid, lo, hi,
+                                     child_acc, child_wide, remaining, ok);
+  if (left != kTimeInfinity || !ok) return left;
+  return index_accumulate(2 * node + 1, mid + 1, node_hi, lo, hi, child_acc,
+                          child_wide, remaining, ok);
 }
 
 // ---------------------------------------------------------------------------
@@ -523,44 +706,107 @@ std::int64_t StepProfile::integral(Time from, Time to) const {
   RESCHED_REQUIRE(from >= 0 && from <= to);
   RESCHED_REQUIRE_MSG(to < kTimeInfinity, "integral over unbounded window");
   if (from == to) return 0;
-  std::int64_t area = 0;
-  std::size_t i = index_of(from);
-  Time cursor = from;
-  while (cursor < to) {
-    const Time seg_end =
-        (i + 1 < steps_.size()) ? std::min(steps_[i + 1].start, to) : to;
-    area = checked_add(area, checked_mul(steps_[i].value, seg_end - cursor));
-    cursor = seg_end;
-    ++i;
+  // Bounded scan first (the same hybrid as min_in): short windows never pay
+  // for the tree, wide ones hand the rest of the window to the range sum.
+  const std::size_t lo_idx = index_of(from);
+  const std::size_t scan_stop =
+      std::min(steps_.size(), lo_idx + kIndexedLeafCutoff + 1);
+  const Time scan_end =
+      (scan_stop < steps_.size()) ? std::min(steps_[scan_stop].start, to) : to;
+  bool ok = true;
+  Wide area = scan_integral_at(lo_idx, from, scan_end, ok);
+  if (scan_end < to) {
+    if (!index_.valid) index_build();
+    if (!index_.sums_ok) {
+      // Adversarial magnitudes defeated the 128-bit node sums; the linear
+      // scan stays exact.
+      if (!wide_add(area, scan_integral_at(scan_stop, scan_end, to, ok)))
+        ok = false;
+    } else {
+      const LeafWindow window = index_leaf_window(scan_end, to);
+      if (window.lo_leaf == window.hi_leaf) {
+        if (!wide_add(area, scan_integral_at(scan_stop, scan_end, to, ok)))
+          ok = false;
+      } else {
+        if (window.left_partial &&
+            !wide_add(area,
+                      scan_integral_at(scan_stop, scan_end,
+                                       index_leaf_end(window.lo_leaf), ok)))
+          ok = false;
+        const std::ptrdiff_t full_lo =
+            static_cast<std::ptrdiff_t>(window.lo_leaf) +
+            (window.left_partial ? 1 : 0);
+        const std::ptrdiff_t full_hi =
+            static_cast<std::ptrdiff_t>(window.hi_leaf) -
+            (window.right_partial ? 1 : 0);
+        if (full_lo <= full_hi &&
+            !wide_add(area,
+                      index_range_sum(1, 0, index_.cap - 1,
+                                      static_cast<std::size_t>(full_lo),
+                                      static_cast<std::size_t>(full_hi), 0,
+                                      ok)))
+          ok = false;
+        if (window.right_partial) {
+          const Time edge = index_.times[window.hi_leaf];
+          if (!wide_add(area,
+                        scan_integral_at(index_of(edge), edge, to, ok)))
+            ok = false;
+        }
+      }
+    }
   }
-  return area;
+  if (!ok || area > static_cast<Wide>(kInt64Max) ||
+      area < static_cast<Wide>(kInt64Min))
+    throw std::overflow_error("profile integral overflows int64");
+  return static_cast<std::int64_t>(area);
 }
 
 Time StepProfile::time_to_accumulate(Time from, std::int64_t target) const {
   RESCHED_REQUIRE(from >= 0 && target >= 0);
   if (target == 0) return from;
   std::int64_t remaining = target;
-  std::size_t i = index_of(from);
-  Time cursor = from;
-  while (true) {
-    const bool is_last = (i + 1 == steps_.size());
-    const Time seg_end = is_last ? kTimeInfinity : steps_[i + 1].start;
-    const std::int64_t rate = steps_[i].value;
-    if (rate > 0) {
-      const Time needed = ceil_div(remaining, rate);
-      if (seg_end >= kTimeInfinity || needed <= seg_end - cursor) {
-        // cursor + needed can exceed INT64_MAX (e.g. target near the int64
-        // ceiling over a rate-1 tail); mathematically that is simply "past
-        // any horizon", so clamp instead of tripping the overflow check.
-        return needed >= kTimeInfinity - cursor ? kTimeInfinity
-                                                : cursor + needed;
-      }
-      remaining -= checked_mul(rate, seg_end - cursor);
-    }
-    if (is_last) return kTimeInfinity;  // rate <= 0 forever
-    cursor = seg_end;
-    ++i;
+  // Bounded scan first: crossings within a few hundred segments (and all
+  // small profiles) never touch the tree.
+  const std::size_t lo_idx = index_of(from);
+  const std::size_t scan_stop =
+      std::min(steps_.size(), lo_idx + kIndexedLeafCutoff + 1);
+  const Time scan_end =
+      (scan_stop < steps_.size()) ? steps_[scan_stop].start : kTimeInfinity;
+  const Time found = scan_accumulate(lo_idx, from, scan_end, remaining);
+  if (found != kTimeInfinity || scan_stop == steps_.size()) return found;
+  if (!index_.valid) index_build();
+  if (!index_.sums_ok)
+    return scan_accumulate(scan_stop, scan_end, kTimeInfinity, remaining);
+  const std::size_t leaves = index_.times.size();
+  std::size_t leaf = index_leaf_of(scan_end);
+  if (leaf + 1 >= leaves) {
+    // Already inside the unbounded last snapshot leaf; only the exact tail
+    // walk knows how to clamp near kTimeInfinity.
+    return scan_accumulate(scan_stop, scan_end, kTimeInfinity, remaining);
   }
+  if (scan_end > index_.times[leaf]) {
+    // Finish the partially entered leaf before the tree takes over.
+    const Time leaf_end = index_leaf_end(leaf);
+    const Time r = scan_accumulate(scan_stop, scan_end, leaf_end, remaining);
+    if (r != kTimeInfinity) return r;
+    ++leaf;
+  }
+  // O(log s) descent over the full leaves; the unbounded last leaf is
+  // excluded (its range sum is 0 by construction) and handled by the exact
+  // tail walk below.
+  bool ok = true;
+  if (leaf + 1 < leaves) {
+    const Time r = index_accumulate(1, 0, index_.cap - 1, leaf, leaves - 2, 0,
+                                    0, remaining, ok);
+    if (!ok) {
+      std::int64_t redo = target;
+      return scan_accumulate(lo_idx, from, kTimeInfinity, redo);
+    }
+    if (r != kTimeInfinity) return r;
+  }
+  const Time tail_start = index_.times[leaves - 1];
+  return scan_accumulate(index_of(tail_start), tail_start, kTimeInfinity,
+                         remaining);
 }
 
 bool StepProfile::is_non_increasing() const noexcept {

@@ -18,7 +18,11 @@
 // schedulers' per-placement hot path. Each starts as a bounded linear scan
 // (faster than any descent while windows are short) and hands over to a
 // lazily built min/max-augmented implicit segment tree, O(log s), once the
-// window proves to span more than kIndexedLeafCutoff segments.
+// window proves to span more than kIndexedLeafCutoff segments. The same
+// tree carries a sum augmentation (per-node integral over the node's finite
+// span, 128-bit), which turns `integral` into an O(log s) range-sum and
+// `time_to_accumulate` into an O(log s) descent with exact linear scans on
+// the at-most-two partially covered boundary leaves.
 //
 // Segment-tree index invariants (mutable cache; steps_ stays authoritative):
 //  I1. The index is built on demand from a snapshot of the breakpoints:
@@ -40,7 +44,11 @@
 //  I4. Tree arithmetic saturates at the int64 extremes instead of wrapping
 //      (padding leaves hold +/-inf sentinels). Saturation is exact for all
 //      |values| < 2^62; checked segment arithmetic keeps real capacity
-//      profiles far below that.
+//      profiles far below that. Sum nodes are 128-bit and cannot saturate
+//      silently: any sum overflow clears Index::sums_ok, and the sum-backed
+//      queries fall back to the exact linear scan until the next rebuild
+//      (min/max stay valid). The unbounded last leaf and the padding leaves
+//      carry span length 0, so they contribute nothing to any range sum.
 //  I5. Queries never mutate steps_; they may build the index, so concurrent
 //      *const* access from multiple threads is NOT safe. Give each thread
 //      its own copy (CampaignRunner regenerates instances per task).
@@ -110,13 +118,19 @@ class StepProfile {
   // function is constant after t.
   [[nodiscard]] Time next_change_after(Time t) const;
 
-  // Integral of the function over [from, to), overflow-checked.
-  // Requires from <= to and to < kTimeInfinity.
+  // Integral of the function over [from, to); throws std::overflow_error
+  // when the (exact, 128-bit-accumulated) result does not fit in int64.
+  // Requires from <= to and to < kTimeInfinity. O(log s) through the
+  // sum-augmented index on wide windows.
   [[nodiscard]] std::int64_t integral(Time from, Time to) const;
 
-  // Earliest T >= from such that integral(from, T) >= target (target >= 0).
-  // Requires the final segment value to be positive (otherwise the target
-  // may be unreachable, which is reported as kTimeInfinity).
+  // Earliest T >= from such that integral(from, T) >= target (target >= 0),
+  // where non-positive-rate stretches contribute nothing (the callers'
+  // profiles -- capacities, availabilities -- are non-negative, and a
+  // work-area target can never be paid off by negative rate). Unreachable
+  // targets are reported as kTimeInfinity. O(log s) through the
+  // sum-augmented index on non-negative profiles; nodes containing negative
+  // values are expanded exactly instead of trusting their range sum.
   [[nodiscard]] Time time_to_accumulate(Time from, std::int64_t target) const;
 
   // True if the function never increases / never decreases over [0, +inf).
@@ -161,16 +175,27 @@ class StepProfile {
   // bench_profile_ops; see BUILDING.md).
   static constexpr std::size_t kIndexedLeafCutoff = 256;
 
-  // Lazily built min/max segment tree over a breakpoint snapshot; see the
-  // invariants I1-I5 in the header comment.
+  // 128-bit accumulator for the sum augmentation: node integrals are exact
+  // products value * span, whose partial sums can exceed 64 bits long
+  // before the final clamped result does.
+  using Wide = __int128;
+
+  // Lazily built min/max/sum segment tree over a breakpoint snapshot; see
+  // the invariants I1-I5 in the header comment.
   struct Index {
     std::vector<Time> times;        // snapshot breakpoints; times[0] == 0
     std::vector<std::int64_t> min;  // implicit tree, 2*cap entries
     std::vector<std::int64_t> max;
     std::vector<std::int64_t> lazy;
+    std::vector<Wide> sum;   // integral over the node's finite span
+    std::vector<Time> len;   // finite span length (last + padding leaves: 0)
     std::size_t cap = 0;     // power-of-two leaf capacity
     std::size_t budget = 0;  // incremental adds left before a rebuild
     bool valid = false;
+    // Cleared when a sum update would overflow 128 bits (adversarial values
+    // only); integral/time_to_accumulate then fall back to exact scans
+    // while min/max queries keep using the tree.
+    bool sums_ok = false;
   };
 
   // Sorted by start; front().start == 0; adjacent values distinct.
@@ -199,6 +224,18 @@ class StepProfile {
                                       std::int64_t threshold) const;
   [[nodiscard]] Time scan_first_at_least(Time from,
                                          std::int64_t threshold) const;
+  // Exact 128-bit integral over [from, to) by linear scan (i =
+  // index_of(from)); clears `ok` on 128-bit overflow instead of wrapping.
+  [[nodiscard]] Wide scan_integral_at(std::size_t i, Time from, Time to,
+                                      bool& ok) const;
+  // Exact positive-rate accumulation across steps_[i..) from `cursor` until
+  // `remaining` is paid off or `stop` (exclusive; kTimeInfinity = the whole
+  // tail) is reached. Returns the crossing time, or kTimeInfinity with
+  // `remaining` updated when the stop bound (or an all-deficient tail) is
+  // hit first. This is the single place the ceil_div crossing rule and the
+  // near-infinity clamp live; both scan and indexed paths end in it.
+  [[nodiscard]] Time scan_accumulate(std::size_t i, Time cursor, Time stop,
+                                     std::int64_t& remaining) const;
 
   // Indexed descents behind the public queries; require the window to span
   // more than one leaf. lo_idx = index_of(from).
@@ -255,6 +292,24 @@ class StepProfile {
       std::size_t node, std::size_t node_lo, std::size_t node_hi,
       std::size_t lo, std::size_t hi, std::int64_t threshold,
       std::int64_t acc) const;
+  // Exact integral over the leaves [lo, hi] (full leaves only; boundary
+  // partials are the caller's scans). acc = 128-bit sum of strict-ancestor
+  // lazies. Clears `ok` instead of wrapping on 128-bit overflow.
+  [[nodiscard]] Wide index_range_sum(std::size_t node, std::size_t node_lo,
+                                     std::size_t node_hi, std::size_t lo,
+                                     std::size_t hi, Wide acc,
+                                     bool& ok) const;
+  // time_to_accumulate descent over the full leaves [lo, hi]: skips nodes
+  // whose (non-negative, so monotone) range sum stays below `remaining`,
+  // expands nodes containing negative values, and finishes inside the
+  // crossing leaf with the exact scan. Returns the crossing time or
+  // kTimeInfinity with `remaining` updated. Clears `ok` on 128-bit
+  // overflow (callers then redo the query by scan).
+  [[nodiscard]] Time index_accumulate(std::size_t node, std::size_t node_lo,
+                                      std::size_t node_hi, std::size_t lo,
+                                      std::size_t hi, std::int64_t acc,
+                                      Wide acc_wide, std::int64_t& remaining,
+                                      bool& ok) const;
 };
 
 }  // namespace resched

@@ -48,6 +48,14 @@ CampaignResult run_campaign(const InstanceGenerator& generator,
 
   std::vector<std::vector<TaskResult>> results(
       config.instances, std::vector<TaskResult>(names.size()));
+  // Work unit = one (instance, scheduler) pair, not one instance: a
+  // registry mixing a ~100x-slower scheduler (local-search) with cheap
+  // ones would otherwise serialize the tail behind whichever worker drew
+  // the slow scheduler's whole instance. Each task regenerates its
+  // instance from the per-index seed, so tasks stay data-independent (and
+  // StepProfile's lazy query index never sees a concurrent const read);
+  // the (i, s) result slot is written by exactly one worker either way.
+  const std::size_t task_count = config.instances * names.size();
   std::atomic<std::size_t> next{0};
   std::atomic<bool> failed{false};
   std::exception_ptr error;
@@ -55,33 +63,33 @@ CampaignResult run_campaign(const InstanceGenerator& generator,
 
   const auto worker = [&]() noexcept {
     while (!failed.load(std::memory_order_relaxed)) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= config.instances) return;
+      const std::size_t task = next.fetch_add(1, std::memory_order_relaxed);
+      if (task >= task_count) return;
+      const std::size_t i = task / names.size();
+      const std::size_t s = task % names.size();
       try {
         const Instance instance = generator(i, seeds[i]);
-        for (std::size_t s = 0; s < names.size(); ++s) {
-          TaskResult& slot = results[i][s];
-          const auto scheduler = make_scheduler(names[s]);
-          const auto start = std::chrono::steady_clock::now();
-          Schedule schedule;
-          try {
-            schedule = scheduler->schedule(instance);
-          } catch (const std::invalid_argument&) {
-            continue;  // outside the algorithm's domain; stays skipped
-          }
-          slot.seconds = std::chrono::duration<double>(
-                             std::chrono::steady_clock::now() - start)
-                             .count();
-          if (config.validate) {
-            const ValidationResult check = schedule.validate(instance);
-            RESCHED_CHECK_MSG(check.ok, "campaign: scheduler '" + names[s] +
-                                            "' produced an infeasible "
-                                            "schedule: " +
-                                            check.error);
-          }
-          slot.metrics = compute_metrics(instance, schedule, config.tau);
-          slot.scheduled = true;
+        TaskResult& slot = results[i][s];
+        const auto scheduler = make_scheduler(names[s]);
+        const auto start = std::chrono::steady_clock::now();
+        Schedule schedule;
+        try {
+          schedule = scheduler->schedule(instance);
+        } catch (const std::invalid_argument&) {
+          continue;  // outside the algorithm's domain; stays skipped
         }
+        slot.seconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+        if (config.validate) {
+          const ValidationResult check = schedule.validate(instance);
+          RESCHED_CHECK_MSG(check.ok, "campaign: scheduler '" + names[s] +
+                                          "' produced an infeasible "
+                                          "schedule: " +
+                                          check.error);
+        }
+        slot.metrics = compute_metrics(instance, schedule, config.tau);
+        slot.scheduled = true;
       } catch (...) {
         const std::lock_guard<std::mutex> lock(error_mutex);
         if (!error) error = std::current_exception();
@@ -93,7 +101,7 @@ CampaignResult run_campaign(const InstanceGenerator& generator,
   const std::size_t hardware = std::thread::hardware_concurrency();
   std::size_t threads = config.threads ? config.threads
                                        : (hardware ? hardware : 1);
-  threads = std::min(threads, std::max<std::size_t>(config.instances, 1));
+  threads = std::min(threads, std::max<std::size_t>(task_count, 1));
   if (threads <= 1) {
     worker();
   } else {

@@ -3,17 +3,22 @@
 //
 // The sweep drivers (examples/campaign, bench_campaign) all share the same
 // shape: generate N seeded instances, run every scheduler on each, aggregate
-// ScheduleMetrics per scheduler. run_campaign is that engine. Determinism
-// contract: the result is a pure function of (generator, config) -- never of
-// the thread count or of scheduling order. This holds because
+// ScheduleMetrics per scheduler. run_campaign is that engine. The work unit
+// is one (instance, scheduler) pair, so a registry mixing a ~100x-slower
+// scheduler (local-search) with cheap ones load-balances at scheduler
+// granularity instead of serializing the tail behind one worker's whole
+// instance. Determinism contract: the result is a pure function of
+// (generator, config) -- never of the thread count or of scheduling order.
+// This holds because
 //   * each instance index gets its own PRNG seed, derived sequentially from
 //     the master seed before any thread starts;
-//   * workers regenerate their instance from that per-index seed, so every
-//     task owns its data (StepProfile's lazy query index also makes shared
-//     const profiles unsafe to read concurrently -- regeneration sidesteps
-//     that entirely);
-//   * per-task metrics land in a preallocated slot, and aggregation runs
-//     single-threaded afterwards in (scheduler, instance) order.
+//   * every (instance, scheduler) task regenerates its instance from that
+//     per-index seed, so each task owns its data (StepProfile's lazy query
+//     index also makes shared const profiles unsafe to read concurrently --
+//     regeneration sidesteps that entirely);
+//   * per-task metrics land in a preallocated (instance, scheduler) slot
+//     written by exactly one worker, and aggregation runs single-threaded
+//     afterwards in (scheduler, instance) order.
 //
 // Wall-clock timings are recorded per scheduler but excluded from
 // to_table(false), which the determinism test compares across thread counts.

@@ -94,11 +94,39 @@ class DenseModel {
     return kTimeInfinity;
   }
 
+  [[nodiscard]] std::int64_t integral(Time from, Time to) const {
+    std::int64_t area = 0;
+    for (Time t = from; t < to; ++t) area += value_at(t);
+    return area;
+  }
+
  private:
   Time horizon_;
   std::vector<std::int64_t> ticks_;
   std::int64_t tail_;
 };
+
+// Segment-walk reference for time_to_accumulate: replays the documented
+// positive-rate accumulation over the public segment list, independent of
+// the sum-augmented index (and of the hybrid scan/descent dispatch).
+Time ref_time_to_accumulate(const StepProfile& profile, Time from,
+                            std::int64_t target) {
+  if (target == 0) return from;
+  std::int64_t remaining = target;
+  for (const auto& segment : profile.segments()) {
+    if (segment.end <= from) continue;
+    const Time seg_start = std::max(segment.start, from);
+    const std::int64_t rate = segment.value;
+    if (rate > 0) {
+      const Time needed = (remaining + rate - 1) / rate;
+      if (segment.end >= kTimeInfinity || needed <= segment.end - seg_start)
+        return needed >= kTimeInfinity - seg_start ? kTimeInfinity
+                                                  : seg_start + needed;
+      remaining -= rate * (segment.end - seg_start);
+    }
+  }
+  return kTimeInfinity;
+}
 
 // ---------------------------------------------------------------------------
 // StepProfile at index scale.
@@ -137,6 +165,16 @@ TEST(PropIndexedProfile, WideProfilesMatchDenseModelThroughIncrementalIndex) {
             << "round " << round << " op " << op << " thr " << threshold;
         ASSERT_EQ(profile.first_at_least(f, threshold),
                   model.first_at_least(f, threshold));
+        // Sum-augmented paths: wide integral = tree range-sum with scanned
+        // boundary leaves; time_to_accumulate = positive-rate descent
+        // (values here go negative, exercising the expand-on-negative
+        // branch alongside the O(log s) skips).
+        ASSERT_EQ(profile.integral(f, t), model.integral(f, t))
+            << "round " << round << " op " << op;
+        const std::int64_t target = prng.uniform_int(0, 4000);
+        ASSERT_EQ(profile.time_to_accumulate(f, target),
+                  ref_time_to_accumulate(profile, f, target))
+            << "round " << round << " op " << op << " target " << target;
       }
       {
         const Time f = prng.uniform_int(0, kHorizon - 2);
@@ -145,6 +183,7 @@ TEST(PropIndexedProfile, WideProfilesMatchDenseModelThroughIncrementalIndex) {
         const std::int64_t threshold = prng.uniform_int(-2, 10);
         ASSERT_EQ(profile.first_below(f, t, threshold),
                   model.first_below(f, t, threshold));
+        ASSERT_EQ(profile.integral(f, t), model.integral(f, t));
       }
     }
     ASSERT_GT(profile.segment_count(), 256u)
@@ -213,6 +252,55 @@ TEST(PropIndexedProfile, FirstAtLeastInsideLastSnapshotLeafWithLongTail) {
     EXPECT_EQ(profile.first_at_least(6050, threshold), expected)
         << "threshold=" << threshold;
   }
+}
+
+TEST(PropIndexedProfile, TimeToAccumulateClampsThroughTheIndexedDescent) {
+  // The kTimeInfinity clamp lived only in the linear walk before the sum
+  // augmentation; this pins it on the tree path: several hundred segments
+  // force the descent, and the rate-1 tail makes near-ceiling targets land
+  // "past any horizon".
+  StepProfile profile(0);
+  for (Time t = 0; t < 4000; t += 10) profile.add(t, t + 5, 1 + (t / 10) % 3);
+  profile.add(4000, kTimeInfinity, 1);
+  (void)profile.min_in(0, kTimeInfinity);  // build the index
+  ASSERT_GT(profile.segment_count(), 256u);
+
+  // Finite crossing just past the fragmented prefix, through descent + tail.
+  const std::int64_t prefix_area = profile.integral(0, 4000);
+  EXPECT_EQ(profile.time_to_accumulate(0, prefix_area + 7), 4007);
+  // Near-ceiling target over the rate-1 tail: clamps instead of overflowing.
+  EXPECT_EQ(profile.time_to_accumulate(
+                0, std::numeric_limits<std::int64_t>::max()),
+            kTimeInfinity);
+  // Exactly reaching the horizon is "never"; one tick earlier is finite.
+  EXPECT_EQ(profile.time_to_accumulate(0, prefix_area + (kTimeInfinity - 4000)),
+            kTimeInfinity);
+  EXPECT_EQ(
+      profile.time_to_accumulate(0, prefix_area + (kTimeInfinity - 4001)),
+      kTimeInfinity - 1);
+  // Cross-check both answers against the segment-walk reference.
+  for (const std::int64_t target : {std::int64_t{1}, prefix_area,
+                                    prefix_area + 12345}) {
+    EXPECT_EQ(profile.time_to_accumulate(3, target),
+              ref_time_to_accumulate(profile, 3, target))
+        << "target=" << target;
+  }
+}
+
+TEST(PropIndexedProfile, IntegralOverflowStillThrowsOnIndexedProfiles) {
+  // Wide windows go through the 128-bit range sum; results that do not fit
+  // int64 must still surface as std::overflow_error, profile intact.
+  StepProfile profile(1'000'000'000'000ll);  // 1e12 per tick
+  for (Time t = 0; t < 4000; t += 10) profile.add(t, t + 5, (t / 10) % 7);
+  (void)profile.min_in(0, kTimeInfinity);
+  ASSERT_GT(profile.segment_count(), 256u);
+  std::int64_t expected = 0;
+  for (const auto& segment : profile.segments_in(0, 4000))
+    expected += segment.value * (segment.end - segment.start);
+  EXPECT_EQ(profile.integral(0, 4000), expected);
+  EXPECT_THROW((void)profile.integral(0, kTimeInfinity - 1),
+               std::overflow_error);
+  ASSERT_NO_FATAL_FAILURE(ExpectCanonical(profile));
 }
 
 // ---------------------------------------------------------------------------
