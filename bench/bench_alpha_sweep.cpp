@@ -63,7 +63,7 @@ void print_tables() {
         for (int seed = 1; seed <= 10; ++seed) {
           const Instance instance =
               alpha_instance(static_cast<std::uint64_t>(seed) * 37, alpha);
-          const Schedule schedule = make_scheduler(name)->schedule(instance);
+          const Schedule schedule = make_scheduler(name)->schedule(instance).value();
           const Time lb = makespan_lower_bound(instance);
           local.add(static_cast<double>(schedule.makespan(instance)) /
                     static_cast<double>(lb));
@@ -74,7 +74,7 @@ void print_tables() {
 #else
       for (std::uint64_t seed = 1; seed <= 10; ++seed) {
         const Instance instance = alpha_instance(seed * 37, alpha);
-        const Schedule schedule = make_scheduler(name)->schedule(instance);
+        const Schedule schedule = make_scheduler(name)->schedule(instance).value();
         const Time lb = makespan_lower_bound(instance);
         stats.add(static_cast<double>(schedule.makespan(instance)) /
                   static_cast<double>(lb));
@@ -95,7 +95,7 @@ void BM_AlphaSweepCell(benchmark::State& state) {
   const Instance instance = alpha_instance(99, alpha);
   const auto scheduler = make_scheduler("lsrc");
   for (auto _ : state) {
-    const Schedule schedule = scheduler->schedule(instance);
+    const Schedule schedule = scheduler->schedule(instance).value();
     benchmark::DoNotOptimize(schedule.makespan(instance));
   }
 }

@@ -30,9 +30,9 @@ void print_tables() {
   const Instance witness = removal_anomaly_example();
   const auto lsrc = make_scheduler("lsrc");
   {
-    const Schedule before = lsrc->schedule(witness);
+    const Schedule before = lsrc->schedule(witness).value();
     const Instance reduced = without_job(witness, 1);
-    const Schedule after = lsrc->schedule(reduced);
+    const Schedule after = lsrc->schedule(reduced).value();
     GanttOptions options;
     options.width = 32;
     std::cout << "with all five jobs (C = "

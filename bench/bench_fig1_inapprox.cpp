@@ -40,13 +40,13 @@ void print_tables() {
   for (const std::int64_t rho : {1, 2, 4, 8, 16}) {
     const Theorem1Reduction reduction = theorem1_reduction(partition, rho);
     const Time fcfs =
-        FcfsScheduler().schedule(reduction.instance).makespan(
+        FcfsScheduler().schedule(reduction.instance).value().makespan(
             reduction.instance);
     const Time cbf = ConservativeBackfillScheduler()
-                         .schedule(reduction.instance)
+                         .schedule(reduction.instance).value()
                          .makespan(reduction.instance);
     const Time lsrc =
-        LsrcScheduler().schedule(reduction.instance).makespan(
+        LsrcScheduler().schedule(reduction.instance).value().makespan(
             reduction.instance);
     const Time worst = std::max({fcfs, cbf, lsrc});
     const Rational ratio = makespan_ratio(worst, reduction.opt_if_solvable);
@@ -71,7 +71,7 @@ void print_tables() {
   for (const Time L : {Time{10}, Time{100}, Time{1000}, Time{10000}}) {
     const Instance gapped = add_gap_reservation(rigid, opt, L);
     const Time exact = optimal_makespan(gapped);
-    const Schedule greedy = LsrcScheduler().schedule(gapped);
+    const Schedule greedy = LsrcScheduler().schedule(gapped).value();
     table2.add(L, exact, greedy.makespan(gapped),
                makespan_ratio(greedy.makespan(gapped), exact));
   }

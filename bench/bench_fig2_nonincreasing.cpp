@@ -47,7 +47,7 @@ void print_tables() {
     const Time optimum = optimal_makespan(instance);
     const ProcCount m_at = availability_at(instance, optimum);
     const Rational bound = nonincreasing_bound(m_at);
-    const Schedule schedule = LsrcScheduler().schedule(instance);
+    const Schedule schedule = LsrcScheduler().schedule(instance).value();
     const Rational ratio =
         makespan_ratio(schedule.makespan(instance), optimum);
     small.add(seed, instance.n(), instance.m(), optimum, m_at, bound,
@@ -61,7 +61,7 @@ void print_tables() {
   for (const std::uint64_t seed : {11u, 12u, 13u, 14u}) {
     const Instance instance = staircase_instance(seed, 120, 32);
     const Time lb = makespan_lower_bound(instance);
-    const Schedule schedule = LsrcScheduler().schedule(instance);
+    const Schedule schedule = LsrcScheduler().schedule(instance).value();
     large.add(seed, instance.n(), instance.m(), lb,
               schedule.makespan(instance),
               format_double(static_cast<double>(schedule.makespan(instance)) /
@@ -78,10 +78,10 @@ void print_tables() {
                          "C_LSRC(I)", "C_LSRC(I'' orig jobs)", "identical?"});
   for (const std::uint64_t seed : {21u, 22u, 23u, 24u}) {
     const Instance instance = staircase_instance(seed, 40, 16);
-    const Schedule direct = LsrcScheduler().schedule(instance);
+    const Schedule direct = LsrcScheduler().schedule(instance).value();
     const HeadJobTransform transform = reservations_to_head_jobs(instance);
     const Schedule indirect =
-        LsrcScheduler(transform.head_first_list).schedule(transform.rigid);
+        LsrcScheduler(transform.head_first_list).schedule(transform.rigid).value();
     bool identical = true;
     Time indirect_makespan = 0;
     for (const Job& job : instance.jobs()) {
@@ -103,7 +103,7 @@ void BM_LsrcOnStaircase(benchmark::State& state) {
   const Instance instance = staircase_instance(
       42, static_cast<std::size_t>(state.range(0)), 32);
   for (auto _ : state) {
-    const Schedule schedule = LsrcScheduler().schedule(instance);
+    const Schedule schedule = LsrcScheduler().schedule(instance).value();
     benchmark::DoNotOptimize(schedule.makespan(instance));
   }
   state.SetComplexityN(state.range(0));

@@ -28,9 +28,9 @@ void print_tables() {
   for (const std::int64_t k : {2, 3, 4, 5, 6, 8, 10, 12}) {
     const Prop2Family family = prop2_instance(k);
     const Schedule bad =
-        LsrcScheduler(family.bad_order).schedule(family.instance);
+        LsrcScheduler(family.bad_order).schedule(family.instance).value();
     const Schedule lpt =
-        LsrcScheduler(ListOrder::kLpt).schedule(family.instance);
+        LsrcScheduler(ListOrder::kLpt).schedule(family.instance).value();
     const Rational ratio = makespan_ratio(bad.makespan(family.instance),
                                           family.optimal_makespan);
     table.add(k, Rational(2, k), family.instance.m(),
@@ -48,7 +48,7 @@ void BM_Prop2BadOrder(benchmark::State& state) {
   const Prop2Family family = prop2_instance(state.range(0));
   for (auto _ : state) {
     const Schedule schedule =
-        LsrcScheduler(family.bad_order).schedule(family.instance);
+        LsrcScheduler(family.bad_order).schedule(family.instance).value();
     benchmark::DoNotOptimize(schedule.makespan(family.instance));
   }
   state.counters["jobs"] = static_cast<double>(family.instance.n());

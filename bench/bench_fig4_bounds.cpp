@@ -40,7 +40,7 @@ void print_tables() {
     const Rational alpha(2, k);
     const Prop2Family family = prop2_instance(k);
     const Schedule bad =
-        LsrcScheduler(family.bad_order).schedule(family.instance);
+        LsrcScheduler(family.bad_order).schedule(family.instance).value();
     const Rational ratio = makespan_ratio(bad.makespan(family.instance),
                                           family.optimal_makespan);
     achieved.add(alpha, k, lsrc_lower_bound_b2(alpha),

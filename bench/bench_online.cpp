@@ -35,13 +35,13 @@ void print_tables() {
   for (const ProcCount m : {2, 4, 8, 16, 24}) {
     const FcfsBadFamily family = fcfs_bad_instance(m);
     const Time fcfs =
-        make_scheduler("fcfs")->schedule(family.instance).makespan(
+        make_scheduler("fcfs")->schedule(family.instance).value().makespan(
             family.instance);
     const Time cbf = make_scheduler("conservative")
-                         ->schedule(family.instance)
+                         ->schedule(family.instance).value()
                          .makespan(family.instance);
     const Time lsrc =
-        make_scheduler("lsrc")->schedule(family.instance).makespan(
+        make_scheduler("lsrc")->schedule(family.instance).value().makespan(
             family.instance);
     fcfs_table.add(
         m, family.optimal_makespan, fcfs,
@@ -66,7 +66,7 @@ void print_tables() {
     const Instance instance = cbf_trap_instance(k, 16, 50);
     const Time lb = makespan_lower_bound(instance);
     for (const char* name : {"fcfs", "conservative", "easy", "lsrc"}) {
-      const Schedule schedule = make_scheduler(name)->schedule(instance);
+      const Schedule schedule = make_scheduler(name)->schedule(instance).value();
       const ScheduleMetrics metrics = compute_metrics(instance, schedule);
       double g_wait = 0.0;
       for (const Job& job : instance.jobs())
@@ -100,7 +100,7 @@ void print_tables() {
       OnlineBatchScheduler scheduler(make_scheduler(base));
       std::vector<BatchInfo> batches;
       const Schedule schedule =
-          scheduler.schedule_with_batches(instance, batches);
+          scheduler.schedule_with_batches(instance, batches).value();
       const double cap =
           2.0 * (2.0 - 1.0 / static_cast<double>(instance.m()));
       online.add(seed, base, batches.size(), schedule.makespan(instance), lb,
@@ -118,7 +118,7 @@ void BM_SchedulerOnTrap(benchmark::State& state) {
   const Instance instance = cbf_trap_instance(state.range(0), 16, 50);
   const auto scheduler = make_scheduler("easy");
   for (auto _ : state) {
-    const Schedule schedule = scheduler->schedule(instance);
+    const Schedule schedule = scheduler->schedule(instance).value();
     benchmark::DoNotOptimize(schedule.makespan(instance));
   }
 }
@@ -132,7 +132,7 @@ void BM_OnlineBatchWrapper(benchmark::State& state) {
   const Instance instance = random_workload(config, 2222);
   for (auto _ : state) {
     OnlineBatchScheduler scheduler(make_scheduler("lsrc"));
-    const Schedule schedule = scheduler.schedule(instance);
+    const Schedule schedule = scheduler.schedule(instance).value();
     benchmark::DoNotOptimize(schedule.makespan(instance));
   }
 }

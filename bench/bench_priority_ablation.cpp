@@ -40,7 +40,7 @@ void print_tables() {
       config.p_max = 60;
       const Instance instance = random_workload(config, seed * 101);
       const Schedule schedule =
-          LsrcScheduler(order, seed).schedule(instance);
+          LsrcScheduler(order, seed).schedule(instance).value();
       stats.add(static_cast<double>(schedule.makespan(instance)) /
                 static_cast<double>(makespan_lower_bound(instance)));
     }
@@ -58,7 +58,7 @@ void print_tables() {
       config.m = 32;
       config.p_max = 60;
       const Instance instance = random_workload(config, seed * 101);
-      const Schedule schedule = ShelfScheduler(policy).schedule(instance);
+      const Schedule schedule = ShelfScheduler(policy).schedule(instance).value();
       stats.add(static_cast<double>(schedule.makespan(instance)) /
                 static_cast<double>(makespan_lower_bound(instance)));
     }
@@ -78,8 +78,8 @@ void print_tables() {
       const Schedule schedule =
           use_local_search
               ? LocalSearchScheduler(100, ListOrder::kLpt, seed)
-                    .schedule(instance)
-              : PortfolioScheduler(2, seed).schedule(instance);
+                    .schedule(instance).value()
+              : PortfolioScheduler(2, seed).schedule(instance).value();
       stats.add(static_cast<double>(schedule.makespan(instance)) /
                 static_cast<double>(makespan_lower_bound(instance)));
     }
@@ -98,9 +98,9 @@ void print_tables() {
   for (const ProcCount m : {4, 8, 16}) {
     const GrahamTightFamily family = graham_tight_instance(m);
     const Schedule bad =
-        LsrcScheduler(family.bad_order).schedule(family.instance);
+        LsrcScheduler(family.bad_order).schedule(family.instance).value();
     const Schedule lpt =
-        LsrcScheduler(ListOrder::kLpt).schedule(family.instance);
+        LsrcScheduler(ListOrder::kLpt).schedule(family.instance).value();
     families.add("graham-tight m=" + std::to_string(m),
                  family.optimal_makespan, bad.makespan(family.instance),
                  makespan_ratio(bad.makespan(family.instance),
@@ -110,9 +110,9 @@ void print_tables() {
   for (const std::int64_t k : {4, 6, 8}) {
     const Prop2Family family = prop2_instance(k);
     const Schedule bad =
-        LsrcScheduler(family.bad_order).schedule(family.instance);
+        LsrcScheduler(family.bad_order).schedule(family.instance).value();
     const Schedule lpt =
-        LsrcScheduler(ListOrder::kLpt).schedule(family.instance);
+        LsrcScheduler(ListOrder::kLpt).schedule(family.instance).value();
     families.add("prop2 k=" + std::to_string(k), family.optimal_makespan,
                  bad.makespan(family.instance),
                  makespan_ratio(bad.makespan(family.instance),
@@ -130,7 +130,7 @@ void BM_OrderedLsrc(benchmark::State& state) {
   const auto order = all_list_orders()[static_cast<std::size_t>(
       state.range(0))];
   for (auto _ : state) {
-    const Schedule schedule = LsrcScheduler(order, 1).schedule(instance);
+    const Schedule schedule = LsrcScheduler(order, 1).schedule(instance).value();
     benchmark::DoNotOptimize(schedule.makespan(instance));
   }
   state.SetLabel(to_string(order));

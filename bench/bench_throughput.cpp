@@ -45,7 +45,7 @@ void BM_Scheduler(benchmark::State& state, const std::string& name,
   const Instance instance = workload(state.range(0), reserved);
   const auto scheduler = make_scheduler(name);
   for (auto _ : state) {
-    const Schedule schedule = scheduler->schedule(instance);
+    const Schedule schedule = scheduler->schedule(instance).value();
     benchmark::DoNotOptimize(schedule.makespan(instance));
   }
   state.SetComplexityN(state.range(0));
@@ -73,7 +73,7 @@ void BM_ShelfFf(benchmark::State& state) {
   const Instance instance = workload(state.range(0), false);
   const auto scheduler = make_scheduler("shelf-ff");
   for (auto _ : state) {
-    const Schedule schedule = scheduler->schedule(instance);
+    const Schedule schedule = scheduler->schedule(instance).value();
     benchmark::DoNotOptimize(schedule.makespan(instance));
   }
   state.SetComplexityN(state.range(0));

@@ -37,9 +37,9 @@ int run_fig3(bool dump) {
   for (std::int64_t k = 2; k <= 14; ++k) {
     const Prop2Family family = prop2_instance(k);
     const Schedule bad =
-        LsrcScheduler(family.bad_order).schedule(family.instance);
+        LsrcScheduler(family.bad_order).schedule(family.instance).value();
     const Schedule lpt =
-        LsrcScheduler(ListOrder::kLpt).schedule(family.instance);
+        LsrcScheduler(ListOrder::kLpt).schedule(family.instance).value();
     std::cout << k << ',' << Rational(2, k).to_double() << ','
               << family.instance.m() << ',' << family.optimal_makespan << ','
               << bad.makespan(family.instance) << ','
@@ -94,7 +94,7 @@ int run_alpha(std::uint64_t seeds, bool dump) {
       for (const char* name : {"lsrc", "lsrc-lpt", "fcfs", "conservative",
                                "easy"}) {
         const Time cmax =
-            make_scheduler(name)->schedule(instance).makespan(instance);
+            make_scheduler(name)->schedule(instance).value().makespan(instance);
         std::cout << alpha.to_double() << ',' << name << ',' << seed << ','
                   << cmax << ',' << lb << ','
                   << static_cast<double>(cmax) / static_cast<double>(lb)
@@ -110,6 +110,7 @@ int run_sweep(const CliParser& cli) {
   config.instances = static_cast<std::size_t>(cli.get_int("instances"));
   config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   config.threads = static_cast<std::size_t>(cli.get_int("threads"));
+  config.share_instances = cli.get_flag("share");
   const std::string schedulers = cli.get_string("schedulers");
   if (!schedulers.empty()) config.schedulers = split(schedulers, ',');
 
@@ -137,8 +138,16 @@ int run_sweep(const CliParser& cli) {
 
   const CampaignResult result = run_campaign(generator, config);
   std::cout << "campaign: " << result.instances << " instances, seed "
-            << config.seed << "\n\n";
+            << config.seed
+            << (config.share_instances ? ", shared instances"
+                                       : ", regenerated instances")
+            << "\n\n";
   result.to_table().print(std::cout);
+  // Typed skip reasons (DomainError), not just a bare count.
+  for (const CampaignCell& cell : result.cells)
+    if (cell.skipped > 0)
+      std::cout << "skips[" << cell.scheduler << "]: " << cell.skip_reasons()
+                << "\n";
   return 0;
 }
 
@@ -158,6 +167,9 @@ int main(int argc, char** argv) {
   cli.add_option("n", "sweep: jobs per instance", "120");
   cli.add_option("m", "sweep: processors", "64");
   cli.add_option("reservations", "sweep: reservations per instance", "8");
+  cli.add_flag("share",
+               "sweep: generate each instance once and share it across "
+               "scheduler tasks (same table as regenerating)");
   cli.add_flag("dump-instances", "also write generated instances as SWF");
   if (!cli.parse(argc, argv)) return 0;
 

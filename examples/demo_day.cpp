@@ -55,7 +55,7 @@ int main(int argc, char** argv) {
                "peak busy"});
   for (const char* name : {"fcfs", "conservative", "easy", "lsrc",
                            "lsrc-lpt"}) {
-    const Schedule schedule = make_scheduler(name)->schedule(instance);
+    const Schedule schedule = make_scheduler(name)->schedule(instance).value();
     const SimulationResult sim = simulate_cluster(instance, schedule);
     table.add(name, sim.metrics.makespan,
               format_double(sim.metrics.utilization, 3),

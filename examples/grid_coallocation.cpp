@@ -75,10 +75,12 @@ int main(int argc, char** argv) {
   Table table({"algorithm", "C_max (open)", "C_max (reserved)", "delta %",
                "mean wait (reserved)", "compliance"});
   for (const auto& name : registered_schedulers()) {
-    if (starts_with(name, "shelf")) continue;  // no reservation support
     const auto scheduler = make_scheduler(name);
-    const Schedule open_schedule = scheduler->schedule(open_site);
-    const Schedule reserved_schedule = scheduler->schedule(reserved_site);
+    // Capability filtering: the comparison needs both sites in-domain.
+    if (!scheduler->supports(reserved_site) || !scheduler->supports(open_site))
+      continue;
+    const Schedule open_schedule = scheduler->schedule(open_site).value();
+    const Schedule reserved_schedule = scheduler->schedule(reserved_site).value();
     const ScheduleMetrics metrics =
         compute_metrics(reserved_site, reserved_schedule);
     const GuaranteeReport report =
@@ -95,7 +97,7 @@ int main(int argc, char** argv) {
 
   const std::string svg_path = cli.get_string("svg");
   if (!svg_path.empty()) {
-    const Schedule schedule = make_scheduler("lsrc")->schedule(reserved_site);
+    const Schedule schedule = make_scheduler("lsrc")->schedule(reserved_site).value();
     std::ofstream os(svg_path);
     os << svg_gantt(reserved_site, schedule);
     std::cout << "\nSVG Gantt written to " << svg_path << "\n";

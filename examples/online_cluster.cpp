@@ -75,12 +75,12 @@ int main(int argc, char** argv) {
   };
 
   for (const char* name : {"fcfs", "conservative", "easy", "lsrc"})
-    evaluate(name, make_scheduler(name)->schedule(instance));
+    evaluate(name, make_scheduler(name)->schedule(instance).value());
   for (const char* base : {"lsrc", "conservative"}) {
     OnlineBatchScheduler wrapper(make_scheduler(base));
     std::vector<BatchInfo> batches;
     const Schedule schedule =
-        wrapper.schedule_with_batches(instance, batches);
+        wrapper.schedule_with_batches(instance, batches).value();
     evaluate(wrapper.name() + " [" + std::to_string(batches.size()) +
                  " batches]",
              schedule);

@@ -32,7 +32,7 @@ int main() {
   // LSRC = list scheduling with resource constraints; the default list is
   // submission order. Try ListOrder::kLpt for the paper's conjectured
   // improvement.
-  const Schedule schedule = LsrcScheduler().schedule(instance);
+  const Schedule schedule = LsrcScheduler().schedule(instance).value();
 
   // Always validate: the checker recomputes feasibility from scratch.
   const ValidationResult valid = schedule.validate(instance);

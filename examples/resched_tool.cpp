@@ -12,8 +12,12 @@
 //   # hunt for scheduling anomalies under a given algorithm
 //   resched_tool anomalies --input=cluster.inst --algorithm=lsrc
 //
+//   # print the registry: every scheduler, its description and capabilities
+//   resched_tool list-schedulers
+//
 // Input format is auto-detected (native "# resched instance" vs SWF).
 #include <fstream>
+#include <utility>
 #include <iostream>
 #include <sstream>
 
@@ -61,7 +65,14 @@ int cmd_info(const Instance& instance) {
 int cmd_schedule(const Instance& instance, const std::string& algorithm,
                  const std::string& out_csv, const std::string& out_svg,
                  bool show_gantt) {
-  const Schedule schedule = make_scheduler(algorithm)->schedule(instance);
+  ScheduleOutcome outcome = make_scheduler(algorithm)->schedule(instance);
+  if (!outcome.ok()) {
+    std::cerr << "instance outside the domain of '" << algorithm
+              << "' (" << to_string(outcome.error().reason)
+              << "): " << outcome.error().message << "\n";
+    return 1;
+  }
+  const Schedule schedule = std::move(outcome).value();
   const ValidationResult valid = schedule.validate(instance);
   RESCHED_CHECK_MSG(valid.ok, "scheduler produced infeasible schedule: " +
                                   valid.error);
@@ -90,21 +101,37 @@ int cmd_compare(const Instance& instance) {
   Table table({"algorithm", "C_max", "ratio vs LB", "utilization",
                "mean wait", "compliance"});
   for (const auto& name : registered_schedulers()) {
-    try {
-      const Schedule schedule = make_scheduler(name)->schedule(instance);
-      const ScheduleMetrics metrics = compute_metrics(instance, schedule);
-      const GuaranteeReport report = check_guarantee(instance, schedule);
-      table.add(name, metrics.makespan,
-                format_double(static_cast<double>(metrics.makespan) /
-                                  static_cast<double>(std::max<Time>(1, lb)),
-                              4),
-                format_double(metrics.utilization, 3),
-                format_double(metrics.mean_wait, 1),
-                to_string(report.compliance));
-    } catch (const std::invalid_argument& outside_domain) {
-      table.add(name, "-", "-", "-", "-", "outside domain");
+    // Typed outcome instead of throw-and-catch: a DomainError row names its
+    // reason; a genuine precondition violation still aborts the command.
+    ScheduleOutcome outcome = make_scheduler(name)->schedule(instance);
+    if (!outcome.ok()) {
+      table.add(name, "-", "-", "-", "-",
+                "outside domain (" + to_string(outcome.error().reason) + ")");
+      continue;
     }
+    const Schedule schedule = std::move(outcome).value();
+    const ScheduleMetrics metrics = compute_metrics(instance, schedule);
+    const GuaranteeReport report = check_guarantee(instance, schedule);
+    table.add(name, metrics.makespan,
+              format_double(static_cast<double>(metrics.makespan) /
+                                static_cast<double>(std::max<Time>(1, lb)),
+                            4),
+              format_double(metrics.utilization, 3),
+              format_double(metrics.mean_wait, 1),
+              to_string(report.compliance));
   }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_list_schedulers() {
+  Table table({"scheduler", "release times", "reservations", "deterministic",
+               "description"});
+  for (const SchedulerInfo& info : registered_scheduler_info())
+    table.add(info.name, info.capabilities.release_times ? "yes" : "no",
+              info.capabilities.reservations ? "yes" : "no",
+              info.capabilities.deterministic ? "yes" : "no",
+              info.description);
   table.print(std::cout);
   return 0;
 }
@@ -148,8 +175,9 @@ int main(int argc, char** argv) {
   try {
     RESCHED_REQUIRE_MSG(!cli.positional().empty(),
                         "usage: resched_tool <schedule|compare|info|"
-                        "anomalies> --input=FILE");
+                        "anomalies|list-schedulers> --input=FILE");
     const std::string command = cli.positional().front();
+    if (command == "list-schedulers") return cmd_list_schedulers();
     const std::string input = cli.get_string("input");
     RESCHED_REQUIRE_MSG(!input.empty(), "--input is required");
     const Instance instance = load_any(input);

@@ -8,7 +8,7 @@
 
 namespace resched {
 
-Schedule ConservativeBackfillScheduler::schedule(
+ScheduleOutcome ConservativeBackfillScheduler::schedule(
     const Instance& instance) const {
   Schedule schedule(instance.n());
   FreeProfile free = FreeProfile::for_instance(instance);

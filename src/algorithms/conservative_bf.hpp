@@ -14,7 +14,9 @@ namespace resched {
 
 class ConservativeBackfillScheduler final : public Scheduler {
  public:
-  [[nodiscard]] Schedule schedule(const Instance& instance) const override;
+  // Unrestricted domain: the outcome is always a schedule.
+  [[nodiscard]] ScheduleOutcome schedule(
+      const Instance& instance) const override;
   [[nodiscard]] std::string name() const override { return "conservative"; }
 };
 

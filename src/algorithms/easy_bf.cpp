@@ -11,7 +11,8 @@
 
 namespace resched {
 
-Schedule EasyBackfillScheduler::schedule(const Instance& instance) const {
+ScheduleOutcome EasyBackfillScheduler::schedule(
+    const Instance& instance) const {
   Schedule schedule(instance.n());
   if (instance.n() == 0) return schedule;
 
@@ -83,8 +84,13 @@ Schedule EasyBackfillScheduler::schedule(const Instance& instance) const {
           continue;
         }
         // Tentatively start; keep only if the head is not pushed back.
+        // Commits only remove capacity, so the head's earliest fit can
+        // never move before head_start -- "not pushed back" is exactly
+        // "still fits at head_start", one windowed min over the head's
+        // reservation window instead of re-running the earliest-fit
+        // search from t across every tentative commit.
         free.commit(t, job.q, job.p);
-        if (free.earliest_fit(t, head.q, head.p) > head_start) {
+        if (!free.fits_at(head_start, head.q, head.p)) {
           free.uncommit(t, job.q, job.p);
           waiting.keep();
           continue;

@@ -9,7 +9,7 @@
 
 namespace resched {
 
-Schedule FcfsScheduler::schedule(const Instance& instance) const {
+ScheduleOutcome FcfsScheduler::schedule(const Instance& instance) const {
   Schedule schedule(instance.n());
   FreeProfile free = FreeProfile::for_instance(instance);
 

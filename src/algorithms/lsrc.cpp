@@ -25,7 +25,7 @@ std::string LsrcScheduler::name() const {
   return "lsrc[" + to_string(order_) + "]";
 }
 
-Schedule LsrcScheduler::schedule(const Instance& instance) const {
+ScheduleOutcome LsrcScheduler::schedule(const Instance& instance) const {
   const std::vector<JobId> list =
       use_explicit_ ? explicit_list_ : make_list(instance, order_, seed_);
   return run(instance, list);

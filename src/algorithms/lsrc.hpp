@@ -45,7 +45,11 @@ class LsrcScheduler final : public Scheduler {
   // lower bound needs a specific "bad" order).
   explicit LsrcScheduler(std::vector<JobId> explicit_list);
 
-  [[nodiscard]] Schedule schedule(const Instance& instance) const override;
+  // Unrestricted domain (release times and reservations are the algorithm's
+  // native model), so the outcome is always a schedule; a malformed explicit
+  // list is a precondition violation and throws.
+  [[nodiscard]] ScheduleOutcome schedule(
+      const Instance& instance) const override;
   [[nodiscard]] std::string name() const override;
 
   // One-shot run with an explicit list (priority = position in `list`).

@@ -11,20 +11,27 @@ namespace resched {
 OnlineBatchScheduler::OnlineBatchScheduler(std::unique_ptr<Scheduler> base)
     : base_(std::move(base)) {
   RESCHED_REQUIRE(base_ != nullptr);
+  RESCHED_REQUIRE_MSG(base_->capabilities().release_times,
+                      "online-batch base scheduler must support release "
+                      "times (batch jobs are pinned to the epoch)");
 }
 
 std::string OnlineBatchScheduler::name() const {
   return "online-batch(" + base_->name() + ")";
 }
 
-Schedule OnlineBatchScheduler::schedule(const Instance& instance) const {
+ScheduleOutcome OnlineBatchScheduler::schedule(const Instance& instance) const {
   std::vector<BatchInfo> batches;
   return schedule_with_batches(instance, batches);
 }
 
-Schedule OnlineBatchScheduler::schedule_with_batches(
+ScheduleOutcome OnlineBatchScheduler::schedule_with_batches(
     const Instance& instance, std::vector<BatchInfo>& batches) const {
   batches.clear();
+  // Entry-point domain check (both public entry points funnel through
+  // here): the base's capability rejection surfaces as a typed
+  // DomainError, never as a mid-batch invariant failure.
+  if (auto violation = out_of_domain(instance)) return *std::move(violation);
   Schedule result(instance.n());
   if (instance.n() == 0) return result;
 
@@ -60,7 +67,10 @@ Schedule OnlineBatchScheduler::schedule_with_batches(
     }
     const Instance sub(instance.m(), std::move(sub_jobs),
                        instance.reservations());
-    const Schedule sub_schedule = base_->schedule(sub);
+    // In-domain by the entry check above (capabilities() is the base's),
+    // so an error arm here would be an invariant violation -- value()
+    // trips RESCHED_CHECK on it.
+    const Schedule sub_schedule = base_->schedule(sub).value();
     const ValidationResult valid = sub_schedule.validate(sub);
     RESCHED_CHECK_MSG(valid.ok,
                       "base scheduler produced an infeasible batch "

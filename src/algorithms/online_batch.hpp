@@ -31,14 +31,24 @@ class OnlineBatchScheduler final : public Scheduler {
  public:
   // Takes ownership of the base offline scheduler. The base algorithm must
   // support release times >= epoch (all of lsrc/fcfs/conservative/easy do;
-  // shelf does not).
+  // shelf does not -- constructing the wrapper over it is a precondition
+  // violation, surfaced through capabilities()).
   explicit OnlineBatchScheduler(std::unique_ptr<Scheduler> base);
 
-  [[nodiscard]] Schedule schedule(const Instance& instance) const override;
+  [[nodiscard]] ScheduleOutcome schedule(
+      const Instance& instance) const override;
   [[nodiscard]] std::string name() const override;
+  // Inherited from the base scheduler: a batch sub-instance keeps the full
+  // reservation set and carries release times (= the batch epoch), so the
+  // wrapper is exactly as capable as its base and requires the base to
+  // accept release times.
+  [[nodiscard]] Capabilities capabilities() const override {
+    return base_->capabilities();
+  }
 
-  // Like schedule(), additionally reporting the batch structure.
-  [[nodiscard]] Schedule schedule_with_batches(
+  // Like schedule(), additionally reporting the batch structure (left
+  // empty on a DomainError outcome).
+  [[nodiscard]] ScheduleOutcome schedule_with_batches(
       const Instance& instance, std::vector<BatchInfo>& batches) const;
 
  private:

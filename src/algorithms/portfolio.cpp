@@ -8,13 +8,20 @@
 
 namespace resched {
 
-PortfolioScheduler::PortfolioScheduler(int random_restarts,
-                                       std::uint64_t seed)
-    : random_restarts_(random_restarts), seed_(seed) {
+PortfolioScheduler::PortfolioScheduler(int random_restarts, std::uint64_t seed,
+                                       std::vector<std::string> extra_members)
+    : random_restarts_(random_restarts),
+      seed_(seed),
+      extra_members_(std::move(extra_members)) {
   RESCHED_REQUIRE(random_restarts >= 0);
+  // Surface a misspelled member name here, not from inside schedule() mid
+  // campaign (out-of-domain members are skipped at run time, but an
+  // unknown name is a construction error).
+  for (const std::string& member : extra_members_)
+    (void)make_scheduler(member);
 }
 
-Schedule PortfolioScheduler::schedule(const Instance& instance) const {
+ScheduleOutcome PortfolioScheduler::schedule(const Instance& instance) const {
   Schedule best(instance.n());
   Time best_makespan = kTimeInfinity;
   auto consider = [&](const Schedule& candidate) {
@@ -25,11 +32,24 @@ Schedule PortfolioScheduler::schedule(const Instance& instance) const {
     }
   };
   for (const ListOrder order : all_list_orders())
-    consider(LsrcScheduler(order, seed_).schedule(instance));
+    consider(LsrcScheduler(order, seed_).schedule(instance).value());
   Prng prng(seed_);
   for (int restart = 0; restart < random_restarts_; ++restart)
-    consider(
-        LsrcScheduler(ListOrder::kRandom, prng.fork_seed()).schedule(instance));
+    consider(LsrcScheduler(ListOrder::kRandom, prng.fork_seed())
+                 .schedule(instance)
+                 .value());
+  // Heterogeneous members: capability filtering up front, not mid-run
+  // exception catching -- a member whose domain excludes the instance is
+  // simply not a competitor here. The outcome check behind it covers what
+  // supports() cannot see: a member may also reject with a
+  // scheduler-specific DomainError (kOther) from inside schedule().
+  for (const std::string& member : extra_members_) {
+    const auto scheduler = make_scheduler(member);
+    if (!scheduler->supports(instance)) continue;
+    ScheduleOutcome outcome = scheduler->schedule(instance);
+    if (!outcome.ok()) continue;
+    consider(std::move(outcome).value());
+  }
   return best;
 }
 
@@ -39,9 +59,9 @@ LocalSearchScheduler::LocalSearchScheduler(int iterations, ListOrder initial,
   RESCHED_REQUIRE(iterations >= 0);
 }
 
-Schedule LocalSearchScheduler::schedule(const Instance& instance) const {
+ScheduleOutcome LocalSearchScheduler::schedule(const Instance& instance) const {
   std::vector<JobId> order = make_list(instance, initial_, seed_);
-  Schedule best = LsrcScheduler(order).schedule(instance);
+  Schedule best = LsrcScheduler(order).schedule(instance).value();
   Time best_makespan = best.makespan(instance);
   if (instance.n() < 2) return best;
 
@@ -62,7 +82,7 @@ Schedule LocalSearchScheduler::schedule(const Instance& instance) const {
                            j > i ? j - 1 : j),
                        moved);
     }
-    Schedule attempt = LsrcScheduler(candidate).schedule(instance);
+    Schedule attempt = LsrcScheduler(candidate).schedule(instance).value();
     const Time makespan = attempt.makespan(instance);
     if (makespan < best_makespan) {  // strict improvement: plain hill climb
       best_makespan = makespan;

@@ -16,6 +16,8 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "algorithms/list_order.hpp"
 #include "algorithms/scheduler.hpp"
@@ -25,16 +27,27 @@ namespace resched {
 class PortfolioScheduler final : public Scheduler {
  public:
   // random_restarts extra shuffled orders are tried in addition to the
-  // eight standard priority rules.
-  explicit PortfolioScheduler(int random_restarts = 4,
-                              std::uint64_t seed = 1);
+  // eight standard priority rules. extra_members names additional registry
+  // schedulers whose output competes with the LSRC family; members whose
+  // capabilities exclude the instance are skipped up front via supports()
+  // (no throw-and-catch), so a heterogeneous portfolio degrades gracefully
+  // on, say, a reserved instance that its shelf member cannot handle.
+  explicit PortfolioScheduler(int random_restarts = 4, std::uint64_t seed = 1,
+                              std::vector<std::string> extra_members = {});
 
-  [[nodiscard]] Schedule schedule(const Instance& instance) const override;
+  [[nodiscard]] ScheduleOutcome schedule(
+      const Instance& instance) const override;
   [[nodiscard]] std::string name() const override { return "portfolio"; }
+  // The LSRC core is unrestricted, so the portfolio is too: an extra member
+  // that cannot handle the instance is skipped, never fatal.
+  [[nodiscard]] Capabilities capabilities() const override {
+    return Capabilities{};
+  }
 
  private:
   int random_restarts_;
   std::uint64_t seed_;
+  std::vector<std::string> extra_members_;
 };
 
 class LocalSearchScheduler final : public Scheduler {
@@ -45,7 +58,8 @@ class LocalSearchScheduler final : public Scheduler {
                                 ListOrder initial = ListOrder::kLpt,
                                 std::uint64_t seed = 1);
 
-  [[nodiscard]] Schedule schedule(const Instance& instance) const override;
+  [[nodiscard]] ScheduleOutcome schedule(
+      const Instance& instance) const override;
   [[nodiscard]] std::string name() const override { return "local-search"; }
 
  private:

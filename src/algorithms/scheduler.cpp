@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <utility>
 
 #include "algorithms/conservative_bf.hpp"
 #include "algorithms/easy_bf.hpp"
@@ -13,10 +14,56 @@
 
 namespace resched {
 
+std::string to_string(DomainReason reason) {
+  switch (reason) {
+    case DomainReason::kReservations:
+      return "reservations";
+    case DomainReason::kReleaseTimes:
+      return "release-times";
+    case DomainReason::kOther:
+      return "other";
+  }
+  return "?";
+}
+
+const Schedule& ScheduleOutcome::value() const& {
+  RESCHED_CHECK_MSG(ok(), "ScheduleOutcome::value() on a domain error: " +
+                              std::get<DomainError>(result_).message);
+  return std::get<Schedule>(result_);
+}
+
+Schedule ScheduleOutcome::value() && {
+  RESCHED_CHECK_MSG(ok(), "ScheduleOutcome::value() on a domain error: " +
+                              std::get<DomainError>(result_).message);
+  return std::move(std::get<Schedule>(result_));
+}
+
+const DomainError& ScheduleOutcome::error() const {
+  RESCHED_CHECK_MSG(!ok(), "ScheduleOutcome::error() on a schedule");
+  return std::get<DomainError>(result_);
+}
+
+std::optional<DomainError> Scheduler::out_of_domain(
+    const Instance& instance) const {
+  const Capabilities caps = capabilities();
+  if (!caps.reservations && !instance.is_rigid_only())
+    return DomainError{DomainReason::kReservations,
+                       name() + " does not support reservations"};
+  if (!caps.release_times && instance.has_release_times())
+    return DomainError{DomainReason::kReleaseTimes,
+                       name() + " does not support release times"};
+  return std::nullopt;
+}
+
 namespace {
 
-std::map<std::string, SchedulerFactory>& registry() {
-  static std::map<std::string, SchedulerFactory> instance;
+struct RegistryEntry {
+  SchedulerFactory factory;
+  std::string description;
+};
+
+std::map<std::string, RegistryEntry>& registry() {
+  static std::map<std::string, RegistryEntry> instance;
   return instance;
 }
 
@@ -26,27 +73,38 @@ std::map<std::string, SchedulerFactory>& registry() {
 void ensure_builtins() {
   static const bool done = [] {
     auto& reg = registry();
-    reg["lsrc"] = [] {
-      return std::make_unique<LsrcScheduler>(ListOrder::kSubmission);
-    };
-    reg["lsrc-lpt"] = [] {
-      return std::make_unique<LsrcScheduler>(ListOrder::kLpt);
-    };
-    reg["fcfs"] = [] { return std::make_unique<FcfsScheduler>(); };
-    reg["conservative"] = [] {
-      return std::make_unique<ConservativeBackfillScheduler>();
-    };
-    reg["easy"] = [] { return std::make_unique<EasyBackfillScheduler>(); };
-    reg["shelf-ff"] = [] {
-      return std::make_unique<ShelfScheduler>(ShelfPolicy::kFirstFit);
-    };
-    reg["shelf-nf"] = [] {
-      return std::make_unique<ShelfScheduler>(ShelfPolicy::kNextFit);
-    };
-    reg["portfolio"] = [] { return std::make_unique<PortfolioScheduler>(); };
-    reg["local-search"] = [] {
-      return std::make_unique<LocalSearchScheduler>();
-    };
+    reg["lsrc"] = {[] {
+                     return std::make_unique<LsrcScheduler>(
+                         ListOrder::kSubmission);
+                   },
+                   "list scheduling (submission order), the paper's LSRC"};
+    reg["lsrc-lpt"] = {[] {
+                         return std::make_unique<LsrcScheduler>(
+                             ListOrder::kLpt);
+                       },
+                       "list scheduling, longest processing time first"};
+    reg["fcfs"] = {[] { return std::make_unique<FcfsScheduler>(); },
+                   "strict First Come First Served (non-overtaking)"};
+    reg["conservative"] = {
+        [] { return std::make_unique<ConservativeBackfillScheduler>(); },
+        "conservative backfilling (no previously placed job delayed)"};
+    reg["easy"] = {[] { return std::make_unique<EasyBackfillScheduler>(); },
+                   "EASY aggressive backfilling (head-only protection)"};
+    reg["shelf-ff"] = {[] {
+                         return std::make_unique<ShelfScheduler>(
+                             ShelfPolicy::kFirstFit);
+                       },
+                       "FFDH shelf packing (offline, rigid-only)"};
+    reg["shelf-nf"] = {[] {
+                         return std::make_unique<ShelfScheduler>(
+                             ShelfPolicy::kNextFit);
+                       },
+                       "NFDH shelf packing (offline, rigid-only)"};
+    reg["portfolio"] = {[] { return std::make_unique<PortfolioScheduler>(); },
+                        "best LSRC schedule across priority orders"};
+    reg["local-search"] = {
+        [] { return std::make_unique<LocalSearchScheduler>(); },
+        "hill-climbing over LSRC priority lists (seeded, budgeted)"};
     return true;
   }();
   (void)done;
@@ -54,26 +112,37 @@ void ensure_builtins() {
 
 }  // namespace
 
-void register_scheduler(const std::string& name, SchedulerFactory factory) {
+void register_scheduler(const std::string& name, SchedulerFactory factory,
+                        std::string description) {
   ensure_builtins();
   RESCHED_REQUIRE_MSG(!registry().count(name),
                       "scheduler already registered: " + name);
-  registry()[name] = std::move(factory);
+  registry()[name] = RegistryEntry{std::move(factory), std::move(description)};
 }
 
 std::unique_ptr<Scheduler> make_scheduler(const std::string& name) {
   ensure_builtins();
   const auto it = registry().find(name);
   RESCHED_REQUIRE_MSG(it != registry().end(), "unknown scheduler: " + name);
-  return it->second();
+  return it->second.factory();
 }
 
 std::vector<std::string> registered_schedulers() {
   ensure_builtins();
   std::vector<std::string> names;
   names.reserve(registry().size());
-  for (const auto& [name, factory] : registry()) names.push_back(name);
+  for (const auto& [name, entry] : registry()) names.push_back(name);
   return names;
+}
+
+std::vector<SchedulerInfo> registered_scheduler_info() {
+  ensure_builtins();
+  std::vector<SchedulerInfo> out;
+  out.reserve(registry().size());
+  for (const auto& [name, entry] : registry())
+    out.push_back(SchedulerInfo{name, entry.description,
+                                entry.factory()->capabilities()});
+  return out;
 }
 
 }  // namespace resched

@@ -1,4 +1,4 @@
-// Scheduler interface and registry.
+// Scheduler interface and registry (API v2).
 //
 // A Scheduler is a pure function Instance -> Schedule (no hidden state, no
 // randomness unless seeded through options), which is what makes the
@@ -12,11 +12,56 @@
 //   shelf         -- NFDH shelf packing (no-reservation instances only),
 //
 // each available through the registry by name for sweep drivers.
+//
+// ## Outcome semantics
+//
+// `schedule` returns a ScheduleOutcome: either a feasible schedule for every
+// job of the instance, or a typed DomainError stating *why* the instance is
+// outside the algorithm's domain (reason enum + human-readable message).
+// Out-of-domain is a NORMAL result, produced only by explicit capability
+// checks at the scheduler entry point -- a sweep over a heterogeneous
+// registry consumes it without exception handling, and a campaign can count
+// skip reasons instead of guessing.
+//
+// Everything else stays fatal: RESCHED_REQUIRE / RESCHED_CHECK failures
+// anywhere below the entry point (malformed explicit priority lists,
+// profile preconditions tripped three layers down, stalled event loops)
+// throw std::invalid_argument / std::logic_error as before and are NEVER
+// converted into a DomainError. A precondition violation inside a scheduler
+// is a bug, not a skip.
+//
+// ## Capability introspection
+//
+// `capabilities()` declares the instance features an algorithm accepts, and
+// `supports(instance)` / `out_of_domain(instance)` evaluate them against a
+// concrete instance, so drivers filter up front instead of throw-and-catch.
+// Capability matrix of the built-in registry:
+//
+//   scheduler      release times  reservations  deterministic
+//   lsrc[,-lpt]        yes            yes            yes
+//   fcfs               yes            yes            yes
+//   conservative       yes            yes            yes
+//   easy               yes            yes            yes
+//   shelf-ff/-nf       no             no             yes
+//   portfolio          yes            yes            yes (seeded restarts)
+//   local-search       yes            yes            yes (seeded moves)
+//
+// (Availability windows are not a separate capability: the paper's
+// transformation reduces a machine profile m(t) to reservations, and
+// instances carry only reservations -- see generators/transform.hpp.)
+//
+// The registry carries per-scheduler metadata (name, description, and the
+// capability set probed from a factory-made instance) through
+// registered_scheduler_info(), powering `resched_tool list-schedulers`
+// and capability-aware sweep drivers.
 #pragma once
 
+#include <cstddef>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
+#include <variant>
 #include <vector>
 
 #include "core/instance.hpp"
@@ -24,24 +69,103 @@
 
 namespace resched {
 
+// Why an instance is outside a scheduler's domain. Kept deliberately small:
+// a reason is an instance *feature* the algorithm does not model.
+enum class DomainReason {
+  kReservations,  // instance has reservations, algorithm is rigid-only
+  kReleaseTimes,  // instance is online, algorithm is strictly offline
+  kOther,         // scheduler-specific restriction (see the message)
+};
+inline constexpr std::size_t kDomainReasonCount = 3;
+
+[[nodiscard]] std::string to_string(DomainReason reason);
+
+// Typed out-of-domain verdict: machine-readable reason + human message.
+struct DomainError {
+  DomainReason reason = DomainReason::kOther;
+  std::string message;
+};
+
+// What instance features a scheduler accepts. Default-constructed =
+// unrestricted (the common case; only shelf packers restrict anything).
+struct Capabilities {
+  bool release_times = true;  // accepts instances with release > 0
+  bool reservations = true;   // accepts instances with reservations
+  bool deterministic = true;  // pure function of the instance (seeds fixed)
+};
+
+// Result of Scheduler::schedule -- a schedule, or a typed domain rejection.
+// Accessors enforce their side: value() on an error (or error() on a
+// schedule) trips RESCHED_CHECK, because consulting the wrong side is a
+// caller bug, not a recoverable state.
+class ScheduleOutcome {
+ public:
+  /*implicit*/ ScheduleOutcome(Schedule schedule)
+      : result_(std::move(schedule)) {}
+  /*implicit*/ ScheduleOutcome(DomainError error) : result_(std::move(error)) {}
+
+  [[nodiscard]] bool ok() const noexcept {
+    return std::holds_alternative<Schedule>(result_);
+  }
+  explicit operator bool() const noexcept { return ok(); }
+
+  // The schedule; requires ok().
+  [[nodiscard]] const Schedule& value() const&;
+  [[nodiscard]] Schedule value() &&;
+  // The domain rejection; requires !ok().
+  [[nodiscard]] const DomainError& error() const;
+
+ private:
+  std::variant<Schedule, DomainError> result_;
+};
+
 class Scheduler {
  public:
   virtual ~Scheduler() = default;
 
-  // Produces a feasible schedule for every job of the instance. Throws
-  // std::invalid_argument when the instance is outside the algorithm's
-  // domain (e.g. release times given to a strictly offline algorithm).
-  [[nodiscard]] virtual Schedule schedule(const Instance& instance) const = 0;
+  // Produces a feasible schedule for every job of the instance, or a
+  // DomainError when the instance is outside the algorithm's domain (see
+  // the outcome semantics above). Only entry-point capability checks may
+  // produce the error arm; deeper precondition violations throw.
+  [[nodiscard]] virtual ScheduleOutcome schedule(
+      const Instance& instance) const = 0;
 
   [[nodiscard]] virtual std::string name() const = 0;
+
+  // Instance features this algorithm accepts. Default: unrestricted.
+  [[nodiscard]] virtual Capabilities capabilities() const {
+    return Capabilities{};
+  }
+
+  // Evaluates capabilities() against a concrete instance: nullopt when the
+  // instance is in-domain, otherwise the first violated capability as a
+  // DomainError (the same one schedule() would return).
+  [[nodiscard]] std::optional<DomainError> out_of_domain(
+      const Instance& instance) const;
+  [[nodiscard]] bool supports(const Instance& instance) const {
+    return !out_of_domain(instance).has_value();
+  }
 };
 
 using SchedulerFactory = std::function<std::unique_ptr<Scheduler>()>;
 
+// Registry metadata: everything a sweep driver needs to decide whether (and
+// how) to run a scheduler, without instantiating it per decision.
+struct SchedulerInfo {
+  std::string name;
+  std::string description;
+  Capabilities capabilities;
+};
+
 // Global registry (populated at static-init time by each algorithm's .cpp).
-void register_scheduler(const std::string& name, SchedulerFactory factory);
+// The optional description is carried into registered_scheduler_info().
+void register_scheduler(const std::string& name, SchedulerFactory factory,
+                        std::string description = "");
 [[nodiscard]] std::unique_ptr<Scheduler> make_scheduler(
     const std::string& name);
 [[nodiscard]] std::vector<std::string> registered_schedulers();
+// Name + description + capability set for every registered scheduler, in
+// name order (capabilities probed once from a factory-made instance).
+[[nodiscard]] std::vector<SchedulerInfo> registered_scheduler_info();
 
 }  // namespace resched

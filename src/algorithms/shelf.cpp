@@ -15,11 +15,9 @@ std::string ShelfScheduler::name() const {
   return policy_ == ShelfPolicy::kNextFit ? "shelf-nf" : "shelf-ff";
 }
 
-Schedule ShelfScheduler::schedule(const Instance& instance) const {
-  RESCHED_REQUIRE_MSG(instance.is_rigid_only(),
-                      "shelf packing does not support reservations");
-  RESCHED_REQUIRE_MSG(!instance.has_release_times(),
-                      "shelf packing does not support release times");
+ScheduleOutcome ShelfScheduler::schedule(const Instance& instance) const {
+  // Entry-point domain check: the only place a DomainError may originate.
+  if (auto violation = out_of_domain(instance)) return *std::move(violation);
 
   Schedule schedule(instance.n());
   if (instance.n() == 0) return schedule;

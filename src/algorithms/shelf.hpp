@@ -24,10 +24,15 @@ class ShelfScheduler final : public Scheduler {
  public:
   explicit ShelfScheduler(ShelfPolicy policy = ShelfPolicy::kFirstFit);
 
-  // Throws std::invalid_argument on instances with reservations or release
-  // times (outside the algorithm's domain).
-  [[nodiscard]] Schedule schedule(const Instance& instance) const override;
+  // Returns a DomainError (kReservations / kReleaseTimes) on instances
+  // outside the shelf model; never throws for domain reasons.
+  [[nodiscard]] ScheduleOutcome schedule(
+      const Instance& instance) const override;
   [[nodiscard]] std::string name() const override;
+  // Offline rigid-only: shelves assume the whole machine from t = 0.
+  [[nodiscard]] Capabilities capabilities() const override {
+    return Capabilities{.release_times = false, .reservations = false};
+  }
 
  private:
   ShelfPolicy policy_;

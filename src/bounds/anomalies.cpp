@@ -55,14 +55,30 @@ Instance removal_anomaly_example() {
 
 AnomalyScan find_anomalies(const Instance& instance,
                            const Scheduler& scheduler) {
+  // Boundary precondition, not a DomainError: an out-of-domain scan input
+  // is user error here. supports() catches the capability reasons up
+  // front; the unwrap below re-checks every outcome so a scheduler-specific
+  // (kOther) rejection of the base or a perturbed instance also reads as a
+  // precondition failure, not an internal invariant trip.
+  RESCHED_REQUIRE_MSG(scheduler.supports(instance),
+                      "anomaly scan: instance outside the domain of '" +
+                          scheduler.name() + "'");
+  const auto makespan_of = [&scheduler](const Instance& target) {
+    ScheduleOutcome outcome = scheduler.schedule(target);
+    RESCHED_REQUIRE_MSG(outcome.ok(),
+                        "anomaly scan: '" + scheduler.name() +
+                            "' rejected an instance: " +
+                            outcome.error().message);
+    return std::move(outcome).value().makespan(target);
+  };
   AnomalyScan scan;
   if (instance.n() == 0) return scan;
-  scan.baseline = scheduler.schedule(instance).makespan(instance);
+  scan.baseline = makespan_of(instance);
 
   // 1. Job removals.
   for (const Job& job : instance.jobs()) {
     const Instance reduced = without_job(instance, job.id);
-    const Time after = scheduler.schedule(reduced).makespan(reduced);
+    const Time after = makespan_of(reduced);
     if (after > scan.baseline)
       scan.anomalies.push_back(
           {AnomalyKind::kJobRemoval, job.id, 0, scan.baseline, after});
@@ -73,7 +89,7 @@ AnomalyScan find_anomalies(const Instance& instance,
     const Time shorter = job.p / 2;
     if (shorter < 1) continue;
     const Instance faster = with_shorter_job(instance, job.id, shorter);
-    const Time after = scheduler.schedule(faster).makespan(faster);
+    const Time after = makespan_of(faster);
     if (after > scan.baseline)
       scan.anomalies.push_back({AnomalyKind::kShorterDuration, job.id,
                                 shorter, scan.baseline, after});
@@ -82,7 +98,7 @@ AnomalyScan find_anomalies(const Instance& instance,
   // 3. One extra machine.
   {
     const Instance wider = with_extra_machine(instance);
-    const Time after = scheduler.schedule(wider).makespan(wider);
+    const Time after = makespan_of(wider);
     if (after > scan.baseline)
       scan.anomalies.push_back(
           {AnomalyKind::kExtraMachine, -1, 0, scan.baseline, after});

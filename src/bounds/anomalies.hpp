@@ -50,8 +50,9 @@ struct AnomalyScan {
 };
 
 // Offline and online instances supported; reservations are kept fixed.
-// The scheduler must handle every perturbed instance (all perturbations
-// keep instances valid).
+// Precondition (throws std::invalid_argument): the instance is inside the
+// scheduler's domain -- every perturbation preserves the reservation and
+// release-time structure, so the perturbed instances then are too.
 [[nodiscard]] AnomalyScan find_anomalies(const Instance& instance,
                                          const Scheduler& scheduler);
 

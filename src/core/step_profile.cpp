@@ -211,82 +211,95 @@ Time StepProfile::scan_accumulate(std::size_t i, Time cursor, Time stop,
 // Segment-tree index (invariants I1-I5 in the header).
 // ---------------------------------------------------------------------------
 
-void StepProfile::index_build() const {
+std::unique_ptr<StepProfile::Index> StepProfile::build_index() const {
+  auto out = std::make_unique<Index>();
+  Index& ix = *out;
   const std::size_t leaves = steps_.size();
-  index_.times.resize(leaves);
+  ix.times.resize(leaves);
   for (std::size_t i = 0; i < leaves; ++i)
-    index_.times[i] = steps_[i].start;
-  index_.cap = std::bit_ceil(leaves);
-  index_.min.assign(2 * index_.cap,
-                    std::numeric_limits<std::int64_t>::max());
-  index_.max.assign(2 * index_.cap,
-                    std::numeric_limits<std::int64_t>::min());
-  index_.lazy.assign(2 * index_.cap, 0);
+    ix.times[i] = steps_[i].start;
+  ix.cap = std::bit_ceil(leaves);
+  ix.min.assign(2 * ix.cap, std::numeric_limits<std::int64_t>::max());
+  ix.max.assign(2 * ix.cap, std::numeric_limits<std::int64_t>::min());
+  ix.lazy.assign(2 * ix.cap, 0);
   // Sum augmentation: len is the finite span length under each node; the
   // unbounded last leaf and the padding leaves carry 0 so they never
   // contribute to a range sum (invariant I4).
-  index_.sum.assign(2 * index_.cap, 0);
-  index_.len.assign(2 * index_.cap, 0);
-  index_.sums_ok = true;
+  ix.sum.assign(2 * ix.cap, 0);
+  ix.len.assign(2 * ix.cap, 0);
+  ix.sums_ok = true;
   for (std::size_t i = 0; i < leaves; ++i) {
-    index_.min[index_.cap + i] = steps_[i].value;
-    index_.max[index_.cap + i] = steps_[i].value;
+    ix.min[ix.cap + i] = steps_[i].value;
+    ix.max[ix.cap + i] = steps_[i].value;
     if (i + 1 < leaves) {
-      index_.len[index_.cap + i] = steps_[i + 1].start - steps_[i].start;
-      index_.sum[index_.cap + i] =
-          wide_mul(steps_[i].value, index_.len[index_.cap + i]);
+      ix.len[ix.cap + i] = steps_[i + 1].start - steps_[i].start;
+      ix.sum[ix.cap + i] = wide_mul(steps_[i].value, ix.len[ix.cap + i]);
     }
   }
-  for (std::size_t v = index_.cap - 1; v >= 1; --v) {
-    index_.min[v] = std::min(index_.min[2 * v], index_.min[2 * v + 1]);
-    index_.max[v] = std::max(index_.max[2 * v], index_.max[2 * v + 1]);
-    index_.len[v] = index_.len[2 * v] + index_.len[2 * v + 1];
-    index_.sum[v] = index_.sum[2 * v];
-    if (!wide_add(index_.sum[v], index_.sum[2 * v + 1]))
-      index_.sums_ok = false;
+  for (std::size_t v = ix.cap - 1; v >= 1; --v) {
+    ix.min[v] = std::min(ix.min[2 * v], ix.min[2 * v + 1]);
+    ix.max[v] = std::max(ix.max[2 * v], ix.max[2 * v + 1]);
+    ix.len[v] = ix.len[2 * v] + ix.len[2 * v + 1];
+    ix.sum[v] = ix.sum[2 * v];
+    if (!wide_add(ix.sum[v], ix.sum[2 * v + 1])) ix.sums_ok = false;
   }
   // Amortization: after ~s incremental adds a boundary leaf's span may hold
   // enough real segments that recompute scans stop being cheap; an O(s)
   // rebuild every Theta(s) adds keeps everything O(1) amortized.
-  index_.budget = std::max<std::size_t>(64, leaves);
-  index_.valid = true;
+  ix.budget = std::max<std::size_t>(64, leaves);
+  return out;
 }
 
-Time StepProfile::index_leaf_end(std::size_t j) const {
-  return j + 1 < index_.times.size() ? index_.times[j + 1] : kTimeInfinity;
+const StepProfile::Index& StepProfile::ensure_index() const {
+  Index* snap = index_.load(std::memory_order_acquire);
+  if (snap) return *snap;
+  std::unique_ptr<Index> built = build_index();
+  // Install with a single compare-exchange: the first builder wins, and a
+  // losing racer deletes its own build and adopts the winner's snapshot
+  // (invariant I5 -- both were built from the same steps_, which cannot
+  // change while const reads are in flight, so they answer identically).
+  Index* expected = nullptr;
+  if (index_.compare_exchange_strong(expected, built.get(),
+                                     std::memory_order_acq_rel,
+                                     std::memory_order_acquire))
+    return *built.release();
+  return *expected;
 }
 
-std::size_t StepProfile::index_leaf_of(Time t) const {
-  const auto it =
-      std::upper_bound(index_.times.begin(), index_.times.end(), t);
-  return static_cast<std::size_t>(it - index_.times.begin()) - 1;
+Time StepProfile::index_leaf_end(const Index& ix, std::size_t j) {
+  return j + 1 < ix.times.size() ? ix.times[j + 1] : kTimeInfinity;
 }
 
-StepProfile::LeafWindow StepProfile::index_leaf_window(Time from,
-                                                       Time to) const {
+std::size_t StepProfile::index_leaf_of(const Index& ix, Time t) {
+  const auto it = std::upper_bound(ix.times.begin(), ix.times.end(), t);
+  return static_cast<std::size_t>(it - ix.times.begin()) - 1;
+}
+
+StepProfile::LeafWindow StepProfile::index_leaf_window(const Index& ix,
+                                                       Time from, Time to) {
   LeafWindow window{};
-  window.lo_leaf = index_leaf_of(from);
-  window.left_partial = from > index_.times[window.lo_leaf];
+  window.lo_leaf = index_leaf_of(ix, from);
+  window.left_partial = from > ix.times[window.lo_leaf];
   if (to >= kTimeInfinity) {
     // [from, +inf) covers the unbounded last leaf in full.
-    window.hi_leaf = index_.times.size() - 1;
+    window.hi_leaf = ix.times.size() - 1;
     window.right_partial = false;
   } else {
-    window.hi_leaf = index_leaf_of(to);
-    if (index_.times[window.hi_leaf] == to) {
+    window.hi_leaf = index_leaf_of(ix, to);
+    if (ix.times[window.hi_leaf] == to) {
       // to > from >= times[lo_leaf] makes hi_leaf >= lo_leaf + 1 here.
       window.hi_leaf -= 1;
       window.right_partial = false;
     } else {
-      window.right_partial = index_leaf_end(window.hi_leaf) > to;
+      window.right_partial = index_leaf_end(ix, window.hi_leaf) > to;
     }
   }
   return window;
 }
 
-void StepProfile::index_recompute_leaf(std::size_t j) const {
-  const Time end = index_leaf_end(j);
-  std::size_t i = index_of(index_.times[j]);
+void StepProfile::index_recompute_leaf(Index& ix, std::size_t j) const {
+  const Time end = index_leaf_end(ix, j);
+  std::size_t i = index_of(ix.times[j]);
   std::int64_t lo = steps_[i].value;
   std::int64_t hi = steps_[i].value;
   // Exact integral over the leaf span. The unbounded last leaf has finite
@@ -294,8 +307,8 @@ void StepProfile::index_recompute_leaf(std::size_t j) const {
   Wide area = 0;
   if (end < kTimeInfinity) {
     bool ok = true;
-    area = scan_integral_at(i, index_.times[j], end, ok);
-    if (!ok) index_.sums_ok = false;
+    area = scan_integral_at(i, ix.times[j], end, ok);
+    if (!ok) ix.sums_ok = false;
   }
   for (++i; i < steps_.size() && steps_[i].start < end; ++i) {
     lo = std::min(lo, steps_[i].value);
@@ -305,13 +318,13 @@ void StepProfile::index_recompute_leaf(std::size_t j) const {
   // the stored leaf value must exclude it (invariant I2).
   std::size_t node = 1;
   std::size_t node_lo = 0;
-  std::size_t node_hi = index_.cap - 1;
+  std::size_t node_hi = ix.cap - 1;
   std::int64_t acc = 0;
   Wide acc_wide = 0;
   while (node_lo != node_hi) {
-    acc = sat_add(acc, index_.lazy[node]);
-    if (!wide_add(acc_wide, static_cast<Wide>(index_.lazy[node])))
-      index_.sums_ok = false;
+    acc = sat_add(acc, ix.lazy[node]);
+    if (!wide_add(acc_wide, static_cast<Wide>(ix.lazy[node])))
+      ix.sums_ok = false;
     const std::size_t mid = node_lo + (node_hi - node_lo) / 2;
     if (j <= mid) {
       node = 2 * node;
@@ -321,65 +334,63 @@ void StepProfile::index_recompute_leaf(std::size_t j) const {
       node_lo = mid + 1;
     }
   }
-  index_.min[node] = sat_sub(lo, acc);
-  index_.max[node] = sat_sub(hi, acc);
-  index_.sum[node] = area;
-  if (!wide_mul_add(index_.sum[node], -acc_wide,
-                    static_cast<Wide>(index_.len[node])))
-    index_.sums_ok = false;
+  ix.min[node] = sat_sub(lo, acc);
+  ix.max[node] = sat_sub(hi, acc);
+  ix.sum[node] = area;
+  if (!wide_mul_add(ix.sum[node], -acc_wide, static_cast<Wide>(ix.len[node])))
+    ix.sums_ok = false;
   while (node > 1) {
     node /= 2;
-    index_.min[node] =
-        sat_add(std::min(index_.min[2 * node], index_.min[2 * node + 1]),
-                index_.lazy[node]);
-    index_.max[node] =
-        sat_add(std::max(index_.max[2 * node], index_.max[2 * node + 1]),
-                index_.lazy[node]);
-    index_.sum[node] = index_.sum[2 * node];
-    if (!wide_add(index_.sum[node], index_.sum[2 * node + 1]) ||
-        !wide_add(index_.sum[node],
-                  wide_mul(index_.lazy[node], index_.len[node])))
-      index_.sums_ok = false;
+    ix.min[node] = sat_add(std::min(ix.min[2 * node], ix.min[2 * node + 1]),
+                           ix.lazy[node]);
+    ix.max[node] = sat_add(std::max(ix.max[2 * node], ix.max[2 * node + 1]),
+                           ix.lazy[node]);
+    ix.sum[node] = ix.sum[2 * node];
+    if (!wide_add(ix.sum[node], ix.sum[2 * node + 1]) ||
+        !wide_add(ix.sum[node], wide_mul(ix.lazy[node], ix.len[node])))
+      ix.sums_ok = false;
   }
 }
 
-void StepProfile::index_range_add(std::size_t node, std::size_t node_lo,
-                                  std::size_t node_hi, std::size_t lo,
-                                  std::size_t hi, std::int64_t delta) {
+void StepProfile::index_range_add(Index& ix, std::size_t node,
+                                  std::size_t node_lo, std::size_t node_hi,
+                                  std::size_t lo, std::size_t hi,
+                                  std::int64_t delta) {
   if (hi < node_lo || node_hi < lo) return;
   if (lo <= node_lo && node_hi <= hi) {
-    index_.min[node] = sat_add(index_.min[node], delta);
-    index_.max[node] = sat_add(index_.max[node], delta);
-    if (!wide_add(index_.sum[node], wide_mul(delta, index_.len[node])))
-      index_.sums_ok = false;
-    if (node_lo != node_hi)
-      index_.lazy[node] = sat_add(index_.lazy[node], delta);
+    ix.min[node] = sat_add(ix.min[node], delta);
+    ix.max[node] = sat_add(ix.max[node], delta);
+    if (!wide_add(ix.sum[node], wide_mul(delta, ix.len[node])))
+      ix.sums_ok = false;
+    if (node_lo != node_hi) ix.lazy[node] = sat_add(ix.lazy[node], delta);
     return;
   }
   const std::size_t mid = node_lo + (node_hi - node_lo) / 2;
-  index_range_add(2 * node, node_lo, mid, lo, hi, delta);
-  index_range_add(2 * node + 1, mid + 1, node_hi, lo, hi, delta);
-  index_.min[node] =
-      sat_add(std::min(index_.min[2 * node], index_.min[2 * node + 1]),
-              index_.lazy[node]);
-  index_.max[node] =
-      sat_add(std::max(index_.max[2 * node], index_.max[2 * node + 1]),
-              index_.lazy[node]);
-  index_.sum[node] = index_.sum[2 * node];
-  if (!wide_add(index_.sum[node], index_.sum[2 * node + 1]) ||
-      !wide_add(index_.sum[node],
-                wide_mul(index_.lazy[node], index_.len[node])))
-    index_.sums_ok = false;
+  index_range_add(ix, 2 * node, node_lo, mid, lo, hi, delta);
+  index_range_add(ix, 2 * node + 1, mid + 1, node_hi, lo, hi, delta);
+  ix.min[node] = sat_add(std::min(ix.min[2 * node], ix.min[2 * node + 1]),
+                         ix.lazy[node]);
+  ix.max[node] = sat_add(std::max(ix.max[2 * node], ix.max[2 * node + 1]),
+                         ix.lazy[node]);
+  ix.sum[node] = ix.sum[2 * node];
+  if (!wide_add(ix.sum[node], ix.sum[2 * node + 1]) ||
+      !wide_add(ix.sum[node], wide_mul(ix.lazy[node], ix.len[node])))
+    ix.sums_ok = false;
 }
 
 void StepProfile::index_apply_add(Time from, Time to, std::int64_t delta) {
-  if (!index_.valid) return;
-  if (steps_.size() < kMinIndexedSegments || index_.budget == 0) {
-    index_.valid = false;
+  // add() implies exclusive access (invariant I5): no reader holds the
+  // snapshot while a mutation runs, so patching it in place is safe and
+  // keeps the index warm across the add stream.
+  Index* const snap = index_.load(std::memory_order_relaxed);
+  if (snap == nullptr) return;
+  if (steps_.size() < kMinIndexedSegments || snap->budget == 0) {
+    drop_index();
     return;
   }
-  --index_.budget;
-  const LeafWindow window = index_leaf_window(from, to);
+  Index& ix = *snap;
+  --ix.budget;
+  const LeafWindow window = index_leaf_window(ix, from, to);
   // A leaf is recomputed iff the window covers it only partially; that is
   // the lone leaf itself when the whole window sits inside one leaf.
   const bool lo_partial =
@@ -387,115 +398,115 @@ void StepProfile::index_apply_add(Time from, Time to, std::int64_t delta) {
       (window.lo_leaf == window.hi_leaf && window.right_partial);
   const bool hi_partial =
       window.right_partial && window.hi_leaf != window.lo_leaf;
-  if (lo_partial) index_recompute_leaf(window.lo_leaf);
-  if (hi_partial) index_recompute_leaf(window.hi_leaf);
+  if (lo_partial) index_recompute_leaf(ix, window.lo_leaf);
+  if (hi_partial) index_recompute_leaf(ix, window.hi_leaf);
   const std::ptrdiff_t full_lo =
       static_cast<std::ptrdiff_t>(window.lo_leaf) + (lo_partial ? 1 : 0);
   const std::ptrdiff_t full_hi =
       static_cast<std::ptrdiff_t>(window.hi_leaf) - (hi_partial ? 1 : 0);
   if (full_lo <= full_hi)
-    index_range_add(1, 0, index_.cap - 1, static_cast<std::size_t>(full_lo),
+    index_range_add(ix, 1, 0, ix.cap - 1, static_cast<std::size_t>(full_lo),
                     static_cast<std::size_t>(full_hi), delta);
 }
 
-std::int64_t StepProfile::index_range_min(std::size_t node,
+std::int64_t StepProfile::index_range_min(const Index& ix, std::size_t node,
                                           std::size_t node_lo,
                                           std::size_t node_hi, std::size_t lo,
-                                          std::size_t hi,
-                                          std::int64_t acc) const {
+                                          std::size_t hi, std::int64_t acc) {
   if (hi < node_lo || node_hi < lo)
     return std::numeric_limits<std::int64_t>::max();
-  if (lo <= node_lo && node_hi <= hi) return sat_add(index_.min[node], acc);
+  if (lo <= node_lo && node_hi <= hi) return sat_add(ix.min[node], acc);
   const std::size_t mid = node_lo + (node_hi - node_lo) / 2;
-  const std::int64_t child_acc = sat_add(acc, index_.lazy[node]);
+  const std::int64_t child_acc = sat_add(acc, ix.lazy[node]);
   return std::min(
-      index_range_min(2 * node, node_lo, mid, lo, hi, child_acc),
-      index_range_min(2 * node + 1, mid + 1, node_hi, lo, hi, child_acc));
+      index_range_min(ix, 2 * node, node_lo, mid, lo, hi, child_acc),
+      index_range_min(ix, 2 * node + 1, mid + 1, node_hi, lo, hi, child_acc));
 }
 
-std::int64_t StepProfile::index_range_max(std::size_t node,
+std::int64_t StepProfile::index_range_max(const Index& ix, std::size_t node,
                                           std::size_t node_lo,
                                           std::size_t node_hi, std::size_t lo,
-                                          std::size_t hi,
-                                          std::int64_t acc) const {
+                                          std::size_t hi, std::int64_t acc) {
   if (hi < node_lo || node_hi < lo)
     return std::numeric_limits<std::int64_t>::min();
-  if (lo <= node_lo && node_hi <= hi) return sat_add(index_.max[node], acc);
+  if (lo <= node_lo && node_hi <= hi) return sat_add(ix.max[node], acc);
   const std::size_t mid = node_lo + (node_hi - node_lo) / 2;
-  const std::int64_t child_acc = sat_add(acc, index_.lazy[node]);
+  const std::int64_t child_acc = sat_add(acc, ix.lazy[node]);
   return std::max(
-      index_range_max(2 * node, node_lo, mid, lo, hi, child_acc),
-      index_range_max(2 * node + 1, mid + 1, node_hi, lo, hi, child_acc));
+      index_range_max(ix, 2 * node, node_lo, mid, lo, hi, child_acc),
+      index_range_max(ix, 2 * node + 1, mid + 1, node_hi, lo, hi, child_acc));
 }
 
 std::size_t StepProfile::index_first_leaf_below(
-    std::size_t node, std::size_t node_lo, std::size_t node_hi,
-    std::size_t lo, std::size_t hi, std::int64_t threshold,
-    std::int64_t acc) const {
+    const Index& ix, std::size_t node, std::size_t node_lo,
+    std::size_t node_hi, std::size_t lo, std::size_t hi,
+    std::int64_t threshold, std::int64_t acc) {
   if (hi < node_lo || node_hi < lo) return kNoLeaf;
-  if (sat_add(index_.min[node], acc) >= threshold) return kNoLeaf;
+  if (sat_add(ix.min[node], acc) >= threshold) return kNoLeaf;
   if (node_lo == node_hi) return node_lo;
   const std::size_t mid = node_lo + (node_hi - node_lo) / 2;
-  const std::int64_t child_acc = sat_add(acc, index_.lazy[node]);
-  const std::size_t left = index_first_leaf_below(2 * node, node_lo, mid, lo,
-                                                  hi, threshold, child_acc);
+  const std::int64_t child_acc = sat_add(acc, ix.lazy[node]);
+  const std::size_t left = index_first_leaf_below(ix, 2 * node, node_lo, mid,
+                                                  lo, hi, threshold,
+                                                  child_acc);
   if (left != kNoLeaf) return left;
-  return index_first_leaf_below(2 * node + 1, mid + 1, node_hi, lo, hi,
+  return index_first_leaf_below(ix, 2 * node + 1, mid + 1, node_hi, lo, hi,
                                 threshold, child_acc);
 }
 
 std::size_t StepProfile::index_first_leaf_at_least(
-    std::size_t node, std::size_t node_lo, std::size_t node_hi,
-    std::size_t lo, std::size_t hi, std::int64_t threshold,
-    std::int64_t acc) const {
+    const Index& ix, std::size_t node, std::size_t node_lo,
+    std::size_t node_hi, std::size_t lo, std::size_t hi,
+    std::int64_t threshold, std::int64_t acc) {
   if (hi < node_lo || node_hi < lo) return kNoLeaf;
-  if (sat_add(index_.max[node], acc) < threshold) return kNoLeaf;
+  if (sat_add(ix.max[node], acc) < threshold) return kNoLeaf;
   if (node_lo == node_hi) return node_lo;
   const std::size_t mid = node_lo + (node_hi - node_lo) / 2;
-  const std::int64_t child_acc = sat_add(acc, index_.lazy[node]);
+  const std::int64_t child_acc = sat_add(acc, ix.lazy[node]);
   const std::size_t left = index_first_leaf_at_least(
-      2 * node, node_lo, mid, lo, hi, threshold, child_acc);
+      ix, 2 * node, node_lo, mid, lo, hi, threshold, child_acc);
   if (left != kNoLeaf) return left;
-  return index_first_leaf_at_least(2 * node + 1, mid + 1, node_hi, lo, hi,
-                                   threshold, child_acc);
+  return index_first_leaf_at_least(ix, 2 * node + 1, mid + 1, node_hi, lo,
+                                   hi, threshold, child_acc);
 }
 
-StepProfile::Wide StepProfile::index_range_sum(std::size_t node,
+StepProfile::Wide StepProfile::index_range_sum(const Index& ix,
+                                               std::size_t node,
                                                std::size_t node_lo,
                                                std::size_t node_hi,
                                                std::size_t lo, std::size_t hi,
-                                               Wide acc, bool& ok) const {
+                                               Wide acc, bool& ok) {
   if (hi < node_lo || node_hi < lo) return 0;
   if (lo <= node_lo && node_hi <= hi) {
-    Wide result = index_.sum[node];
-    if (!wide_mul_add(result, acc, static_cast<Wide>(index_.len[node])))
+    Wide result = ix.sum[node];
+    if (!wide_mul_add(result, acc, static_cast<Wide>(ix.len[node])))
       ok = false;
     return result;
   }
   const std::size_t mid = node_lo + (node_hi - node_lo) / 2;
   Wide child_acc = acc;
-  if (!wide_add(child_acc, static_cast<Wide>(index_.lazy[node]))) ok = false;
+  if (!wide_add(child_acc, static_cast<Wide>(ix.lazy[node]))) ok = false;
   Wide result =
-      index_range_sum(2 * node, node_lo, mid, lo, hi, child_acc, ok);
-  if (!wide_add(result, index_range_sum(2 * node + 1, mid + 1, node_hi, lo,
-                                        hi, child_acc, ok)))
+      index_range_sum(ix, 2 * node, node_lo, mid, lo, hi, child_acc, ok);
+  if (!wide_add(result, index_range_sum(ix, 2 * node + 1, mid + 1, node_hi,
+                                        lo, hi, child_acc, ok)))
     ok = false;
   return result;
 }
 
-Time StepProfile::index_accumulate(std::size_t node, std::size_t node_lo,
-                                   std::size_t node_hi, std::size_t lo,
-                                   std::size_t hi, std::int64_t acc,
-                                   Wide acc_wide, std::int64_t& remaining,
-                                   bool& ok) const {
+Time StepProfile::index_accumulate(const Index& ix, std::size_t node,
+                                   std::size_t node_lo, std::size_t node_hi,
+                                   std::size_t lo, std::size_t hi,
+                                   std::int64_t acc, Wide acc_wide,
+                                   std::int64_t& remaining, bool& ok) const {
   if (hi < node_lo || node_hi < lo || !ok) return kTimeInfinity;
   const bool covered = lo <= node_lo && node_hi <= hi;
-  if (covered && sat_add(index_.min[node], acc) >= 0) {
+  if (covered && sat_add(ix.min[node], acc) >= 0) {
     // Non-negative span: the positive-rate accumulation equals the range
     // sum and the running total is monotone, so the whole node can be
     // consumed (or identified as containing the crossing) in O(1).
-    Wide total = index_.sum[node];
-    if (!wide_mul_add(total, acc_wide, static_cast<Wide>(index_.len[node]))) {
+    Wide total = ix.sum[node];
+    if (!wide_mul_add(total, acc_wide, static_cast<Wide>(ix.len[node]))) {
       ok = false;
       return kTimeInfinity;
     }
@@ -506,9 +517,8 @@ Time StepProfile::index_accumulate(std::size_t node, std::size_t node_lo,
     }
     if (node_lo == node_hi) {
       const Time found =
-          scan_accumulate(index_of(index_.times[node_lo]),
-                          index_.times[node_lo], index_leaf_end(node_lo),
-                          remaining);
+          scan_accumulate(index_of(ix.times[node_lo]), ix.times[node_lo],
+                          index_leaf_end(ix, node_lo), remaining);
       RESCHED_CHECK_MSG(found != kTimeInfinity,
                         "index/leaf disagreement in time_to_accumulate");
       return found;
@@ -516,22 +526,21 @@ Time StepProfile::index_accumulate(std::size_t node, std::size_t node_lo,
   } else if (node_lo == node_hi) {
     // Leaf containing negative values: its range sum under-counts the
     // positive-rate accumulation, so walk the real segments instead.
-    return scan_accumulate(index_of(index_.times[node_lo]),
-                           index_.times[node_lo], index_leaf_end(node_lo),
-                           remaining);
+    return scan_accumulate(index_of(ix.times[node_lo]), ix.times[node_lo],
+                           index_leaf_end(ix, node_lo), remaining);
   }
   const std::size_t mid = node_lo + (node_hi - node_lo) / 2;
-  const std::int64_t child_acc = sat_add(acc, index_.lazy[node]);
+  const std::int64_t child_acc = sat_add(acc, ix.lazy[node]);
   Wide child_wide = acc_wide;
-  if (!wide_add(child_wide, static_cast<Wide>(index_.lazy[node]))) {
+  if (!wide_add(child_wide, static_cast<Wide>(ix.lazy[node]))) {
     ok = false;
     return kTimeInfinity;
   }
-  const Time left = index_accumulate(2 * node, node_lo, mid, lo, hi,
+  const Time left = index_accumulate(ix, 2 * node, node_lo, mid, lo, hi,
                                      child_acc, child_wide, remaining, ok);
   if (left != kTimeInfinity || !ok) return left;
-  return index_accumulate(2 * node + 1, mid + 1, node_hi, lo, hi, child_acc,
-                          child_wide, remaining, ok);
+  return index_accumulate(ix, 2 * node + 1, mid + 1, node_hi, lo, hi,
+                          child_acc, child_wide, remaining, ok);
 }
 
 // ---------------------------------------------------------------------------
@@ -559,21 +568,21 @@ std::int64_t StepProfile::min_in(Time from, Time to) const {
 
 std::int64_t StepProfile::indexed_min_in(Time from, Time to,
                                          std::size_t lo_idx) const {
-  if (!index_.valid) index_build();
-  const LeafWindow window = index_leaf_window(from, to);
+  const Index& ix = ensure_index();
+  const LeafWindow window = index_leaf_window(ix, from, to);
   if (window.lo_leaf == window.hi_leaf) return scan_min_at(lo_idx, to);
   std::int64_t result = std::numeric_limits<std::int64_t>::max();
   if (window.left_partial)
-    result = scan_min_at(lo_idx, index_leaf_end(window.lo_leaf));
+    result = scan_min_at(lo_idx, index_leaf_end(ix, window.lo_leaf));
   if (window.right_partial)
-    result = std::min(result, scan_min(index_.times[window.hi_leaf], to));
+    result = std::min(result, scan_min(ix.times[window.hi_leaf], to));
   const std::ptrdiff_t full_lo = static_cast<std::ptrdiff_t>(window.lo_leaf) +
                                  (window.left_partial ? 1 : 0);
   const std::ptrdiff_t full_hi = static_cast<std::ptrdiff_t>(window.hi_leaf) -
                                  (window.right_partial ? 1 : 0);
   if (full_lo <= full_hi)
     result = std::min(
-        result, index_range_min(1, 0, index_.cap - 1,
+        result, index_range_min(ix, 1, 0, ix.cap - 1,
                                 static_cast<std::size_t>(full_lo),
                                 static_cast<std::size_t>(full_hi), 0));
   return result;
@@ -595,21 +604,21 @@ std::int64_t StepProfile::max_in(Time from, Time to) const {
 
 std::int64_t StepProfile::indexed_max_in(Time from, Time to,
                                          std::size_t lo_idx) const {
-  if (!index_.valid) index_build();
-  const LeafWindow window = index_leaf_window(from, to);
+  const Index& ix = ensure_index();
+  const LeafWindow window = index_leaf_window(ix, from, to);
   if (window.lo_leaf == window.hi_leaf) return scan_max_at(lo_idx, to);
   std::int64_t result = std::numeric_limits<std::int64_t>::min();
   if (window.left_partial)
-    result = scan_max_at(lo_idx, index_leaf_end(window.lo_leaf));
+    result = scan_max_at(lo_idx, index_leaf_end(ix, window.lo_leaf));
   if (window.right_partial)
-    result = std::max(result, scan_max(index_.times[window.hi_leaf], to));
+    result = std::max(result, scan_max(ix.times[window.hi_leaf], to));
   const std::ptrdiff_t full_lo = static_cast<std::ptrdiff_t>(window.lo_leaf) +
                                  (window.left_partial ? 1 : 0);
   const std::ptrdiff_t full_hi = static_cast<std::ptrdiff_t>(window.hi_leaf) -
                                  (window.right_partial ? 1 : 0);
   if (full_lo <= full_hi)
     result = std::max(
-        result, index_range_max(1, 0, index_.cap - 1,
+        result, index_range_max(ix, 1, 0, ix.cap - 1,
                                 static_cast<std::size_t>(full_lo),
                                 static_cast<std::size_t>(full_hi), 0));
   return result;
@@ -634,13 +643,13 @@ Time StepProfile::first_below(Time from, Time to,
 Time StepProfile::indexed_first_below(Time from, Time to,
                                       std::int64_t threshold,
                                       std::size_t lo_idx) const {
-  if (!index_.valid) index_build();
-  const LeafWindow window = index_leaf_window(from, to);
+  const Index& ix = ensure_index();
+  const LeafWindow window = index_leaf_window(ix, from, to);
   if (window.lo_leaf == window.hi_leaf)
     return scan_first_below_at(lo_idx, from, to, threshold);
   if (window.left_partial) {
     const Time r = scan_first_below_at(
-        lo_idx, from, index_leaf_end(window.lo_leaf), threshold);
+        lo_idx, from, index_leaf_end(ix, window.lo_leaf), threshold);
     if (r != kTimeInfinity) return r;
   }
   const std::ptrdiff_t full_lo = static_cast<std::ptrdiff_t>(window.lo_leaf) +
@@ -649,19 +658,18 @@ Time StepProfile::indexed_first_below(Time from, Time to,
                                  (window.right_partial ? 1 : 0);
   if (full_lo <= full_hi) {
     const std::size_t j = index_first_leaf_below(
-        1, 0, index_.cap - 1, static_cast<std::size_t>(full_lo),
+        ix, 1, 0, ix.cap - 1, static_cast<std::size_t>(full_lo),
         static_cast<std::size_t>(full_hi), threshold, 0);
     if (j != kNoLeaf) {
       const Time r =
-          scan_first_below(index_.times[j], index_leaf_end(j), threshold);
+          scan_first_below(ix.times[j], index_leaf_end(ix, j), threshold);
       RESCHED_CHECK_MSG(r != kTimeInfinity,
                         "index/leaf disagreement in first_below");
       return r;
     }
   }
   if (window.right_partial) {
-    const Time r =
-        scan_first_below(index_.times[window.hi_leaf], to, threshold);
+    const Time r = scan_first_below(ix.times[window.hi_leaf], to, threshold);
     if (r != kTimeInfinity) return r;
   }
   return kTimeInfinity;
@@ -672,8 +680,8 @@ Time StepProfile::first_at_least(Time from, std::int64_t threshold) const {
   const std::size_t lo_idx = index_of(from);
   if (steps_.size() - lo_idx <= kIndexedLeafCutoff)
     return scan_first_at_least_at(lo_idx, from, threshold);
-  if (!index_.valid) index_build();
-  const LeafWindow window = index_leaf_window(from, kTimeInfinity);
+  const Index& ix = ensure_index();
+  const LeafWindow window = index_leaf_window(ix, from, kTimeInfinity);
   if (window.left_partial) {
     // Clipped scan over the remainder of the leaf. index_leaf_end is
     // kTimeInfinity when `from` sits inside the last snapshot leaf (which
@@ -681,17 +689,17 @@ Time StepProfile::first_at_least(Time from, std::int64_t threshold) const {
     // snapshot breakpoint), so the scan then covers the whole tail.
     std::size_t i = lo_idx;
     if (steps_[i].value >= threshold) return from;
-    const Time end = index_leaf_end(window.lo_leaf);
+    const Time end = index_leaf_end(ix, window.lo_leaf);
     for (++i; i < steps_.size() && steps_[i].start < end; ++i)
       if (steps_[i].value >= threshold) return steps_[i].start;
     if (window.lo_leaf == window.hi_leaf) return kTimeInfinity;
   }
   const std::size_t full_lo = window.lo_leaf + (window.left_partial ? 1 : 0);
   const std::size_t j = index_first_leaf_at_least(
-      1, 0, index_.cap - 1, full_lo, window.hi_leaf, threshold, 0);
+      ix, 1, 0, ix.cap - 1, full_lo, window.hi_leaf, threshold, 0);
   if (j == kNoLeaf) return kTimeInfinity;
-  const Time r = scan_first_at_least(index_.times[j], threshold);
-  RESCHED_CHECK_MSG(r < index_leaf_end(j),
+  const Time r = scan_first_at_least(ix.times[j], threshold);
+  RESCHED_CHECK_MSG(r < index_leaf_end(ix, j),
                     "index/leaf disagreement in first_at_least");
   return r;
 }
@@ -716,22 +724,22 @@ std::int64_t StepProfile::integral(Time from, Time to) const {
   bool ok = true;
   Wide area = scan_integral_at(lo_idx, from, scan_end, ok);
   if (scan_end < to) {
-    if (!index_.valid) index_build();
-    if (!index_.sums_ok) {
+    const Index& ix = ensure_index();
+    if (!ix.sums_ok) {
       // Adversarial magnitudes defeated the 128-bit node sums; the linear
       // scan stays exact.
       if (!wide_add(area, scan_integral_at(scan_stop, scan_end, to, ok)))
         ok = false;
     } else {
-      const LeafWindow window = index_leaf_window(scan_end, to);
+      const LeafWindow window = index_leaf_window(ix, scan_end, to);
       if (window.lo_leaf == window.hi_leaf) {
         if (!wide_add(area, scan_integral_at(scan_stop, scan_end, to, ok)))
           ok = false;
       } else {
         if (window.left_partial &&
-            !wide_add(area,
-                      scan_integral_at(scan_stop, scan_end,
-                                       index_leaf_end(window.lo_leaf), ok)))
+            !wide_add(area, scan_integral_at(
+                                scan_stop, scan_end,
+                                index_leaf_end(ix, window.lo_leaf), ok)))
           ok = false;
         const std::ptrdiff_t full_lo =
             static_cast<std::ptrdiff_t>(window.lo_leaf) +
@@ -741,13 +749,13 @@ std::int64_t StepProfile::integral(Time from, Time to) const {
             (window.right_partial ? 1 : 0);
         if (full_lo <= full_hi &&
             !wide_add(area,
-                      index_range_sum(1, 0, index_.cap - 1,
+                      index_range_sum(ix, 1, 0, ix.cap - 1,
                                       static_cast<std::size_t>(full_lo),
                                       static_cast<std::size_t>(full_hi), 0,
                                       ok)))
           ok = false;
         if (window.right_partial) {
-          const Time edge = index_.times[window.hi_leaf];
+          const Time edge = ix.times[window.hi_leaf];
           if (!wide_add(area,
                         scan_integral_at(index_of(edge), edge, to, ok)))
             ok = false;
@@ -774,19 +782,19 @@ Time StepProfile::time_to_accumulate(Time from, std::int64_t target) const {
       (scan_stop < steps_.size()) ? steps_[scan_stop].start : kTimeInfinity;
   const Time found = scan_accumulate(lo_idx, from, scan_end, remaining);
   if (found != kTimeInfinity || scan_stop == steps_.size()) return found;
-  if (!index_.valid) index_build();
-  if (!index_.sums_ok)
+  const Index& ix = ensure_index();
+  if (!ix.sums_ok)
     return scan_accumulate(scan_stop, scan_end, kTimeInfinity, remaining);
-  const std::size_t leaves = index_.times.size();
-  std::size_t leaf = index_leaf_of(scan_end);
+  const std::size_t leaves = ix.times.size();
+  std::size_t leaf = index_leaf_of(ix, scan_end);
   if (leaf + 1 >= leaves) {
     // Already inside the unbounded last snapshot leaf; only the exact tail
     // walk knows how to clamp near kTimeInfinity.
     return scan_accumulate(scan_stop, scan_end, kTimeInfinity, remaining);
   }
-  if (scan_end > index_.times[leaf]) {
+  if (scan_end > ix.times[leaf]) {
     // Finish the partially entered leaf before the tree takes over.
-    const Time leaf_end = index_leaf_end(leaf);
+    const Time leaf_end = index_leaf_end(ix, leaf);
     const Time r = scan_accumulate(scan_stop, scan_end, leaf_end, remaining);
     if (r != kTimeInfinity) return r;
     ++leaf;
@@ -796,15 +804,15 @@ Time StepProfile::time_to_accumulate(Time from, std::int64_t target) const {
   // tail walk below.
   bool ok = true;
   if (leaf + 1 < leaves) {
-    const Time r = index_accumulate(1, 0, index_.cap - 1, leaf, leaves - 2, 0,
-                                    0, remaining, ok);
+    const Time r = index_accumulate(ix, 1, 0, ix.cap - 1, leaf, leaves - 2,
+                                    0, 0, remaining, ok);
     if (!ok) {
       std::int64_t redo = target;
       return scan_accumulate(lo_idx, from, kTimeInfinity, redo);
     }
     if (r != kTimeInfinity) return r;
   }
-  const Time tail_start = index_.times[leaves - 1];
+  const Time tail_start = ix.times[leaves - 1];
   return scan_accumulate(index_of(tail_start), tail_start, kTimeInfinity,
                          remaining);
 }

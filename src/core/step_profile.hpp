@@ -24,7 +24,8 @@
 // `time_to_accumulate` into an O(log s) descent with exact linear scans on
 // the at-most-two partially covered boundary leaves.
 //
-// Segment-tree index invariants (mutable cache; steps_ stays authoritative):
+// Segment-tree index invariants (cache published as an immutable snapshot;
+// steps_ stays authoritative):
 //  I1. The index is built on demand from a snapshot of the breakpoints:
 //      leaf j covers the time span [times[j], times[j+1]) (the last leaf
 //      extends to +infinity). `times` never changes between rebuilds, even
@@ -39,8 +40,8 @@
 //      fully covered by [from, to) receive an O(log s) lazy range-add; the
 //      at-most-two partially covered boundary leaves are recomputed exactly
 //      by scanning steps_ over their spans. Adds beyond a per-build budget
-//      (or structural churn on a small profile) invalidate the index, and
-//      the next windowed query rebuilds it in O(s) -- O(1) amortized.
+//      (or structural churn on a small profile) drop the index, and the
+//      next windowed query rebuilds it in O(s) -- O(1) amortized.
 //  I4. Tree arithmetic saturates at the int64 extremes instead of wrapping
 //      (padding leaves hold +/-inf sentinels). Saturation is exact for all
 //      |values| < 2^62; checked segment arithmetic keeps real capacity
@@ -49,17 +50,29 @@
 //      queries fall back to the exact linear scan until the next rebuild
 //      (min/max stay valid). The unbounded last leaf and the padding leaves
 //      carry span length 0, so they contribute nothing to any range sum.
-//  I5. Queries never mutate steps_; they may build the index, so concurrent
-//      *const* access from multiple threads is NOT safe. Give each thread
-//      its own copy (CampaignRunner regenerates instances per task).
+//  I5. Concurrent *const* reads of one profile from many threads are safe.
+//      The index lives behind a std::atomic<Index*> snapshot slot: a const
+//      query that needs it builds a fresh snapshot from steps_ and installs
+//      it with a single compare-exchange (first builder wins; a losing
+//      racer deletes its own build and adopts the installed one -- both
+//      were derived from the same steps_, so they answer identically).
+//      Readers never mutate an installed snapshot, and no reference
+//      counting is needed: a snapshot is only deleted by add(), assignment
+//      or destruction, all of which require exclusive access to the
+//      profile (standard-library container rules), at which point no
+//      reader can still hold it. This is what lets CampaignRunner share
+//      one generated instance across its worker threads instead of
+//      regenerating it.
 //
 // add() provides the strong exception guarantee: it validates every affected
 // segment's checked addition before the first structural change, so an
 // overflowing add throws with the profile (and its canonical form) intact.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/types.hpp"
@@ -80,16 +93,28 @@ class StepProfile {
 
   // Copies drop the query-index cache (it is rebuilt on demand; at 20k+
   // segments the cache is megabytes, and copy sites -- snapshots, minus()'s
-  // negation -- rarely reuse it). Moves keep it.
+  // negation -- rarely reuse it). Moves keep it. Hand-written because the
+  // atomic snapshot slot is neither copyable nor movable itself; copy/move
+  // require exclusive access to both operands (standard container rules).
   StepProfile(const StepProfile& other) : steps_(other.steps_) {}
   StepProfile& operator=(const StepProfile& other) {
     steps_ = other.steps_;
-    index_ = Index{};
+    drop_index();
     return *this;
   }
-  StepProfile(StepProfile&&) = default;
-  StepProfile& operator=(StepProfile&&) = default;
-  ~StepProfile() = default;
+  StepProfile(StepProfile&& other) noexcept
+      : steps_(std::move(other.steps_)),
+        index_(other.index_.exchange(nullptr, std::memory_order_relaxed)) {}
+  StepProfile& operator=(StepProfile&& other) noexcept {
+    if (this != &other) {
+      steps_ = std::move(other.steps_);
+      delete index_.exchange(
+          other.index_.exchange(nullptr, std::memory_order_relaxed),
+          std::memory_order_relaxed);
+    }
+    return *this;
+  }
+  ~StepProfile() { drop_index(); }
 
   [[nodiscard]] std::int64_t value_at(Time t) const;
 
@@ -181,7 +206,8 @@ class StepProfile {
   using Wide = __int128;
 
   // Lazily built min/max/sum segment tree over a breakpoint snapshot; see
-  // the invariants I1-I5 in the header comment.
+  // the invariants I1-I5 in the header comment. Published through the
+  // atomic slot below; immutable while readable concurrently (I5).
   struct Index {
     std::vector<Time> times;        // snapshot breakpoints; times[0] == 0
     std::vector<std::int64_t> min;  // implicit tree, 2*cap entries
@@ -191,16 +217,26 @@ class StepProfile {
     std::vector<Time> len;   // finite span length (last + padding leaves: 0)
     std::size_t cap = 0;     // power-of-two leaf capacity
     std::size_t budget = 0;  // incremental adds left before a rebuild
-    bool valid = false;
     // Cleared when a sum update would overflow 128 bits (adversarial values
     // only); integral/time_to_accumulate then fall back to exact scans
     // while min/max queries keep using the tree.
     bool sums_ok = false;
   };
 
-  // Sorted by start; front().start == 0; adjacent values distinct.
+  // Sorted by start; front().start == 0; adjacent values distinct. The
+  // snapshot slot owns its Index exclusively (null = no index): readers
+  // install via compare-exchange (invariant I5); add(), assignment and the
+  // destructor delete it under exclusive access. A raw atomic pointer, not
+  // atomic<shared_ptr>: reader references cannot outlive the exclusive
+  // operations that delete, so reference counting would buy nothing (and
+  // libstdc++'s _Sp_atomic lock-bit protocol is opaque to TSan, which the
+  // shared-read stress suite runs under).
   std::vector<Step> steps_;
-  mutable Index index_;
+  mutable std::atomic<Index*> index_{nullptr};
+
+  void drop_index() noexcept {
+    delete index_.exchange(nullptr, std::memory_order_relaxed);
+  }
 
   // Index of the segment containing t (t >= 0).
   [[nodiscard]] std::size_t index_of(Time t) const noexcept;
@@ -248,13 +284,23 @@ class StepProfile {
                                          std::size_t lo_idx) const;
 
   // ---- segment-tree index plumbing ----
-  void index_build() const;
+  // Every helper below takes the Index explicitly: readers operate on the
+  // snapshot they loaded (shared, const), add() on the one it owns
+  // exclusively. Nothing touches the atomic slot but ensure_index and
+  // index_apply_add.
+  //
+  // Builds a fresh snapshot from steps_ (O(s)).
+  [[nodiscard]] std::unique_ptr<Index> build_index() const;
+  // Returns the installed snapshot, building + installing one (single
+  // compare-exchange, first builder wins) when the slot is empty. The
+  // reference stays valid for the rest of the calling query (I5).
+  [[nodiscard]] const Index& ensure_index() const;
   // Incremental maintenance hook, called at the end of a successful add().
   void index_apply_add(Time from, Time to, std::int64_t delta);
   // Leaf j's time span is [times[j], index_leaf_end(j)).
-  [[nodiscard]] Time index_leaf_end(std::size_t j) const;
+  [[nodiscard]] static Time index_leaf_end(const Index& ix, std::size_t j);
   // Leaf containing time t.
-  [[nodiscard]] std::size_t index_leaf_of(Time t) const;
+  [[nodiscard]] static std::size_t index_leaf_of(const Index& ix, Time t);
   // How a window [from, to) decomposes onto the snapshot leaves: lo/hi are
   // the first/last leaves it intersects; a *_partial flag means the window
   // covers that edge leaf only partially. Shared by every indexed query and
@@ -265,47 +311,47 @@ class StepProfile {
     bool left_partial;
     bool right_partial;
   };
-  [[nodiscard]] LeafWindow index_leaf_window(Time from, Time to) const;
+  [[nodiscard]] static LeafWindow index_leaf_window(const Index& ix,
+                                                    Time from, Time to);
   // Recomputes leaf j's min/max exactly from steps_ and pulls up.
-  void index_recompute_leaf(std::size_t j) const;
-  void index_range_add(std::size_t node, std::size_t node_lo,
-                       std::size_t node_hi, std::size_t lo, std::size_t hi,
-                       std::int64_t delta);
-  [[nodiscard]] std::int64_t index_range_min(std::size_t node,
-                                             std::size_t node_lo,
-                                             std::size_t node_hi,
-                                             std::size_t lo, std::size_t hi,
-                                             std::int64_t acc) const;
-  [[nodiscard]] std::int64_t index_range_max(std::size_t node,
-                                             std::size_t node_lo,
-                                             std::size_t node_hi,
-                                             std::size_t lo, std::size_t hi,
-                                             std::int64_t acc) const;
+  void index_recompute_leaf(Index& ix, std::size_t j) const;
+  static void index_range_add(Index& ix, std::size_t node,
+                              std::size_t node_lo, std::size_t node_hi,
+                              std::size_t lo, std::size_t hi,
+                              std::int64_t delta);
+  [[nodiscard]] static std::int64_t index_range_min(
+      const Index& ix, std::size_t node, std::size_t node_lo,
+      std::size_t node_hi, std::size_t lo, std::size_t hi, std::int64_t acc);
+  [[nodiscard]] static std::int64_t index_range_max(
+      const Index& ix, std::size_t node, std::size_t node_lo,
+      std::size_t node_hi, std::size_t lo, std::size_t hi, std::int64_t acc);
   // Leftmost leaf in [lo, hi] whose exact min is < threshold (kNoLeaf when
   // none) / whose exact max is >= threshold.
   static constexpr std::size_t kNoLeaf = static_cast<std::size_t>(-1);
-  [[nodiscard]] std::size_t index_first_leaf_below(
-      std::size_t node, std::size_t node_lo, std::size_t node_hi,
-      std::size_t lo, std::size_t hi, std::int64_t threshold,
-      std::int64_t acc) const;
-  [[nodiscard]] std::size_t index_first_leaf_at_least(
-      std::size_t node, std::size_t node_lo, std::size_t node_hi,
-      std::size_t lo, std::size_t hi, std::int64_t threshold,
-      std::int64_t acc) const;
+  [[nodiscard]] static std::size_t index_first_leaf_below(
+      const Index& ix, std::size_t node, std::size_t node_lo,
+      std::size_t node_hi, std::size_t lo, std::size_t hi,
+      std::int64_t threshold, std::int64_t acc);
+  [[nodiscard]] static std::size_t index_first_leaf_at_least(
+      const Index& ix, std::size_t node, std::size_t node_lo,
+      std::size_t node_hi, std::size_t lo, std::size_t hi,
+      std::int64_t threshold, std::int64_t acc);
   // Exact integral over the leaves [lo, hi] (full leaves only; boundary
   // partials are the caller's scans). acc = 128-bit sum of strict-ancestor
   // lazies. Clears `ok` instead of wrapping on 128-bit overflow.
-  [[nodiscard]] Wide index_range_sum(std::size_t node, std::size_t node_lo,
-                                     std::size_t node_hi, std::size_t lo,
-                                     std::size_t hi, Wide acc,
-                                     bool& ok) const;
+  [[nodiscard]] static Wide index_range_sum(const Index& ix, std::size_t node,
+                                            std::size_t node_lo,
+                                            std::size_t node_hi,
+                                            std::size_t lo, std::size_t hi,
+                                            Wide acc, bool& ok);
   // time_to_accumulate descent over the full leaves [lo, hi]: skips nodes
   // whose (non-negative, so monotone) range sum stays below `remaining`,
   // expands nodes containing negative values, and finishes inside the
   // crossing leaf with the exact scan. Returns the crossing time or
   // kTimeInfinity with `remaining` updated. Clears `ok` on 128-bit
   // overflow (callers then redo the query by scan).
-  [[nodiscard]] Time index_accumulate(std::size_t node, std::size_t node_lo,
+  [[nodiscard]] Time index_accumulate(const Index& ix, std::size_t node,
+                                      std::size_t node_lo,
                                       std::size_t node_hi, std::size_t lo,
                                       std::size_t hi, std::int64_t acc,
                                       Wide acc_wide, std::int64_t& remaining,

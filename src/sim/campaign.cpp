@@ -5,10 +5,10 @@
 #include <cstdio>
 #include <exception>
 #include <mutex>
-#include <stdexcept>
+#include <optional>
 #include <thread>
+#include <utility>
 
-#include "algorithms/scheduler.hpp"
 #include "core/schedule.hpp"
 #include "sim/metrics.hpp"
 #include "util/prng.hpp"
@@ -21,9 +21,51 @@ namespace {
 // One (instance, scheduler) outcome, written by exactly one worker.
 struct TaskResult {
   bool scheduled = false;
+  bool skipped = false;  // DomainError from the scheduler entry point
+  DomainReason reason = DomainReason::kOther;
   ScheduleMetrics metrics;
   double seconds = 0.0;
 };
+
+std::size_t resolve_threads(std::size_t requested, std::size_t task_count) {
+  const std::size_t hardware = std::thread::hardware_concurrency();
+  std::size_t threads = requested ? requested : (hardware ? hardware : 1);
+  return std::min(threads, std::max<std::size_t>(task_count, 1));
+}
+
+// Runs body(0..count) across `threads` workers pulling from a shared
+// counter; rethrows the first exception after every worker has drained.
+// Task pickup order is irrelevant to the result by construction (each task
+// writes its own slot), so this is determinism-neutral.
+template <typename Body>
+void parallel_for(std::size_t threads, std::size_t count, const Body& body) {
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex error_mutex;
+  const auto worker = [&]() noexcept {
+    while (!failed.load(std::memory_order_relaxed)) {
+      const std::size_t task = next.fetch_add(1, std::memory_order_relaxed);
+      if (task >= count) return;
+      try {
+        body(task);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& thread : pool) thread.join();
+  }
+  if (error) std::rethrow_exception(error);
+}
 
 }  // namespace
 
@@ -46,41 +88,55 @@ CampaignResult run_campaign(const InstanceGenerator& generator,
     for (std::uint64_t& seed : seeds) seed = master.fork_seed();
   }
 
+  // share_instances: one generator run per index instead of one per task.
+  // Generation parallelizes by index (slot i written only by the worker
+  // that drew i); afterwards every scheduler task reads its instance
+  // const-shared, which StepProfile's snapshot index makes safe (I5).
+  std::vector<Instance> shared;
+  if (config.share_instances) {
+    shared.resize(config.instances);
+    parallel_for(resolve_threads(config.threads, config.instances),
+                 config.instances,
+                 [&](std::size_t i) { shared[i] = generator(i, seeds[i]); });
+  }
+
   std::vector<std::vector<TaskResult>> results(
       config.instances, std::vector<TaskResult>(names.size()));
   // Work unit = one (instance, scheduler) pair, not one instance: a
   // registry mixing a ~100x-slower scheduler (local-search) with cheap
   // ones would otherwise serialize the tail behind whichever worker drew
-  // the slow scheduler's whole instance. Each task regenerates its
-  // instance from the per-index seed, so tasks stay data-independent (and
-  // StepProfile's lazy query index never sees a concurrent const read);
-  // the (i, s) result slot is written by exactly one worker either way.
+  // the slow scheduler's whole instance. The (i, s) result slot is written
+  // by exactly one worker.
   const std::size_t task_count = config.instances * names.size();
-  std::atomic<std::size_t> next{0};
-  std::atomic<bool> failed{false};
-  std::exception_ptr error;
-  std::mutex error_mutex;
-
-  const auto worker = [&]() noexcept {
-    while (!failed.load(std::memory_order_relaxed)) {
-      const std::size_t task = next.fetch_add(1, std::memory_order_relaxed);
-      if (task >= task_count) return;
-      const std::size_t i = task / names.size();
-      const std::size_t s = task % names.size();
-      try {
-        const Instance instance = generator(i, seeds[i]);
+  parallel_for(
+      resolve_threads(config.threads, task_count), task_count,
+      [&](std::size_t task) {
+        const std::size_t i = task / names.size();
+        const std::size_t s = task % names.size();
+        // Share mode reads the pregenerated instance; regenerate mode
+        // builds its own, whose lifetime must span the whole task.
+        std::optional<Instance> regenerated;
+        const Instance& instance =
+            config.share_instances
+                ? shared[i]
+                : regenerated.emplace(generator(i, seeds[i]));
         TaskResult& slot = results[i][s];
         const auto scheduler = make_scheduler(names[s]);
         const auto start = std::chrono::steady_clock::now();
-        Schedule schedule;
-        try {
-          schedule = scheduler->schedule(instance);
-        } catch (const std::invalid_argument&) {
-          continue;  // outside the algorithm's domain; stays skipped
+        // No exception handling here on purpose: only the typed DomainError
+        // arm means "outside the domain". A precondition tripped anywhere
+        // inside the scheduler stack propagates through parallel_for and
+        // aborts the campaign.
+        ScheduleOutcome outcome = scheduler->schedule(instance);
+        if (!outcome.ok()) {
+          slot.skipped = true;
+          slot.reason = outcome.error().reason;
+          return;
         }
         slot.seconds = std::chrono::duration<double>(
                            std::chrono::steady_clock::now() - start)
                            .count();
+        const Schedule schedule = std::move(outcome).value();
         if (config.validate) {
           const ValidationResult check = schedule.validate(instance);
           RESCHED_CHECK_MSG(check.ok, "campaign: scheduler '" + names[s] +
@@ -90,27 +146,7 @@ CampaignResult run_campaign(const InstanceGenerator& generator,
         }
         slot.metrics = compute_metrics(instance, schedule, config.tau);
         slot.scheduled = true;
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!error) error = std::current_exception();
-        failed.store(true, std::memory_order_relaxed);
-      }
-    }
-  };
-
-  const std::size_t hardware = std::thread::hardware_concurrency();
-  std::size_t threads = config.threads ? config.threads
-                                       : (hardware ? hardware : 1);
-  threads = std::min(threads, std::max<std::size_t>(task_count, 1));
-  if (threads <= 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
-    for (std::thread& thread : pool) thread.join();
-  }
-  if (error) std::rethrow_exception(error);
+      });
 
   // Single-threaded aggregation in (scheduler, instance) order: OnlineStats
   // accumulation order is fixed, so the result is bit-identical for any
@@ -124,7 +160,15 @@ CampaignResult run_campaign(const InstanceGenerator& generator,
     for (std::size_t i = 0; i < config.instances; ++i) {
       const TaskResult& slot = results[i][s];
       if (!slot.scheduled) {
+        // Every unscheduled slot must carry a typed DomainError: the
+        // worker either scheduled, recorded a rejection, or threw (which
+        // aborted the campaign before aggregation). Anything else would
+        // silently corrupt the per-reason breakdown.
+        RESCHED_CHECK_MSG(slot.skipped,
+                          "campaign: unscheduled task without a domain "
+                          "rejection (scheduler '" + names[s] + "')");
         ++cell.skipped;
+        ++cell.skipped_by_reason[static_cast<std::size_t>(slot.reason)];
         continue;
       }
       ++cell.scheduled;
@@ -135,6 +179,17 @@ CampaignResult run_campaign(const InstanceGenerator& generator,
       cell.mean_bounded_slowdown.add(slot.metrics.mean_bounded_slowdown);
       cell.seconds += slot.seconds;
     }
+  }
+  return out;
+}
+
+std::string CampaignCell::skip_reasons() const {
+  std::string out;
+  for (std::size_t r = 0; r < kDomainReasonCount; ++r) {
+    if (skipped_by_reason[r] == 0) continue;
+    if (!out.empty()) out += ' ';
+    out += to_string(static_cast<DomainReason>(r)) + "=" +
+           std::to_string(skipped_by_reason[r]);
   }
   return out;
 }

@@ -8,28 +8,45 @@
 // scheduler (local-search) with cheap ones load-balances at scheduler
 // granularity instead of serializing the tail behind one worker's whole
 // instance. Determinism contract: the result is a pure function of
-// (generator, config) -- never of the thread count or of scheduling order.
-// This holds because
+// (generator, config) -- never of the thread count, of scheduling order, or
+// of the instance-sharing mode. This holds because
 //   * each instance index gets its own PRNG seed, derived sequentially from
 //     the master seed before any thread starts;
-//   * every (instance, scheduler) task regenerates its instance from that
-//     per-index seed, so each task owns its data (StepProfile's lazy query
-//     index also makes shared const profiles unsafe to read concurrently --
-//     regeneration sidesteps that entirely);
+//   * an (instance, scheduler) task either regenerates its instance from
+//     that per-index seed (share_instances = false) or reads the one
+//     instance generated for its index (share_instances = true); both modes
+//     hand the scheduler the same bits, so the aggregates are identical;
 //   * per-task metrics land in a preallocated (instance, scheduler) slot
 //     written by exactly one worker, and aggregation runs single-threaded
 //     afterwards in (scheduler, instance) order.
 //
+// Sharing is safe because every read of a generated instance is const, and
+// the one lazily cached structure underneath it (StepProfile's query index)
+// publishes itself as an atomically installed snapshot -- invariant I5 in
+// core/step_profile.hpp. Regeneration is kept as the default only because
+// it is the seed behavior; share_instances skips instances-x-schedulers
+// redundant generator runs and is the mode to use at production scale.
+//
+// Domain handling: schedulers report out-of-domain instances through the
+// typed DomainError arm of ScheduleOutcome, which the runner counts per
+// reason (CampaignCell::skipped_by_reason). Nothing is caught around
+// schedule(): a RESCHED_REQUIRE / RESCHED_CHECK violation deep inside a
+// scheduler propagates and aborts the whole campaign -- a tripped
+// precondition is a bug to surface, not a skip to tally.
+//
 // Wall-clock timings are recorded per scheduler but excluded from
-// to_table(false), which the determinism test compares across thread counts.
+// to_table(false), which the determinism test compares across thread counts
+// and sharing modes.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
 
+#include "algorithms/scheduler.hpp"
 #include "core/instance.hpp"
 #include "core/types.hpp"
 #include "util/stats.hpp"
@@ -55,19 +72,29 @@ struct CampaignConfig {
   // Re-validate every schedule against the instance (differential oracle for
   // the scheduler + profile stack); throws on the first violation.
   bool validate = true;
+  // true: generate each instance once (in parallel, by index) and let every
+  // scheduler task read it shared; false: regenerate per task (seed
+  // behavior). Aggregates are bit-identical either way.
+  bool share_instances = false;
 };
 
 // Aggregates over the instances one scheduler handled.
 struct CampaignCell {
   std::string scheduler;
   std::size_t scheduled = 0;  // instances inside the algorithm's domain
-  std::size_t skipped = 0;    // std::invalid_argument (domain) rejections
+  std::size_t skipped = 0;    // DomainError rejections (sum of the below)
+  // Skip counts bucketed by DomainReason (index = enum value).
+  std::array<std::size_t, kDomainReasonCount> skipped_by_reason{};
   OnlineStats makespan;
   OnlineStats utilization;
   OnlineStats mean_wait;
   OnlineStats max_wait;
   OnlineStats mean_bounded_slowdown;
   double seconds = 0.0;  // wall-clock inside schedule(), summed
+
+  // Human-readable reason breakdown, e.g. "reservations=3 release-times=1";
+  // empty when nothing was skipped.
+  [[nodiscard]] std::string skip_reasons() const;
 };
 
 struct CampaignResult {

@@ -39,7 +39,7 @@ TEST(Prop2Family, LsrcWithBadOrderRealisesTheLowerBound) {
   for (const std::int64_t k : {2, 3, 4, 5, 6, 8, 10}) {
     const Prop2Family family = prop2_instance(k);
     const Schedule schedule =
-        LsrcScheduler(family.bad_order).schedule(family.instance);
+        LsrcScheduler(family.bad_order).schedule(family.instance).value();
     ASSERT_TRUE(schedule.validate(family.instance).ok) << "k=" << k;
     EXPECT_EQ(schedule.makespan(family.instance), family.lsrc_makespan)
         << "k=" << k;
@@ -75,7 +75,7 @@ TEST(GrahamTight, RealisesTwoMinusOneOverM) {
   for (const ProcCount m : {2, 3, 4, 8}) {
     const GrahamTightFamily family = graham_tight_instance(m);
     const Schedule bad =
-        LsrcScheduler(family.bad_order).schedule(family.instance);
+        LsrcScheduler(family.bad_order).schedule(family.instance).value();
     ASSERT_TRUE(bad.validate(family.instance).ok);
     EXPECT_EQ(bad.makespan(family.instance), 2 * m - 1);
     EXPECT_EQ(makespan_lower_bound(family.instance), m);
@@ -89,20 +89,20 @@ TEST(GrahamTight, RealisesTwoMinusOneOverM) {
 TEST(GrahamTight, LptOrderIsOptimal) {
   const GrahamTightFamily family = graham_tight_instance(5);
   const Schedule lpt =
-      LsrcScheduler(ListOrder::kLpt).schedule(family.instance);
+      LsrcScheduler(ListOrder::kLpt).schedule(family.instance).value();
   EXPECT_EQ(lpt.makespan(family.instance), family.optimal_makespan);
 }
 
 TEST(FcfsBad, ExactMakespans) {
   for (const ProcCount m : {2, 3, 4, 6}) {
     const FcfsBadFamily family = fcfs_bad_instance(m);
-    const Schedule schedule = FcfsScheduler().schedule(family.instance);
+    const Schedule schedule = FcfsScheduler().schedule(family.instance).value();
     ASSERT_TRUE(schedule.validate(family.instance).ok);
     EXPECT_EQ(schedule.makespan(family.instance), family.fcfs_makespan);
     EXPECT_EQ(makespan_lower_bound(family.instance),
               family.optimal_makespan);
     // LSRC stays within its guarantee on the same family.
-    const Schedule lsrc = LsrcScheduler().schedule(family.instance);
+    const Schedule lsrc = LsrcScheduler().schedule(family.instance).value();
     EXPECT_LE(makespan_ratio(lsrc.makespan(family.instance),
                              family.optimal_makespan),
               graham_bound(m));

@@ -47,7 +47,7 @@ TEST(AnomalyScanner, ReportsConsistentMakespans) {
   const LsrcScheduler scheduler;
   const AnomalyScan scan = find_anomalies(instance, scheduler);
   EXPECT_EQ(scan.baseline,
-            scheduler.schedule(instance).makespan(instance));
+            scheduler.schedule(instance).value().makespan(instance));
   for (const Anomaly& anomaly : scan.anomalies) {
     EXPECT_GT(anomaly.makespan_after, anomaly.makespan_before);
     EXPECT_EQ(anomaly.makespan_before, scan.baseline);
@@ -62,12 +62,12 @@ TEST(AnomalyScanner, ReportsConsistentMakespans) {
 TEST(LsrcAnomaly, RemovalWitnessVerifiedStepByStep) {
   const Instance full = removal_anomaly_example();
   const LsrcScheduler lsrc;
-  const Schedule before = lsrc.schedule(full);
+  const Schedule before = lsrc.schedule(full).value();
   ASSERT_TRUE(before.validate(full).ok);
   EXPECT_EQ(before.makespan(full), 7);
 
   const Instance reduced = without_job(full, 1);
-  const Schedule after = lsrc.schedule(reduced);
+  const Schedule after = lsrc.schedule(reduced).value();
   ASSERT_TRUE(after.validate(reduced).ok);
   EXPECT_EQ(after.makespan(reduced), 8);
 
@@ -124,7 +124,7 @@ TEST(AnomalyEnvelope, PerturbedRunsStayWithinGuarantee) {
   const LsrcScheduler scheduler;
   for (const Job& job : instance.jobs()) {
     const Instance reduced = without_job(instance, job.id);
-    const Schedule schedule = scheduler.schedule(reduced);
+    const Schedule schedule = scheduler.schedule(reduced).value();
     const Time lb = makespan_lower_bound(reduced);
     // Sound check: within (2 - 1/m) of the certified lower bound is a
     // sufficient condition; on these seeds it holds for every perturbation.
@@ -143,9 +143,9 @@ TEST(AnomalyScanner, FcfsRemovalOfBlockerHelps) {
                               Job{1, 2, 1, 0, "blocker"},
                               Job{2, 1, 1, 0, "tail"}});
   const FcfsScheduler fcfs;
-  const Time baseline = fcfs.schedule(instance).makespan(instance);
+  const Time baseline = fcfs.schedule(instance).value().makespan(instance);
   const Instance reduced = without_job(instance, 1);
-  const Time after = fcfs.schedule(reduced).makespan(reduced);
+  const Time after = fcfs.schedule(reduced).value().makespan(reduced);
   EXPECT_LT(after, baseline);
 }
 

@@ -98,7 +98,7 @@ TEST(Bnb, UpperBoundHintDoesNotChangeResult) {
   const Time plain = optimal_makespan(instance);
   BnbOptions options;
   options.upper_bound_hint =
-      LsrcScheduler().schedule(instance).makespan(instance);
+      LsrcScheduler().schedule(instance).value().makespan(instance);
   EXPECT_EQ(optimal_makespan(instance, options), plain);
 }
 

@@ -12,8 +12,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 #include <stdexcept>
 
+#include "core/step_profile.hpp"
 #include "generators/reservations.hpp"
 #include "generators/workload.hpp"
 
@@ -102,8 +104,14 @@ TEST(CampaignRunner, OutOfDomainSchedulersAreCountedAsSkipped) {
   EXPECT_EQ(result.cells[0].scheduler, "shelf-ff");
   EXPECT_EQ(result.cells[0].scheduled, 0u);
   EXPECT_EQ(result.cells[0].skipped, 4u);
+  // The skip is typed: every rejection names the reservations capability.
+  EXPECT_EQ(result.cells[0].skipped_by_reason[static_cast<std::size_t>(
+                DomainReason::kReservations)],
+            4u);
+  EXPECT_EQ(result.cells[0].skip_reasons(), "reservations=4");
   EXPECT_EQ(result.cells[1].scheduled, 4u);
   EXPECT_EQ(result.cells[1].skipped, 0u);
+  EXPECT_EQ(result.cells[1].skip_reasons(), "");
 
   // On reservation-free instances the shelf packers participate.
   const InstanceGenerator open_generator =
@@ -112,6 +120,73 @@ TEST(CampaignRunner, OutOfDomainSchedulersAreCountedAsSkipped) {
       };
   const CampaignResult open_result = run_campaign(open_generator, config);
   EXPECT_EQ(open_result.cells[0].scheduled, 4u);
+}
+
+TEST(CampaignRunner, SharedInstancesMatchRegeneratedBitForBit) {
+  // share_instances reads one generated instance per index concurrently
+  // instead of regenerating per task; the aggregated result must be
+  // bit-identical to the regenerate mode for every thread count.
+  CampaignConfig config;
+  config.instances = 8;
+  config.seed = 777;
+  config.schedulers = {"lsrc", "conservative", "easy", "fcfs", "shelf-ff"};
+  const InstanceGenerator generator = [](std::size_t, std::uint64_t seed) {
+    return sweep_instance(seed, true);
+  };
+
+  config.share_instances = false;
+  config.threads = 1;
+  const CampaignResult baseline = run_campaign(generator, config);
+
+  config.share_instances = true;
+  for (const std::size_t threads : {1u, 2u, 8u, 16u}) {
+    config.threads = threads;
+    const CampaignResult shared = run_campaign(generator, config);
+    ASSERT_NO_FATAL_FAILURE(ExpectBitIdentical(baseline, shared))
+        << "share_instances threads=" << threads;
+  }
+}
+
+namespace {
+// A scheduler that trips a precondition three layers down (an empty window
+// handed to StepProfile::min_in) -- exactly the failure mode the old
+// catch(invalid_argument) skip handling used to misread as out-of-domain.
+class BrokenPreconditionScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] ScheduleOutcome schedule(
+      const Instance& instance) const override {
+    StepProfile profile(static_cast<std::int64_t>(instance.m()));
+    (void)profile.min_in(5, 5);  // RESCHED_REQUIRE(from < to) fails
+    return Schedule(instance.n());
+  }
+  [[nodiscard]] std::string name() const override {
+    return "broken-precondition";
+  }
+};
+}  // namespace
+
+TEST(CampaignRunner, PreconditionViolationInsideSchedulerAbortsTheCampaign) {
+  // Once per process (registration is not idempotent, and --gtest_repeat
+  // would otherwise re-register). NOTE: this pollutes the global registry
+  // for the rest of the binary -- every campaign test here must pass an
+  // explicit scheduler list, never rely on the "empty = all" default.
+  static const bool registered = [] {
+    register_scheduler(
+        "broken-precondition",
+        [] { return std::make_unique<BrokenPreconditionScheduler>(); },
+        "test-only: trips a profile precondition deep in the stack");
+    return true;
+  }();
+  (void)registered;
+  CampaignConfig config;
+  config.instances = 3;
+  config.threads = 2;
+  config.schedulers = {"fcfs", "broken-precondition"};
+  const InstanceGenerator generator = [](std::size_t, std::uint64_t seed) {
+    return sweep_instance(seed, false);
+  };
+  // Not a skip: the campaign must abort with the underlying error.
+  EXPECT_THROW((void)run_campaign(generator, config), std::invalid_argument);
 }
 
 TEST(CampaignRunner, UnknownSchedulerThrowsBeforeAnyWork) {

@@ -13,7 +13,7 @@ namespace {
 
 TEST(Checker, RigidInstanceGetsGrahamGuarantee) {
   const Instance instance(4, {Job{0, 2, 3, 0, ""}, Job{1, 2, 3, 0, ""}});
-  const Schedule schedule = LsrcScheduler().schedule(instance);
+  const Schedule schedule = LsrcScheduler().schedule(instance).value();
   const GuaranteeReport report = check_guarantee(instance, schedule);
   EXPECT_TRUE(report.has_guarantee);
   EXPECT_EQ(report.bound, Rational(7, 4));
@@ -25,7 +25,7 @@ TEST(Checker, AlphaRestrictedGetsProp3Guarantee) {
   // m=8, reservation of 4 (alpha = 1/2), jobs q <= 4.
   const Instance instance(8, {Job{0, 4, 3, 0, ""}, Job{1, 2, 5, 0, ""}},
                           {Reservation{0, 4, 10, 4, ""}});
-  const Schedule schedule = LsrcScheduler().schedule(instance);
+  const Schedule schedule = LsrcScheduler().schedule(instance).value();
   const GuaranteeReport report = check_guarantee(instance, schedule);
   EXPECT_TRUE(report.has_guarantee);
   EXPECT_EQ(report.bound, Rational(4));  // 2 / (1/2)
@@ -36,7 +36,7 @@ TEST(Checker, UnrestrictedReservationsHaveNoGuarantee) {
   // A full-machine reservation (alpha = 0) that is not non-increasing.
   const Instance instance(2, {Job{0, 1, 2, 0, ""}},
                           {Reservation{0, 2, 5, 3, ""}});
-  const Schedule schedule = LsrcScheduler().schedule(instance);
+  const Schedule schedule = LsrcScheduler().schedule(instance).value();
   const GuaranteeReport report = check_guarantee(instance, schedule);
   EXPECT_FALSE(report.has_guarantee);
   EXPECT_NE(report.guarantee.find("Theorem 1"), std::string::npos);
@@ -48,7 +48,7 @@ TEST(Checker, NonIncreasingGetsProp1WeakForm) {
   // (q = 6 > remaining 2 at peak).
   const Instance instance(8, {Job{0, 6, 3, 0, ""}},
                           {Reservation{0, 6, 4, 0, ""}});
-  const Schedule schedule = LsrcScheduler().schedule(instance);
+  const Schedule schedule = LsrcScheduler().schedule(instance).value();
   const GuaranteeReport report = check_guarantee(instance, schedule);
   EXPECT_TRUE(report.has_guarantee);
   EXPECT_NE(report.guarantee.find("Prop. 1"), std::string::npos);
@@ -80,7 +80,7 @@ TEST(Checker, ExactReferenceEnablesViolationDetection) {
 
 TEST(Checker, UsesExactOptimumWhenGiven) {
   const Instance instance(4, {Job{0, 2, 3, 0, ""}, Job{1, 2, 3, 0, ""}});
-  const Schedule schedule = LsrcScheduler().schedule(instance);
+  const Schedule schedule = LsrcScheduler().schedule(instance).value();
   const Time opt = optimal_makespan(instance);
   const GuaranteeReport report = check_guarantee(instance, schedule, opt);
   EXPECT_TRUE(report.reference_is_exact);
@@ -97,7 +97,7 @@ TEST(Checker, ComplianceToString) {
 TEST(Lemma1, HoldsOnLsrcSchedules) {
   const GrahamTightFamily family = graham_tight_instance(4);
   const Schedule schedule =
-      LsrcScheduler(family.bad_order).schedule(family.instance);
+      LsrcScheduler(family.bad_order).schedule(family.instance).value();
   const Lemma1Report report = check_lemma1(family.instance, schedule);
   EXPECT_TRUE(report.holds);
 }
@@ -142,7 +142,7 @@ TEST_P(Lemma1Property, HoldsForAllOrders) {
   config.p_max = 20;
   const Instance instance = random_workload(config, GetParam());
   for (const ListOrder order : all_list_orders()) {
-    const Schedule schedule = LsrcScheduler(order, 7).schedule(instance);
+    const Schedule schedule = LsrcScheduler(order, 7).schedule(instance).value();
     const Lemma1Report report = check_lemma1(instance, schedule);
     EXPECT_TRUE(report.holds)
         << to_string(order) << ": r(" << report.t << ") + r("

@@ -89,7 +89,7 @@ TEST(ClusterSim, RandomLsrcSchedulesSimulateCleanly) {
     resa.alpha = Rational(1, 2);
     const Instance instance =
         with_alpha_restricted_reservations(base, resa, seed);
-    const Schedule schedule = LsrcScheduler().schedule(instance);
+    const Schedule schedule = LsrcScheduler().schedule(instance).value();
     const SimulationResult result = simulate_cluster(instance, schedule);
     EXPECT_LE(result.peak_busy, instance.m());
     EXPECT_EQ(result.trace.size(),

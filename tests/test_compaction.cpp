@@ -60,7 +60,7 @@ TEST_P(CompactionOnLsrc, LsrcSchedulesAreFixedPoints) {
       with_alpha_restricted_reservations(base, resa, GetParam() + 3);
   for (const ListOrder order :
        {ListOrder::kSubmission, ListOrder::kLpt, ListOrder::kWidest}) {
-    const Schedule schedule = LsrcScheduler(order, 5).schedule(instance);
+    const Schedule schedule = LsrcScheduler(order, 5).schedule(instance).value();
     const CompactionResult result = compact_schedule(instance, schedule);
     EXPECT_EQ(result.moved_jobs, 0) << to_string(order);
     EXPECT_EQ(result.schedule, schedule) << to_string(order);
@@ -82,7 +82,7 @@ TEST_P(CompactionSafety, NeverWorseFeasibleIdempotent) {
   config.mean_interarrival = 2.0;
   const Instance instance = random_workload(config, GetParam());
   for (const char* name : {"fcfs", "conservative", "easy", "lsrc"}) {
-    const Schedule schedule = make_scheduler(name)->schedule(instance);
+    const Schedule schedule = make_scheduler(name)->schedule(instance).value();
     const CompactionResult once = compact_schedule(instance, schedule);
     ASSERT_TRUE(once.schedule.validate(instance).ok) << name;
     EXPECT_LE(once.makespan_after, once.makespan_before) << name;

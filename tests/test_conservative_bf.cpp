@@ -13,7 +13,7 @@ TEST(ConservativeBf, BackfillsIntoHoles) {
   // Wide job 1 blocked behind job 0; narrow job 2 slides to t = 0.
   const Instance instance(
       2, {Job{0, 1, 10, 0, ""}, Job{1, 2, 1, 0, ""}, Job{2, 1, 1, 0, ""}});
-  const Schedule schedule = ConservativeBackfillScheduler().schedule(instance);
+  const Schedule schedule = ConservativeBackfillScheduler().schedule(instance).value();
   EXPECT_EQ(schedule.start(0), 0);
   EXPECT_EQ(schedule.start(1), 10);
   EXPECT_EQ(schedule.start(2), 0);  // overtakes without delaying job 1
@@ -26,14 +26,14 @@ TEST(ConservativeBf, NeverDelaysEarlierJobs) {
   config.n = 25;
   config.m = 8;
   const Instance full = random_workload(config, 33);
-  const Schedule schedule = ConservativeBackfillScheduler().schedule(full);
+  const Schedule schedule = ConservativeBackfillScheduler().schedule(full).value();
   ASSERT_TRUE(schedule.validate(full).ok);
   for (std::size_t prefix = 1; prefix < full.n(); ++prefix) {
     std::vector<Job> jobs(full.jobs().begin(),
                           full.jobs().begin() + static_cast<long>(prefix));
     const Instance partial(full.m(), std::move(jobs));
     const Schedule partial_schedule =
-        ConservativeBackfillScheduler().schedule(partial);
+        ConservativeBackfillScheduler().schedule(partial).value();
     for (JobId id = 0; id < static_cast<JobId>(prefix); ++id)
       ASSERT_EQ(partial_schedule.start(id), schedule.start(id))
           << "job " << id << " moved when later jobs were submitted";
@@ -44,10 +44,10 @@ TEST(ConservativeBf, FixesTheFcfsBadFamily) {
   // Conservative backfilling packs the narrow jobs in parallel, achieving
   // the optimum on the family where FCFS degrades to ratio m.
   const FcfsBadFamily family = fcfs_bad_instance(6);
-  const Schedule cbf = ConservativeBackfillScheduler().schedule(family.instance);
+  const Schedule cbf = ConservativeBackfillScheduler().schedule(family.instance).value();
   ASSERT_TRUE(cbf.validate(family.instance).ok);
   EXPECT_EQ(cbf.makespan(family.instance), family.optimal_makespan);
-  const Schedule fcfs = FcfsScheduler().schedule(family.instance);
+  const Schedule fcfs = FcfsScheduler().schedule(family.instance).value();
   EXPECT_GT(fcfs.makespan(family.instance), cbf.makespan(family.instance));
 }
 
@@ -55,7 +55,7 @@ TEST(ConservativeBf, RespectsReservationsAndReleases) {
   const Instance instance(3,
                           {Job{0, 3, 4, 0, ""}, Job{1, 1, 2, 5, ""}},
                           {Reservation{0, 3, 3, 4, ""}});
-  const Schedule schedule = ConservativeBackfillScheduler().schedule(instance);
+  const Schedule schedule = ConservativeBackfillScheduler().schedule(instance).value();
   ASSERT_TRUE(schedule.validate(instance).ok);
   EXPECT_EQ(schedule.start(0), 0);   // fits exactly before the reservation
   EXPECT_EQ(schedule.start(1), 7);   // released at 5, blocked until 7
@@ -70,9 +70,9 @@ TEST(ConservativeBf, NeverWorseThanFcfs) {
     config.m = 12;
     const Instance instance = random_workload(config, seed);
     const Time cbf = ConservativeBackfillScheduler()
-                         .schedule(instance)
+                         .schedule(instance).value()
                          .makespan(instance);
-    const Time fcfs = FcfsScheduler().schedule(instance).makespan(instance);
+    const Time fcfs = FcfsScheduler().schedule(instance).value().makespan(instance);
     EXPECT_LE(cbf, fcfs) << "seed " << seed;
   }
 }

@@ -71,7 +71,7 @@ TEST(DailyCycle, SchedulableByEveryOnlineAlgorithm) {
   config.m = 32;
   const Instance instance = daily_cycle_workload(config, 17);
   for (const char* name : {"fcfs", "conservative", "easy", "lsrc"}) {
-    const Schedule schedule = make_scheduler(name)->schedule(instance);
+    const Schedule schedule = make_scheduler(name)->schedule(instance).value();
     EXPECT_TRUE(schedule.validate(instance).ok) << name;
   }
 }

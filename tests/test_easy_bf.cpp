@@ -13,7 +13,7 @@ TEST(EasyBf, BackfillsWhenHeadUnharmed) {
   // Head (job 1, q=2) reserved at t=10; job 2 (p <= 10) backfills at 0.
   const Instance instance(
       2, {Job{0, 1, 10, 0, ""}, Job{1, 2, 5, 0, ""}, Job{2, 1, 10, 0, ""}});
-  const Schedule schedule = EasyBackfillScheduler().schedule(instance);
+  const Schedule schedule = EasyBackfillScheduler().schedule(instance).value();
   EXPECT_EQ(schedule.start(0), 0);
   EXPECT_EQ(schedule.start(2), 0);   // ends at 10 = head's reservation
   EXPECT_EQ(schedule.start(1), 10);  // head unharmed
@@ -23,7 +23,7 @@ TEST(EasyBf, RefusesBackfillThatDelaysHead) {
   // Job 2 (p = 11) would push the head's start from 10 to 11: denied.
   const Instance instance(
       2, {Job{0, 1, 10, 0, ""}, Job{1, 2, 5, 0, ""}, Job{2, 1, 11, 0, ""}});
-  const Schedule schedule = EasyBackfillScheduler().schedule(instance);
+  const Schedule schedule = EasyBackfillScheduler().schedule(instance).value();
   EXPECT_EQ(schedule.start(0), 0);
   EXPECT_EQ(schedule.start(1), 10);
   EXPECT_GE(schedule.start(2), 10);  // had to wait
@@ -32,7 +32,7 @@ TEST(EasyBf, RefusesBackfillThatDelaysHead) {
 TEST(EasyBf, HeadChainsStartImmediately) {
   const Instance instance(
       4, {Job{0, 2, 3, 0, ""}, Job{1, 2, 3, 0, ""}, Job{2, 4, 2, 0, ""}});
-  const Schedule schedule = EasyBackfillScheduler().schedule(instance);
+  const Schedule schedule = EasyBackfillScheduler().schedule(instance).value();
   // Jobs 0 and 1 start at 0 (heads in succession); job 2 needs all 4.
   EXPECT_EQ(schedule.start(0), 0);
   EXPECT_EQ(schedule.start(1), 0);
@@ -42,7 +42,7 @@ TEST(EasyBf, HeadChainsStartImmediately) {
 TEST(EasyBf, RespectsReservations) {
   const Instance instance(2, {Job{0, 2, 4, 0, ""}, Job{1, 1, 2, 0, ""}},
                           {Reservation{0, 2, 2, 3, ""}});
-  const Schedule schedule = EasyBackfillScheduler().schedule(instance);
+  const Schedule schedule = EasyBackfillScheduler().schedule(instance).value();
   ASSERT_TRUE(schedule.validate(instance).ok);
   EXPECT_EQ(schedule.start(0), 5);  // q=2 for 4 ticks only fits after [3,5)
   EXPECT_EQ(schedule.start(1), 0);  // narrow short one backfills before
@@ -50,7 +50,7 @@ TEST(EasyBf, RespectsReservations) {
 
 TEST(EasyBf, RespectsReleases) {
   const Instance instance(2, {Job{0, 1, 3, 4, ""}, Job{1, 1, 3, 0, ""}});
-  const Schedule schedule = EasyBackfillScheduler().schedule(instance);
+  const Schedule schedule = EasyBackfillScheduler().schedule(instance).value();
   EXPECT_EQ(schedule.start(1), 0);
   EXPECT_EQ(schedule.start(0), 4);
 }
@@ -64,9 +64,9 @@ TEST(EasyBf, MoreAggressiveThanConservativeOnStarvationFamily) {
   for (int i = 0; i < 6; ++i)
     jobs.push_back(Job{static_cast<JobId>(2 + i), 1, 10, 0, ""});
   const Instance instance(4, std::move(jobs));
-  const Time easy = EasyBackfillScheduler().schedule(instance)
+  const Time easy = EasyBackfillScheduler().schedule(instance).value()
                         .makespan(instance);
-  const Time fcfs = FcfsScheduler().schedule(instance).makespan(instance);
+  const Time fcfs = FcfsScheduler().schedule(instance).value().makespan(instance);
   EXPECT_LT(easy, fcfs);
 }
 
@@ -77,7 +77,7 @@ TEST(EasyBf, FeasibleAcrossRandomInstances) {
     config.m = 16;
     config.mean_interarrival = 3.0;  // online arrivals
     const Instance instance = random_workload(config, seed);
-    const Schedule schedule = EasyBackfillScheduler().schedule(instance);
+    const Schedule schedule = EasyBackfillScheduler().schedule(instance).value();
     const ValidationResult result = schedule.validate(instance);
     EXPECT_TRUE(result.ok) << "seed " << seed << ": " << result.error;
   }
@@ -85,7 +85,7 @@ TEST(EasyBf, FeasibleAcrossRandomInstances) {
 
 TEST(EasyBf, EmptyInstance) {
   const Instance instance(2, {});
-  EXPECT_EQ(EasyBackfillScheduler().schedule(instance).makespan(instance), 0);
+  EXPECT_EQ(EasyBackfillScheduler().schedule(instance).value().makespan(instance), 0);
 }
 
 }  // namespace

@@ -10,14 +10,14 @@ namespace {
 
 TEST(Fcfs, SequentialWhenNothingFitsTogether) {
   const Instance instance(2, {Job{0, 2, 3, 0, ""}, Job{1, 2, 2, 0, ""}});
-  const Schedule schedule = FcfsScheduler().schedule(instance);
+  const Schedule schedule = FcfsScheduler().schedule(instance).value();
   EXPECT_EQ(schedule.start(0), 0);
   EXPECT_EQ(schedule.start(1), 3);
 }
 
 TEST(Fcfs, ParallelWhenRoomAllows) {
   const Instance instance(4, {Job{0, 2, 3, 0, ""}, Job{1, 2, 2, 0, ""}});
-  const Schedule schedule = FcfsScheduler().schedule(instance);
+  const Schedule schedule = FcfsScheduler().schedule(instance).value();
   EXPECT_EQ(schedule.start(0), 0);
   EXPECT_EQ(schedule.start(1), 0);
 }
@@ -27,7 +27,7 @@ TEST(Fcfs, NeverOvertakes) {
   const Instance instance(
       2, {Job{0, 1, 10, 0, "running"}, Job{1, 2, 1, 0, "wide"},
           Job{2, 1, 1, 0, "narrow"}});
-  const Schedule schedule = FcfsScheduler().schedule(instance);
+  const Schedule schedule = FcfsScheduler().schedule(instance).value();
   EXPECT_EQ(schedule.start(0), 0);
   EXPECT_EQ(schedule.start(1), 10);  // waits for the narrow runner
   // Strict FCFS: job2 cannot start before job1 even though room exists.
@@ -39,7 +39,7 @@ TEST(Fcfs, StartsAreMonotoneInQueueOrder) {
   config.n = 40;
   config.m = 8;
   const Instance instance = random_workload(config, 5);
-  const Schedule schedule = FcfsScheduler().schedule(instance);
+  const Schedule schedule = FcfsScheduler().schedule(instance).value();
   ASSERT_TRUE(schedule.validate(instance).ok);
   for (JobId id = 1; id < static_cast<JobId>(instance.n()); ++id)
     EXPECT_GE(schedule.start(id), schedule.start(id - 1));
@@ -48,14 +48,14 @@ TEST(Fcfs, StartsAreMonotoneInQueueOrder) {
 TEST(Fcfs, RespectsReservations) {
   const Instance instance(2, {Job{0, 2, 4, 0, ""}},
                           {Reservation{0, 1, 5, 2, ""}});
-  const Schedule schedule = FcfsScheduler().schedule(instance);
+  const Schedule schedule = FcfsScheduler().schedule(instance).value();
   EXPECT_EQ(schedule.start(0), 7);  // q=2 needs both machines for 4 ticks
   EXPECT_TRUE(schedule.validate(instance).ok);
 }
 
 TEST(Fcfs, RespectsReleases) {
   const Instance instance(4, {Job{0, 1, 2, 6, ""}, Job{1, 1, 2, 0, ""}});
-  const Schedule schedule = FcfsScheduler().schedule(instance);
+  const Schedule schedule = FcfsScheduler().schedule(instance).value();
   // Queue order is by release: job1 first.
   EXPECT_EQ(schedule.start(1), 0);
   EXPECT_EQ(schedule.start(0), 6);
@@ -66,7 +66,7 @@ TEST(Fcfs, BadFamilyReachesRatioM) {
   // m^2 + m.
   for (const ProcCount m : {2, 4, 8}) {
     const FcfsBadFamily family = fcfs_bad_instance(m);
-    const Schedule schedule = FcfsScheduler().schedule(family.instance);
+    const Schedule schedule = FcfsScheduler().schedule(family.instance).value();
     ASSERT_TRUE(schedule.validate(family.instance).ok);
     EXPECT_EQ(schedule.makespan(family.instance), family.fcfs_makespan);
   }
@@ -80,7 +80,7 @@ TEST(Fcfs, FeasibleOnRandomReservedInstances) {
   Instance base = random_workload(config, 17);
   const Instance instance(base.m(), base.jobs(),
                           {Reservation{0, 5, 30, 10, ""}});
-  const Schedule schedule = FcfsScheduler().schedule(instance);
+  const Schedule schedule = FcfsScheduler().schedule(instance).value();
   EXPECT_TRUE(schedule.validate(instance).ok);
 }
 

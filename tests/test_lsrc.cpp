@@ -11,13 +11,13 @@ namespace {
 
 TEST(Lsrc, EmptyInstance) {
   const Instance instance(4, {});
-  const Schedule schedule = LsrcScheduler().schedule(instance);
+  const Schedule schedule = LsrcScheduler().schedule(instance).value();
   EXPECT_EQ(schedule.makespan(instance), 0);
 }
 
 TEST(Lsrc, SingleJobStartsImmediately) {
   const Instance instance(4, {Job{0, 2, 5, 0, ""}});
-  const Schedule schedule = LsrcScheduler().schedule(instance);
+  const Schedule schedule = LsrcScheduler().schedule(instance).value();
   EXPECT_EQ(schedule.start(0), 0);
   EXPECT_EQ(schedule.makespan(instance), 5);
 }
@@ -26,7 +26,7 @@ TEST(Lsrc, PacksParallelJobs) {
   // Three q=1 jobs on m=3: all at t=0.
   const Instance instance(
       3, {Job{0, 1, 4, 0, ""}, Job{1, 1, 4, 0, ""}, Job{2, 1, 4, 0, ""}});
-  const Schedule schedule = LsrcScheduler().schedule(instance);
+  const Schedule schedule = LsrcScheduler().schedule(instance).value();
   for (JobId id = 0; id < 3; ++id) EXPECT_EQ(schedule.start(id), 0);
 }
 
@@ -36,7 +36,7 @@ TEST(Lsrc, GreedyStartsLowerPriorityJobWhenHeadBlocked) {
   const Instance instance(
       2, {Job{0, 2, 2, 0, "first"}, Job{1, 2, 2, 0, "wide"},
           Job{2, 1, 2, 0, "narrow"}});
-  const Schedule schedule = LsrcScheduler().schedule(instance);
+  const Schedule schedule = LsrcScheduler().schedule(instance).value();
   // At t=0 job0 (q=2) starts; job1 (q=2) does not fit, job2 (q=1) does not
   // fit either (0 free). At t=2 all free: job1 starts, then job2 cannot
   // (2+1 > 2). At t=4 job2 starts.
@@ -49,7 +49,7 @@ TEST(Lsrc, BackfillsAroundWideJob) {
   // m=3: job0 q=2 runs [0,4); job1 q=2 can't fit at 0, but job2 q=1 can.
   const Instance instance(
       3, {Job{0, 2, 4, 0, ""}, Job{1, 2, 4, 0, ""}, Job{2, 1, 2, 0, ""}});
-  const Schedule schedule = LsrcScheduler().schedule(instance);
+  const Schedule schedule = LsrcScheduler().schedule(instance).value();
   EXPECT_EQ(schedule.start(0), 0);
   EXPECT_EQ(schedule.start(2), 0);  // overtakes job1
   EXPECT_EQ(schedule.start(1), 4);
@@ -60,7 +60,7 @@ TEST(Lsrc, RespectsReservationWithLookahead) {
   // overlap), must wait until 5.
   const Instance instance(2, {Job{0, 2, 4, 0, ""}},
                           {Reservation{0, 2, 2, 3, ""}});
-  const Schedule schedule = LsrcScheduler().schedule(instance);
+  const Schedule schedule = LsrcScheduler().schedule(instance).value();
   EXPECT_EQ(schedule.start(0), 5);
   EXPECT_TRUE(schedule.validate(instance).ok);
 }
@@ -69,7 +69,7 @@ TEST(Lsrc, SlipsShortJobBeforeReservation) {
   // Same reservation, but a p=3 job fits exactly in [0,3).
   const Instance instance(2, {Job{0, 2, 3, 0, ""}},
                           {Reservation{0, 2, 2, 3, ""}});
-  const Schedule schedule = LsrcScheduler().schedule(instance);
+  const Schedule schedule = LsrcScheduler().schedule(instance).value();
   EXPECT_EQ(schedule.start(0), 0);
 }
 
@@ -78,13 +78,13 @@ TEST(Lsrc, StartsAtReservationEndEvent) {
   // the reservation end even though nothing else runs.
   const Instance instance(2, {Job{0, 2, 1, 0, ""}},
                           {Reservation{0, 1, 10, 0, ""}});
-  const Schedule schedule = LsrcScheduler().schedule(instance);
+  const Schedule schedule = LsrcScheduler().schedule(instance).value();
   EXPECT_EQ(schedule.start(0), 10);
 }
 
 TEST(Lsrc, HonoursReleaseTimes) {
   const Instance instance(2, {Job{0, 1, 2, 5, ""}, Job{1, 1, 2, 0, ""}});
-  const Schedule schedule = LsrcScheduler().schedule(instance);
+  const Schedule schedule = LsrcScheduler().schedule(instance).value();
   EXPECT_EQ(schedule.start(1), 0);
   EXPECT_EQ(schedule.start(0), 5);
 }
@@ -92,21 +92,21 @@ TEST(Lsrc, HonoursReleaseTimes) {
 TEST(Lsrc, ExplicitListOrderIsRespected) {
   // Two jobs both fit at 0 only one at a time; explicit order decides.
   const Instance instance(2, {Job{0, 2, 2, 0, ""}, Job{1, 2, 1, 0, ""}});
-  const Schedule a = LsrcScheduler(std::vector<JobId>{0, 1}).schedule(instance);
+  const Schedule a = LsrcScheduler(std::vector<JobId>{0, 1}).schedule(instance).value();
   EXPECT_EQ(a.start(0), 0);
   EXPECT_EQ(a.start(1), 2);
-  const Schedule b = LsrcScheduler(std::vector<JobId>{1, 0}).schedule(instance);
+  const Schedule b = LsrcScheduler(std::vector<JobId>{1, 0}).schedule(instance).value();
   EXPECT_EQ(b.start(1), 0);
   EXPECT_EQ(b.start(0), 1);
 }
 
 TEST(Lsrc, ExplicitListValidated) {
   const Instance instance(2, {Job{0, 1, 1, 0, ""}, Job{1, 1, 1, 0, ""}});
-  EXPECT_THROW(LsrcScheduler(std::vector<JobId>{0, 0}).schedule(instance),
+  EXPECT_THROW(LsrcScheduler(std::vector<JobId>{0, 0}).schedule(instance).value(),
                std::invalid_argument);
-  EXPECT_THROW(LsrcScheduler(std::vector<JobId>{0}).schedule(instance),
+  EXPECT_THROW(LsrcScheduler(std::vector<JobId>{0}).schedule(instance).value(),
                std::invalid_argument);
-  EXPECT_THROW(LsrcScheduler(std::vector<JobId>{0, 5}).schedule(instance),
+  EXPECT_THROW(LsrcScheduler(std::vector<JobId>{0, 5}).schedule(instance).value(),
                std::invalid_argument);
 }
 
@@ -129,7 +129,7 @@ TEST_P(LsrcGreedyProperty, NoFeasibleEarlierStartAtAnyEvent) {
   config.m = 12;
   config.p_max = 30;
   const Instance instance = random_workload(config, GetParam());
-  const Schedule schedule = LsrcScheduler().schedule(instance);
+  const Schedule schedule = LsrcScheduler().schedule(instance).value();
   ASSERT_TRUE(schedule.validate(instance).ok);
 
   const StepProfile usage = schedule.usage_profile(instance);
@@ -178,7 +178,7 @@ TEST_P(LsrcFeasibility, AllOrdersFeasible) {
   std::vector<Reservation> reservations{Reservation{0, 8, 40, 20, ""}};
   const Instance instance(base.m(), base.jobs(), reservations);
 
-  const Schedule schedule = LsrcScheduler(order, 5).schedule(instance);
+  const Schedule schedule = LsrcScheduler(order, 5).schedule(instance).value();
   const ValidationResult result = schedule.validate(instance);
   EXPECT_TRUE(result.ok) << to_string(order) << ": " << result.error;
 }

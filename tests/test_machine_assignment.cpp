@@ -102,7 +102,7 @@ TEST_P(AssignmentProperty, LsrcSchedulesAlwaysAssignable) {
   const Instance instance =
       with_alpha_restricted_reservations(base, resa, GetParam() + 1);
 
-  const Schedule schedule = LsrcScheduler().schedule(instance);
+  const Schedule schedule = LsrcScheduler().schedule(instance).value();
   ASSERT_TRUE(schedule.validate(instance).ok);
   const MachineAssignment assignment = assign_machines(instance, schedule);
   EXPECT_TRUE(validate_assignment(instance, schedule, assignment).ok);

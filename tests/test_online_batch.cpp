@@ -16,7 +16,7 @@ TEST(OnlineBatch, OfflineInstanceIsOneBatch) {
       4, {Job{0, 2, 3, 0, ""}, Job{1, 2, 3, 0, ""}, Job{2, 4, 1, 0, ""}});
   OnlineBatchScheduler scheduler(lsrc());
   std::vector<BatchInfo> batches;
-  const Schedule schedule = scheduler.schedule_with_batches(instance, batches);
+  const Schedule schedule = scheduler.schedule_with_batches(instance, batches).value();
   ASSERT_TRUE(schedule.validate(instance).ok);
   ASSERT_EQ(batches.size(), 1u);
   EXPECT_EQ(batches[0].epoch, 0);
@@ -29,7 +29,7 @@ TEST(OnlineBatch, ArrivalsDuringBatchWaitForCompletion) {
   const Instance instance(2, {Job{0, 2, 10, 0, ""}, Job{1, 2, 1, 1, ""}});
   OnlineBatchScheduler scheduler(lsrc());
   std::vector<BatchInfo> batches;
-  const Schedule schedule = scheduler.schedule_with_batches(instance, batches);
+  const Schedule schedule = scheduler.schedule_with_batches(instance, batches).value();
   ASSERT_TRUE(schedule.validate(instance).ok);
   ASSERT_EQ(batches.size(), 2u);
   EXPECT_EQ(schedule.start(0), 0);
@@ -41,7 +41,7 @@ TEST(OnlineBatch, IdleGapWhenNothingArrived) {
   // Nothing at t=0; first job arrives at 5.
   const Instance instance(2, {Job{0, 1, 2, 5, ""}});
   OnlineBatchScheduler scheduler(lsrc());
-  const Schedule schedule = scheduler.schedule(instance);
+  const Schedule schedule = scheduler.schedule(instance).value();
   ASSERT_TRUE(schedule.validate(instance).ok);
   EXPECT_EQ(schedule.start(0), 5);
 }
@@ -54,7 +54,7 @@ TEST(OnlineBatch, BatchesAreDisjointInTime) {
   const Instance instance = random_workload(config, 71);
   OnlineBatchScheduler scheduler(lsrc());
   std::vector<BatchInfo> batches;
-  const Schedule schedule = scheduler.schedule_with_batches(instance, batches);
+  const Schedule schedule = scheduler.schedule_with_batches(instance, batches).value();
   ASSERT_TRUE(schedule.validate(instance).ok);
   for (std::size_t b = 1; b < batches.size(); ++b)
     EXPECT_GE(batches[b].epoch, batches[b - 1].completion);
@@ -67,7 +67,7 @@ TEST(OnlineBatch, RespectsReservations) {
   const Instance instance(2, {Job{0, 2, 3, 0, ""}, Job{1, 2, 3, 2, ""}},
                           {Reservation{0, 2, 4, 8, ""}});
   OnlineBatchScheduler scheduler(lsrc());
-  const Schedule schedule = scheduler.schedule(instance);
+  const Schedule schedule = scheduler.schedule(instance).value();
   EXPECT_TRUE(schedule.validate(instance).ok);
 }
 
@@ -82,7 +82,7 @@ TEST(OnlineBatch, DoublingGuaranteeAgainstLowerBound) {
     config.mean_interarrival = 2.0;
     const Instance instance = random_workload(config, seed);
     OnlineBatchScheduler scheduler(lsrc());
-    const Schedule schedule = scheduler.schedule(instance);
+    const Schedule schedule = scheduler.schedule(instance).value();
     ASSERT_TRUE(schedule.validate(instance).ok);
     const Time lb = makespan_lower_bound(instance);
     const double bound =

@@ -29,10 +29,10 @@ Instance reserved_workload(std::uint64_t seed, std::size_t n = 30,
 TEST(Portfolio, NeverWorseThanAnySingleOrder) {
   for (const std::uint64_t seed : {1u, 2u, 3u, 4u}) {
     const Instance instance = reserved_workload(seed);
-    const Schedule best = PortfolioScheduler(2, seed).schedule(instance);
+    const Schedule best = PortfolioScheduler(2, seed).schedule(instance).value();
     ASSERT_TRUE(best.validate(instance).ok);
     for (const ListOrder order : all_list_orders()) {
-      const Schedule single = LsrcScheduler(order, seed).schedule(instance);
+      const Schedule single = LsrcScheduler(order, seed).schedule(instance).value();
       EXPECT_LE(best.makespan(instance), single.makespan(instance))
           << to_string(order) << " seed " << seed;
     }
@@ -43,25 +43,25 @@ TEST(Portfolio, DefusesTheProp2Family) {
   // The portfolio tries LPT among its orders, which is optimal on the
   // adversarial family -- the worst case of a *fixed* bad order vanishes.
   const Prop2Family family = prop2_instance(6);
-  const Schedule schedule = PortfolioScheduler().schedule(family.instance);
+  const Schedule schedule = PortfolioScheduler().schedule(family.instance).value();
   EXPECT_EQ(schedule.makespan(family.instance), family.optimal_makespan);
 }
 
 TEST(Portfolio, Deterministic) {
   const Instance instance = reserved_workload(9);
-  EXPECT_EQ(PortfolioScheduler(3, 5).schedule(instance),
-            PortfolioScheduler(3, 5).schedule(instance));
+  EXPECT_EQ(PortfolioScheduler(3, 5).schedule(instance).value(),
+            PortfolioScheduler(3, 5).schedule(instance).value());
 }
 
 TEST(Portfolio, ZeroRestartsStillCoversStandardOrders) {
   const Instance instance = reserved_workload(10);
-  const Schedule schedule = PortfolioScheduler(0, 1).schedule(instance);
+  const Schedule schedule = PortfolioScheduler(0, 1).schedule(instance).value();
   EXPECT_TRUE(schedule.validate(instance).ok);
 }
 
 TEST(Portfolio, InheritsGuarantees) {
   const Instance instance = reserved_workload(11);
-  const Schedule schedule = PortfolioScheduler().schedule(instance);
+  const Schedule schedule = PortfolioScheduler().schedule(instance).value();
   const GuaranteeReport report = check_guarantee(instance, schedule);
   EXPECT_NE(report.compliance, Compliance::kViolated);
 }
@@ -71,9 +71,9 @@ TEST(LocalSearch, NeverWorseThanItsStartingOrder) {
     const Instance instance = reserved_workload(seed);
     const Schedule improved =
         LocalSearchScheduler(150, ListOrder::kSubmission, seed)
-            .schedule(instance);
+            .schedule(instance).value();
     const Schedule start = LsrcScheduler(ListOrder::kSubmission, seed)
-                               .schedule(instance);
+                               .schedule(instance).value();
     ASSERT_TRUE(improved.validate(instance).ok);
     EXPECT_LE(improved.makespan(instance), start.makespan(instance));
   }
@@ -90,7 +90,7 @@ TEST(LocalSearch, FindsTheOptimumOnSmallInstances) {
   const Instance instance = random_workload(config, 31);
   const Time optimum = optimal_makespan(instance);
   const Schedule schedule =
-      LocalSearchScheduler(400, ListOrder::kLpt, 1).schedule(instance);
+      LocalSearchScheduler(400, ListOrder::kLpt, 1).schedule(instance).value();
   EXPECT_GE(schedule.makespan(instance), optimum);
   EXPECT_LE(makespan_ratio(schedule.makespan(instance), optimum),
             graham_bound(instance.m()));
@@ -98,21 +98,21 @@ TEST(LocalSearch, FindsTheOptimumOnSmallInstances) {
 
 TEST(LocalSearch, DeterministicGivenSeedAndBudget) {
   const Instance instance = reserved_workload(41);
-  EXPECT_EQ(LocalSearchScheduler(100, ListOrder::kLpt, 7).schedule(instance),
-            LocalSearchScheduler(100, ListOrder::kLpt, 7).schedule(instance));
+  EXPECT_EQ(LocalSearchScheduler(100, ListOrder::kLpt, 7).schedule(instance).value(),
+            LocalSearchScheduler(100, ListOrder::kLpt, 7).schedule(instance).value());
 }
 
 TEST(LocalSearch, ZeroIterationsEqualsInitialOrder) {
   const Instance instance = reserved_workload(51);
-  EXPECT_EQ(LocalSearchScheduler(0, ListOrder::kLpt, 1).schedule(instance),
-            LsrcScheduler(ListOrder::kLpt, 1).schedule(instance));
+  EXPECT_EQ(LocalSearchScheduler(0, ListOrder::kLpt, 1).schedule(instance).value(),
+            LsrcScheduler(ListOrder::kLpt, 1).schedule(instance).value());
 }
 
 TEST(LocalSearch, TinyInstances) {
   const Instance empty(2, {});
-  EXPECT_EQ(LocalSearchScheduler().schedule(empty).makespan(empty), 0);
+  EXPECT_EQ(LocalSearchScheduler().schedule(empty).value().makespan(empty), 0);
   const Instance one(2, {Job{0, 1, 5, 0, ""}});
-  EXPECT_EQ(LocalSearchScheduler().schedule(one).makespan(one), 5);
+  EXPECT_EQ(LocalSearchScheduler().schedule(one).value().makespan(one), 5);
 }
 
 }  // namespace

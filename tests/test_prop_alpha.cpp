@@ -51,7 +51,7 @@ TEST_P(AlphaExact, AllOrdersWithinTwoOverAlphaOfOptimum) {
   const Time optimum = optimal_makespan(instance);
   const Rational bound = alpha_upper_bound(alpha);
   for (const ListOrder order : all_list_orders()) {
-    const Schedule schedule = LsrcScheduler(order, 9).schedule(instance);
+    const Schedule schedule = LsrcScheduler(order, 9).schedule(instance).value();
     ASSERT_TRUE(schedule.validate(instance).ok);
     EXPECT_LE(makespan_ratio(schedule.makespan(instance), optimum), bound)
         << to_string(order) << " on seed " << param.seed;
@@ -71,7 +71,7 @@ class AlphaLarge : public ::testing::TestWithParam<std::uint64_t> {};
 TEST_P(AlphaLarge, NoViolationAgainstLowerBound) {
   const Rational alpha(1, 2);
   const Instance instance = alpha_instance(GetParam(), 80, 16, alpha);
-  const Schedule schedule = LsrcScheduler().schedule(instance);
+  const Schedule schedule = LsrcScheduler().schedule(instance).value();
   const GuaranteeReport report = check_guarantee(instance, schedule);
   EXPECT_NE(report.compliance, Compliance::kViolated) << report.detail;
   // The checker must have recognised a finite guarantee for this class.
@@ -89,7 +89,7 @@ TEST_P(Prop2Sandwich, AchievedRatioMatchesB1B2AtConstructivePoints) {
   const std::int64_t k = GetParam();
   const Prop2Family family = prop2_instance(k);
   const Schedule bad =
-      LsrcScheduler(family.bad_order).schedule(family.instance);
+      LsrcScheduler(family.bad_order).schedule(family.instance).value();
   const Rational achieved = makespan_ratio(bad.makespan(family.instance),
                                            family.optimal_makespan);
   const Rational alpha(2, k);
@@ -109,7 +109,7 @@ TEST(Prop2Defused, LptIsOptimalOnTheFamily) {
   for (const std::int64_t k : {3, 4, 6}) {
     const Prop2Family family = prop2_instance(k);
     const Schedule lpt =
-        LsrcScheduler(ListOrder::kLpt).schedule(family.instance);
+        LsrcScheduler(ListOrder::kLpt).schedule(family.instance).value();
     ASSERT_TRUE(lpt.validate(family.instance).ok);
     EXPECT_EQ(lpt.makespan(family.instance), family.optimal_makespan)
         << "k=" << k;
@@ -124,7 +124,7 @@ TEST(AlphaDegradation, MeasuredRatiosRespectTheirBounds) {
            {1, 1}, {1, 2}, {1, 3}, {1, 4}}) {
     const Rational alpha(num, den);
     const Instance instance = alpha_instance(777, 50, 24, alpha);
-    const Schedule schedule = LsrcScheduler().schedule(instance);
+    const Schedule schedule = LsrcScheduler().schedule(instance).value();
     const Time lb = makespan_lower_bound(instance);
     EXPECT_LE(makespan_ratio(schedule.makespan(instance), lb),
               alpha_upper_bound(alpha))

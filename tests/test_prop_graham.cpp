@@ -33,7 +33,7 @@ TEST_P(GrahamExact, AllOrdersWithinBoundOfExactOptimum) {
   const Time optimum = optimal_makespan(instance);
   const Rational bound = graham_bound(instance.m());
   for (const ListOrder order : all_list_orders()) {
-    const Schedule schedule = LsrcScheduler(order, 3).schedule(instance);
+    const Schedule schedule = LsrcScheduler(order, 3).schedule(instance).value();
     ASSERT_TRUE(schedule.validate(instance).ok);
     const Rational ratio =
         makespan_ratio(schedule.makespan(instance), optimum);
@@ -64,7 +64,7 @@ TEST_P(GrahamLarge, CheckerNeverReportsViolation) {
   const Instance instance = random_workload(config, GetParam());
   for (const ListOrder order :
        {ListOrder::kSubmission, ListOrder::kLpt, ListOrder::kRandom}) {
-    const Schedule schedule = LsrcScheduler(order, 11).schedule(instance);
+    const Schedule schedule = LsrcScheduler(order, 11).schedule(instance).value();
     const GuaranteeReport report = check_guarantee(instance, schedule);
     EXPECT_NE(report.compliance, Compliance::kViolated)
         << to_string(order) << ": " << report.detail;
@@ -80,7 +80,7 @@ TEST(GrahamTightness, FamilyAttainsBoundExactly) {
   for (const ProcCount m : {2, 3, 5, 8, 13}) {
     const GrahamTightFamily family = graham_tight_instance(m);
     const Schedule bad =
-        LsrcScheduler(family.bad_order).schedule(family.instance);
+        LsrcScheduler(family.bad_order).schedule(family.instance).value();
     EXPECT_EQ(makespan_ratio(bad.makespan(family.instance),
                              family.optimal_makespan),
               graham_bound(m));
@@ -99,7 +99,7 @@ TEST_P(GrahamStructural, LemmaOneIntegralForm) {
   const Instance instance = random_workload(config, GetParam());
   for (const ListOrder order :
        {ListOrder::kSubmission, ListOrder::kWidest, ListOrder::kRandom}) {
-    const Schedule schedule = LsrcScheduler(order, 13).schedule(instance);
+    const Schedule schedule = LsrcScheduler(order, 13).schedule(instance).value();
     const double lhs = static_cast<double>(schedule.makespan(instance));
     const double rhs =
         static_cast<double>(instance.p_max()) +

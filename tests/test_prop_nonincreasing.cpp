@@ -41,7 +41,7 @@ TEST_P(Prop1Exact, RefinedBoundAgainstExactOptimum) {
   const ProcCount m_at_cstar = availability_at(instance, optimum);
   const Rational bound = nonincreasing_bound(m_at_cstar);
   for (const ListOrder order : all_list_orders()) {
-    const Schedule schedule = LsrcScheduler(order, 17).schedule(instance);
+    const Schedule schedule = LsrcScheduler(order, 17).schedule(instance).value();
     ASSERT_TRUE(schedule.validate(instance).ok);
     EXPECT_LE(makespan_ratio(schedule.makespan(instance), optimum), bound)
         << to_string(order) << " seed " << GetParam();
@@ -58,7 +58,7 @@ class Prop1Large : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(Prop1Large, WeakFormNeverViolated) {
   const Instance instance = staircase_instance(GetParam(), 70, 20);
-  const Schedule schedule = LsrcScheduler().schedule(instance);
+  const Schedule schedule = LsrcScheduler().schedule(instance).value();
   const GuaranteeReport report = check_guarantee(instance, schedule);
   EXPECT_NE(report.compliance, Compliance::kViolated) << report.detail;
 }
@@ -87,10 +87,10 @@ TEST(Prop1Chain, TruncationPreservesOptimum) {
 TEST(Prop1Chain, EndToEndTransformationPreservesLsrcMakespan) {
   for (const std::uint64_t seed : {821u, 822u, 823u}) {
     const Instance instance = staircase_instance(seed, 8, 8);
-    const Schedule direct = LsrcScheduler().schedule(instance);
+    const Schedule direct = LsrcScheduler().schedule(instance).value();
     const HeadJobTransform transform = reservations_to_head_jobs(instance);
     const Schedule indirect =
-        LsrcScheduler(transform.head_first_list).schedule(transform.rigid);
+        LsrcScheduler(transform.head_first_list).schedule(transform.rigid).value();
     Time original_jobs_makespan = 0;
     for (const Job& job : instance.jobs()) {
       const JobId mapped =
@@ -112,7 +112,7 @@ TEST(Prop1Chain, TransferredInequalityHolds) {
     const Instance instance = staircase_instance(seed, 5, 6);
     const HeadJobTransform transform = reservations_to_head_jobs(instance);
     const Time opt_rigid = optimal_makespan(transform.rigid);
-    const Schedule direct = LsrcScheduler().schedule(instance);
+    const Schedule direct = LsrcScheduler().schedule(instance).value();
     // C_LSRC(I) = C_LSRC(I'') <= (2 - 1/m) C*(I'').
     const Rational bound = graham_bound(instance.m());
     EXPECT_LE(makespan_ratio(direct.makespan(instance), opt_rigid), bound);

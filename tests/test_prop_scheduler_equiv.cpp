@@ -186,12 +186,18 @@ TEST(PropSchedulerEquiv, GoldenSchedulesAndOraclesAcrossTheRegistry) {
       for (const bool online : {false, true}) {
         const Instance instance = golden_instance(seed, reserved, online);
         for (const std::string& name : registered_schedulers()) {
-          Schedule schedule;
-          try {
-            schedule = make_scheduler(name)->schedule(instance);
-          } catch (const std::invalid_argument&) {
-            continue;  // outside the algorithm's domain, as when recording
+          const auto scheduler = make_scheduler(name);
+          ScheduleOutcome outcome = scheduler->schedule(instance);
+          if (!outcome.ok()) {
+            // Outside the algorithm's domain, as when recording -- and the
+            // capability introspection must agree with the outcome.
+            EXPECT_FALSE(scheduler->supports(instance))
+                << name << " returned a DomainError but supports() says yes";
+            continue;
           }
+          EXPECT_TRUE(scheduler->supports(instance))
+              << name << " produced a schedule but supports() says no";
+          const Schedule schedule = std::move(outcome).value();
           const std::uint64_t hash = schedule_hash(instance, schedule);
           if (print_goldens) {
             std::printf("{%lluull, %d, %d, \"%s\", 0x%016llxull},\n",
@@ -238,15 +244,15 @@ TEST(PropSchedulerEquiv, GoldenSchedulesAndOraclesAcrossTheRegistry) {
 
 TEST(PropSchedulerEquiv, SchedulersAreDeterministicAcrossRepeatedRuns) {
   const Instance instance = golden_instance(101, true, true);
-  for (const std::string& name : registered_schedulers()) {
-    Schedule first;
-    try {
-      first = make_scheduler(name)->schedule(instance);
-    } catch (const std::invalid_argument&) {
-      continue;
-    }
-    const Schedule second = make_scheduler(name)->schedule(instance);
-    ASSERT_EQ(first, second) << name << " is not run-to-run deterministic";
+  for (const SchedulerInfo& info : registered_scheduler_info()) {
+    EXPECT_TRUE(info.capabilities.deterministic)
+        << info.name << " is registered as non-deterministic";
+    ScheduleOutcome first = make_scheduler(info.name)->schedule(instance);
+    if (!first.ok()) continue;
+    const Schedule second =
+        make_scheduler(info.name)->schedule(instance).value();
+    ASSERT_EQ(first.value(), second)
+        << info.name << " is not run-to-run deterministic";
   }
 }
 

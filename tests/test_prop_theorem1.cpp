@@ -51,7 +51,7 @@ TEST_P(Theorem1Backward, SubThresholdSchedulesEncodePartitions) {
   const Theorem1Reduction reduction = theorem1_reduction(partition, 2);
   for (const ListOrder order : all_list_orders()) {
     const Schedule schedule =
-        LsrcScheduler(order, GetParam()).schedule(reduction.instance);
+        LsrcScheduler(order, GetParam()).schedule(reduction.instance).value();
     ASSERT_TRUE(schedule.validate(reduction.instance).ok);
     const auto recovered =
         partition_from_schedule(reduction, partition, schedule);
@@ -80,7 +80,7 @@ TEST(Theorem1Gap, MissingThePackingCostsAtLeastRho) {
     if (!solve_three_partition(partition).solvable) continue;
     const std::int64_t rho = 3;
     const Theorem1Reduction reduction = theorem1_reduction(partition, rho);
-    const Schedule greedy = FcfsScheduler().schedule(reduction.instance);
+    const Schedule greedy = FcfsScheduler().schedule(reduction.instance).value();
     ASSERT_TRUE(greedy.validate(reduction.instance).ok);
     const Time makespan = greedy.makespan(reduction.instance);
     if (makespan >= reduction.gap_threshold) {
@@ -112,7 +112,7 @@ TEST(Theorem1SingleReservation, GapAmplifiesDecisionProblem) {
   // Any schedule that misses the perfect packing lands after the block:
   // makespan > 1000. LSRC with an adversarial order demonstrates the jump.
   const Schedule bad =
-      LsrcScheduler(std::vector<JobId>{2, 3, 4, 0, 1}).schedule(gapped);
+      LsrcScheduler(std::vector<JobId>{2, 3, 4, 0, 1}).schedule(gapped).value();
   ASSERT_TRUE(bad.validate(gapped).ok);
   EXPECT_GT(bad.makespan(gapped), 1000);
 }

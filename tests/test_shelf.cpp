@@ -11,7 +11,7 @@ namespace {
 TEST(Shelf, SingleShelfWhenAllFit) {
   const Instance instance(
       4, {Job{0, 2, 5, 0, ""}, Job{1, 1, 3, 0, ""}, Job{2, 1, 2, 0, ""}});
-  const Schedule schedule = ShelfScheduler().schedule(instance);
+  const Schedule schedule = ShelfScheduler().schedule(instance).value();
   for (JobId id = 0; id < 3; ++id) EXPECT_EQ(schedule.start(id), 0);
   EXPECT_EQ(schedule.makespan(instance), 5);
 }
@@ -19,7 +19,7 @@ TEST(Shelf, SingleShelfWhenAllFit) {
 TEST(Shelf, OpensNewShelfWhenFull) {
   const Instance instance(
       2, {Job{0, 2, 5, 0, ""}, Job{1, 2, 3, 0, ""}});
-  const Schedule schedule = ShelfScheduler().schedule(instance);
+  const Schedule schedule = ShelfScheduler().schedule(instance).value();
   EXPECT_EQ(schedule.start(0), 0);
   EXPECT_EQ(schedule.start(1), 5);  // second shelf after the first's height
 }
@@ -29,7 +29,7 @@ TEST(Shelf, ShelfHeightIsTallestJob) {
   // job2 (p=3, q=2) needs shelf 1 at t=6.
   const Instance instance(
       2, {Job{0, 1, 4, 0, ""}, Job{1, 1, 6, 0, ""}, Job{2, 2, 3, 0, ""}});
-  const Schedule schedule = ShelfScheduler().schedule(instance);
+  const Schedule schedule = ShelfScheduler().schedule(instance).value();
   EXPECT_EQ(schedule.start(1), 0);
   EXPECT_EQ(schedule.start(0), 0);
   EXPECT_EQ(schedule.start(2), 6);
@@ -43,21 +43,38 @@ TEST(Shelf, FirstFitReusesEarlierShelves) {
                                  Job{1, 3, 8, 0, ""},   // shelf 1 (3+3 > 4)
                                  Job{2, 1, 5, 0, ""},   // FF: shelf 0; NF: shelf 1
                              });
-  const Schedule ff = ShelfScheduler(ShelfPolicy::kFirstFit).schedule(instance);
+  const Schedule ff =
+      ShelfScheduler(ShelfPolicy::kFirstFit).schedule(instance).value();
   EXPECT_EQ(ff.start(2), 0);
-  const Schedule nf = ShelfScheduler(ShelfPolicy::kNextFit).schedule(instance);
+  const Schedule nf =
+      ShelfScheduler(ShelfPolicy::kNextFit).schedule(instance).value();
   EXPECT_EQ(nf.start(2), 10);
 }
 
-TEST(Shelf, RejectsReservations) {
+TEST(Shelf, RejectsReservationsWithTypedDomainError) {
   const Instance instance(2, {Job{0, 1, 1, 0, ""}},
                           {Reservation{0, 1, 1, 0, ""}});
-  EXPECT_THROW(ShelfScheduler().schedule(instance), std::invalid_argument);
+  const ScheduleOutcome outcome = ShelfScheduler().schedule(instance);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.error().reason, DomainReason::kReservations);
+  EXPECT_NE(outcome.error().message.find("reservations"), std::string::npos);
+  // supports() agrees with the outcome up front.
+  EXPECT_FALSE(ShelfScheduler().supports(instance));
 }
 
-TEST(Shelf, RejectsReleaseTimes) {
+TEST(Shelf, RejectsReleaseTimesWithTypedDomainError) {
   const Instance instance(2, {Job{0, 1, 1, 5, ""}});
-  EXPECT_THROW(ShelfScheduler().schedule(instance), std::invalid_argument);
+  const ScheduleOutcome outcome = ShelfScheduler().schedule(instance);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.error().reason, DomainReason::kReleaseTimes);
+  EXPECT_FALSE(ShelfScheduler().supports(instance));
+}
+
+TEST(Shelf, CapabilitiesDeclareTheRestrictedDomain) {
+  const Capabilities caps = ShelfScheduler().capabilities();
+  EXPECT_FALSE(caps.release_times);
+  EXPECT_FALSE(caps.reservations);
+  EXPECT_TRUE(caps.deterministic);
 }
 
 TEST(Shelf, NfdhGuaranteeHolds) {
@@ -69,7 +86,7 @@ TEST(Shelf, NfdhGuaranteeHolds) {
     config.m = 16;
     const Instance instance = random_workload(config, seed);
     const Schedule schedule =
-        ShelfScheduler(ShelfPolicy::kNextFit).schedule(instance);
+        ShelfScheduler(ShelfPolicy::kNextFit).schedule(instance).value();
     ASSERT_TRUE(schedule.validate(instance).ok);
     const Time lb = makespan_lower_bound(instance);
     EXPECT_LE(schedule.makespan(instance), 2 * lb + instance.p_max())
@@ -85,9 +102,11 @@ TEST(Shelf, FirstFitNeverWorseThanNextFit) {
     const Instance instance = random_workload(config, seed);
     const Time ff = ShelfScheduler(ShelfPolicy::kFirstFit)
                         .schedule(instance)
+                        .value()
                         .makespan(instance);
     const Time nf = ShelfScheduler(ShelfPolicy::kNextFit)
                         .schedule(instance)
+                        .value()
                         .makespan(instance);
     EXPECT_LE(ff, nf) << "seed " << seed;
   }
