@@ -35,7 +35,7 @@ CompactionResult compact_schedule(const Instance& instance,
     RESCHED_CHECK_MSG(start <= schedule.start(id),
                       "compaction tried to move a job right");
     if (start < schedule.start(id)) ++result.moved_jobs;
-    free.commit(start, job.q, job.p);
+    free.commit_fitted(start, job.q, job.p);
     result.schedule.set_start(id, start);
   }
   result.makespan_after = result.schedule.makespan(instance);

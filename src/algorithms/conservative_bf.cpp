@@ -22,7 +22,9 @@ ScheduleOutcome ConservativeBackfillScheduler::schedule(
   for (const JobId id : queue) {
     const Job& job = instance.job(id);
     const Time start = free.earliest_fit(job.release, job.q, job.p);
-    free.commit(start, job.q, job.p);
+    // The fit was just proven by earliest_fit; commit_fitted skips the
+    // redundant windowed-min recheck on this hot placement path.
+    free.commit_fitted(start, job.q, job.p);
     schedule.set_start(id, start);
   }
   return schedule;

@@ -63,7 +63,7 @@ ScheduleOutcome EasyBackfillScheduler::schedule(
         waiting.keep();
         break;
       }
-      free.commit(t, head.q, head.p);
+      free.commit_fitted(t, head.q, head.p);
       schedule.set_start(head.id, t);
       events.push(checked_add(t, head.p));
       capacity -= head.q;
@@ -77,26 +77,43 @@ ScheduleOutcome EasyBackfillScheduler::schedule(
     if (head_blocked) {
       const Job& head = instance.job(head_id);
       const Time head_start = free.earliest_fit(t, head.q, head.p);
+      const Time head_end = checked_add(head_start, head.p);
+      // Probe-window invariant: the head fits at head_start right now
+      // (earliest_fit established it, and every accepted candidate below
+      // re-establishes it). A candidate's commit only removes capacity on
+      // its own window [t, t+p), so "head not pushed back" only needs the
+      // windowed min over the *overlap* of that window with the head's
+      // reservation window -- and a candidate ending at or before
+      // head_start cannot push the head at all, so it commits outright
+      // with no tentative machinery.
       while (const auto candidate = waiting.next(capacity)) {
         const Job& job = instance.job(candidate->id);
         if (!free.fits_at(t, job.q, job.p)) {
           waiting.keep();
           continue;
         }
-        // Tentatively start; keep only if the head is not pushed back.
-        // Commits only remove capacity, so the head's earliest fit can
-        // never move before head_start -- "not pushed back" is exactly
-        // "still fits at head_start", one windowed min over the head's
-        // reservation window instead of re-running the earliest-fit
-        // search from t across every tentative commit.
-        free.commit(t, job.q, job.p);
-        if (!free.fits_at(head_start, head.q, head.p)) {
-          free.uncommit(t, job.q, job.p);
-          waiting.keep();
-          continue;
+        const Time job_end = checked_add(t, job.p);
+        if (job_end > head_start) {
+          // Tentatively start; keep only if the head is not pushed back
+          // (the overlap min above). The token rollback restores the
+          // touched segments in O(touched) and keeps the profile's query
+          // index warm (no budget drain, no O(s) rebuild), so a long run
+          // of rejected candidates stays cheap.
+          FreeProfile::CommitToken token =
+              free.commit_tentative(t, job.q, job.p);
+          if (free.profile().first_below(head_start,
+                                         std::min(head_end, job_end),
+                                         head.q) != kTimeInfinity) {
+            free.rollback(std::move(token));
+            waiting.keep();
+            continue;
+          }
+          free.accept(std::move(token));
+        } else {
+          free.commit_fitted(t, job.q, job.p);
         }
         schedule.set_start(job.id, t);
-        events.push(checked_add(t, job.p));
+        events.push(job_end);
         capacity -= job.q;
         waiting.take();
         ++started;

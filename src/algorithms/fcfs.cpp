@@ -24,7 +24,7 @@ ScheduleOutcome FcfsScheduler::schedule(const Instance& instance) const {
     const Job& job = instance.job(id);
     const Time ready = std::max(previous_start, job.release);
     const Time start = free.earliest_fit(ready, job.q, job.p);
-    free.commit(start, job.q, job.p);
+    free.commit_fitted(start, job.q, job.p);
     schedule.set_start(id, start);
     previous_start = start;  // no later job may start before this one
   }

@@ -95,7 +95,7 @@ Schedule LsrcScheduler::run(const Instance& instance,
     while (const auto candidate = pending.next(capacity)) {
       const Job& job = instance.job(candidate->id);
       if (free.fits_at(t, job.q, job.p)) {
-        free.commit(t, job.q, job.p);
+        free.commit_fitted(t, job.q, job.p);
         schedule.set_start(job.id, t);
         events.push(checked_add(t, job.p));
         capacity -= job.q;

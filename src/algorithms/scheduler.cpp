@@ -60,11 +60,25 @@ namespace {
 struct RegistryEntry {
   SchedulerFactory factory;
   std::string description;
+  // Probed from one factory-made instance at registration time, so
+  // metadata queries never instantiate schedulers again.
+  Capabilities capabilities;
 };
 
 std::map<std::string, RegistryEntry>& registry() {
   static std::map<std::string, RegistryEntry> instance;
   return instance;
+}
+
+// Single insertion point: probes the capability set once, at registration.
+void add_entry(std::map<std::string, RegistryEntry>& reg,
+               const std::string& name, SchedulerFactory factory,
+               std::string description) {
+  RESCHED_REQUIRE_MSG(!reg.count(name),
+                      "scheduler already registered: " + name);
+  const Capabilities capabilities = factory()->capabilities();
+  reg[name] =
+      RegistryEntry{std::move(factory), std::move(description), capabilities};
 }
 
 // Built-ins are registered lazily and explicitly (static-initialiser
@@ -73,38 +87,35 @@ std::map<std::string, RegistryEntry>& registry() {
 void ensure_builtins() {
   static const bool done = [] {
     auto& reg = registry();
-    reg["lsrc"] = {[] {
-                     return std::make_unique<LsrcScheduler>(
-                         ListOrder::kSubmission);
-                   },
-                   "list scheduling (submission order), the paper's LSRC"};
-    reg["lsrc-lpt"] = {[] {
-                         return std::make_unique<LsrcScheduler>(
-                             ListOrder::kLpt);
-                       },
-                       "list scheduling, longest processing time first"};
-    reg["fcfs"] = {[] { return std::make_unique<FcfsScheduler>(); },
-                   "strict First Come First Served (non-overtaking)"};
-    reg["conservative"] = {
-        [] { return std::make_unique<ConservativeBackfillScheduler>(); },
-        "conservative backfilling (no previously placed job delayed)"};
-    reg["easy"] = {[] { return std::make_unique<EasyBackfillScheduler>(); },
-                   "EASY aggressive backfilling (head-only protection)"};
-    reg["shelf-ff"] = {[] {
-                         return std::make_unique<ShelfScheduler>(
-                             ShelfPolicy::kFirstFit);
-                       },
-                       "FFDH shelf packing (offline, rigid-only)"};
-    reg["shelf-nf"] = {[] {
-                         return std::make_unique<ShelfScheduler>(
-                             ShelfPolicy::kNextFit);
-                       },
-                       "NFDH shelf packing (offline, rigid-only)"};
-    reg["portfolio"] = {[] { return std::make_unique<PortfolioScheduler>(); },
-                        "best LSRC schedule across priority orders"};
-    reg["local-search"] = {
-        [] { return std::make_unique<LocalSearchScheduler>(); },
-        "hill-climbing over LSRC priority lists (seeded, budgeted)"};
+    add_entry(reg, "lsrc",
+              [] { return std::make_unique<LsrcScheduler>(
+                       ListOrder::kSubmission); },
+              "list scheduling (submission order), the paper's LSRC");
+    add_entry(reg, "lsrc-lpt",
+              [] { return std::make_unique<LsrcScheduler>(ListOrder::kLpt); },
+              "list scheduling, longest processing time first");
+    add_entry(reg, "fcfs", [] { return std::make_unique<FcfsScheduler>(); },
+              "strict First Come First Served (non-overtaking)");
+    add_entry(reg, "conservative",
+              [] { return std::make_unique<ConservativeBackfillScheduler>(); },
+              "conservative backfilling (no previously placed job delayed)");
+    add_entry(reg, "easy",
+              [] { return std::make_unique<EasyBackfillScheduler>(); },
+              "EASY aggressive backfilling (head-only protection)");
+    add_entry(reg, "shelf-ff",
+              [] { return std::make_unique<ShelfScheduler>(
+                       ShelfPolicy::kFirstFit); },
+              "FFDH shelf packing (offline, rigid-only)");
+    add_entry(reg, "shelf-nf",
+              [] { return std::make_unique<ShelfScheduler>(
+                       ShelfPolicy::kNextFit); },
+              "NFDH shelf packing (offline, rigid-only)");
+    add_entry(reg, "portfolio",
+              [] { return std::make_unique<PortfolioScheduler>(); },
+              "best LSRC schedule across priority orders");
+    add_entry(reg, "local-search",
+              [] { return std::make_unique<LocalSearchScheduler>(); },
+              "hill-climbing over LSRC priority lists (seeded, budgeted)");
     return true;
   }();
   (void)done;
@@ -115,9 +126,7 @@ void ensure_builtins() {
 void register_scheduler(const std::string& name, SchedulerFactory factory,
                         std::string description) {
   ensure_builtins();
-  RESCHED_REQUIRE_MSG(!registry().count(name),
-                      "scheduler already registered: " + name);
-  registry()[name] = RegistryEntry{std::move(factory), std::move(description)};
+  add_entry(registry(), name, std::move(factory), std::move(description));
 }
 
 std::unique_ptr<Scheduler> make_scheduler(const std::string& name) {
@@ -139,9 +148,10 @@ std::vector<SchedulerInfo> registered_scheduler_info() {
   ensure_builtins();
   std::vector<SchedulerInfo> out;
   out.reserve(registry().size());
+  // Pure metadata read: capabilities were cached when the entry was
+  // registered, so this never instantiates a scheduler.
   for (const auto& [name, entry] : registry())
-    out.push_back(SchedulerInfo{name, entry.description,
-                                entry.factory()->capabilities()});
+    out.push_back(SchedulerInfo{name, entry.description, entry.capabilities});
   return out;
 }
 

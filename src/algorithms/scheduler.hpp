@@ -159,13 +159,17 @@ struct SchedulerInfo {
 
 // Global registry (populated at static-init time by each algorithm's .cpp).
 // The optional description is carried into registered_scheduler_info().
+// Registration constructs one scheduler through `factory` to probe (and
+// cache) its capability set; metadata queries afterwards never instantiate
+// anything, so factories must be callable at registration time.
 void register_scheduler(const std::string& name, SchedulerFactory factory,
                         std::string description = "");
 [[nodiscard]] std::unique_ptr<Scheduler> make_scheduler(
     const std::string& name);
 [[nodiscard]] std::vector<std::string> registered_schedulers();
 // Name + description + capability set for every registered scheduler, in
-// name order (capabilities probed once from a factory-made instance).
+// name order. Reads the metadata cached at registration time -- no
+// scheduler is constructed, so drivers may call this per decision.
 [[nodiscard]] std::vector<SchedulerInfo> registered_scheduler_info();
 
 }  // namespace resched

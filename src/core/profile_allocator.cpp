@@ -1,10 +1,18 @@
 #include "core/profile_allocator.hpp"
 
+#include <utility>
+
 #include "core/availability.hpp"
 #include "util/checked.hpp"
 #include "util/require.hpp"
 
 namespace resched {
+
+namespace {
+// spare_ exists to recycle undo-buffer capacity across probe loops, not to
+// hoard deep backtracking stacks after they unwind.
+constexpr std::size_t kMaxSpareUndoRecords = 8;
+}  // namespace
 
 FreeProfile::FreeProfile(StepProfile free_capacity)
     : profile_(std::move(free_capacity)) {
@@ -58,9 +66,69 @@ void FreeProfile::commit(Time t, ProcCount q, Time p) {
   profile_.add(t, checked_add(t, p), -q);
 }
 
+void FreeProfile::commit_fitted(Time t, ProcCount q, Time p) {
+  RESCHED_ASSERT(fits_at(t, q, p));
+  RESCHED_REQUIRE(t >= 0 && q >= 1 && p > 0);
+  profile_.add(t, checked_add(t, p), -q);
+}
+
+FreeProfile::CommitToken FreeProfile::commit_tentative(Time t, ProcCount q,
+                                                       Time p) {
+  RESCHED_ASSERT(fits_at(t, q, p));
+  RESCHED_REQUIRE(t >= 0 && q >= 1 && p > 0);
+  OpenCommit frame;
+  frame.serial = ++next_serial_;
+  frame.t = t;
+  frame.q = q;
+  frame.p = p;
+  if (!spare_.empty()) {
+    frame.undo = std::move(spare_.back());
+    spare_.pop_back();
+  }
+  profile_.add_recorded(t, checked_add(t, p), -q, frame.undo);
+  open_.push_back(std::move(frame));
+  return CommitToken(next_serial_);
+}
+
+void FreeProfile::resolve_top(bool keep) {
+  OpenCommit& top = open_.back();
+  if (!keep) profile_.rollback(top.undo);
+  if (spare_.size() < kMaxSpareUndoRecords)
+    spare_.push_back(std::move(top.undo));
+  open_.pop_back();
+}
+
+void FreeProfile::rollback(CommitToken&& token) {
+  RESCHED_CHECK_MSG(token.live_, "rollback of a dead commit token");
+  RESCHED_CHECK_MSG(!open_.empty() && open_.back().serial == token.serial_,
+                    "commit tokens resolve newest-first: this token is not "
+                    "the newest open tentative commit");
+  token.live_ = false;
+  resolve_top(/*keep=*/false);
+}
+
+void FreeProfile::accept(CommitToken&& token) {
+  RESCHED_CHECK_MSG(token.live_, "accept of a dead commit token");
+  RESCHED_CHECK_MSG(!open_.empty() && open_.back().serial == token.serial_,
+                    "commit tokens resolve newest-first: this token is not "
+                    "the newest open tentative commit");
+  token.live_ = false;
+  resolve_top(/*keep=*/true);
+}
+
 void FreeProfile::uncommit(Time t, ProcCount q, Time p) {
   RESCHED_REQUIRE(t >= 0 && q >= 1 && p > 0);
-  profile_.add(t, checked_add(t, p), q);
+  // Checked wrapper over the undo log: an uncommit that does not reverse
+  // the newest open tentative commit would add capacity that was never
+  // allocated -- silently lifting the profile above the instance's
+  // availability. Fail loudly instead.
+  RESCHED_CHECK_MSG(!open_.empty(),
+                    "uncommit with no open tentative commit to reverse");
+  const OpenCommit& top = open_.back();
+  RESCHED_CHECK_MSG(
+      top.t == t && top.q == q && top.p == p,
+      "uncommit(t, q, p) does not match the newest open tentative commit");
+  resolve_top(/*keep=*/false);
 }
 
 Time FreeProfile::next_change_after(Time t) const {

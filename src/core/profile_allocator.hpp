@@ -19,11 +19,36 @@
 // scheduler that re-examines its queue at capacity-increase events (job
 // completions, reservation ends) never misses a feasible start.
 //
+// ## Tentative commits (transactional allocation)
+//
+// Backfilling's inner loop is speculative: commit a candidate, test whether
+// a protected job is pushed back, revert if so; branch-and-bound backtracks
+// the same way. commit_tentative() makes that pattern first-class: it
+// subtracts the job and returns an opaque CommitToken whose undo record
+// (StepProfile's undo log) reverts the allocation in O(touched segments) --
+// no re-run of add's split/coalesce path, no index-snapshot drop, no budget
+// drain, so arbitrarily long probe loops never trigger an O(s) index
+// rebuild. A token must be resolved exactly once, newest-first:
+//
+//   rollback(token)  -- revert the allocation,
+//   accept(token)    -- keep it, discarding the undo state in O(1).
+//
+// Tokens are strictly nested (LIFO), which is exactly the shape tentative
+// probes and depth-first backtracking produce; resolving any other token
+// trips RESCHED_CHECK. The legacy uncommit(t, q, p) remains as a checked
+// wrapper: it must name exactly the newest open tentative commit, which it
+// then rolls back. An uncommit that does not reverse a live commit used to
+// silently inflate free capacity above the instance's availability --
+// the classic backfilling state-corruption bug -- and now fails loudly.
+//
 // Complexity: fits_at and each earliest_fit probe are O(log s) on fragmented
 // profiles through StepProfile's lazily built min/max segment-tree index;
 // earliest_fit leaps over whole runs of deficient segments per iteration
 // (first_at_least), so placements no longer rescan the profile linearly.
 #pragma once
+
+#include <cstdint>
+#include <vector>
 
 #include "core/instance.hpp"
 #include "core/step_profile.hpp"
@@ -32,6 +57,38 @@ namespace resched {
 
 class FreeProfile {
  public:
+  // Opaque handle to one open tentative commit. Move-only; a
+  // default-constructed or resolved token is dead. Every live token must be
+  // resolved (rollback or accept) before any older token -- destroying one
+  // unresolved leaves its undo frame open and the next resolution will
+  // trip the LIFO check.
+  class CommitToken {
+   public:
+    CommitToken() = default;
+    CommitToken(CommitToken&& other) noexcept
+        : serial_(other.serial_), live_(other.live_) {
+      other.live_ = false;
+    }
+    CommitToken& operator=(CommitToken&& other) noexcept {
+      serial_ = other.serial_;
+      live_ = other.live_;
+      other.live_ = false;
+      return *this;
+    }
+    CommitToken(const CommitToken&) = delete;
+    CommitToken& operator=(const CommitToken&) = delete;
+    ~CommitToken() = default;
+
+    [[nodiscard]] bool live() const noexcept { return live_; }
+
+   private:
+    friend class FreeProfile;
+    explicit CommitToken(std::uint64_t serial) noexcept
+        : serial_(serial), live_(true) {}
+    std::uint64_t serial_ = 0;
+    bool live_ = false;
+  };
+
   // View over an explicit capacity profile (must be non-negative).
   explicit FreeProfile(StepProfile free_capacity);
 
@@ -48,11 +105,45 @@ class FreeProfile {
   // job has ended), which holds for any valid job of the instance.
   [[nodiscard]] Time earliest_fit(Time t0, ProcCount q, Time p) const;
 
-  // Subtracts q over [t, t+p). Requires fits_at(t, q, p).
+  // Permanently subtracts q over [t, t+p). Requires fits_at(t, q, p),
+  // re-verified here (always on).
   void commit(Time t, ProcCount q, Time p);
 
-  // Inverse of commit (used by branch-and-bound backtracking).
+  // commit() for callers whose t was just produced by earliest_fit (or an
+  // explicit fits_at): the precondition holds by construction, so the
+  // redundant windowed-min recheck is a Debug-only RESCHED_ASSERT. This is
+  // the schedulers' hot placement path; misuse is still caught downstream
+  // by Schedule::validate and the campaign oracle.
+  void commit_fitted(Time t, ProcCount q, Time p);
+
+  // Tentatively subtracts q over [t, t+p) and opens an undo frame; the
+  // returned token resolves it via rollback() or accept(). Same
+  // by-construction precondition (and Debug-only recheck) as
+  // commit_fitted. O(touched) to record; the frame's buffers are recycled
+  // across probes, so a reject/retry loop stops allocating after warm-up.
+  [[nodiscard]] CommitToken commit_tentative(Time t, ProcCount q, Time p);
+
+  // Reverts the newest open tentative commit, which must be the one the
+  // token names (RESCHED_CHECK otherwise). O(touched segments); never
+  // drops or rebuilds the profile's query index (invariant I6 in
+  // step_profile.hpp).
+  void rollback(CommitToken&& token);
+
+  // Seals the newest open tentative commit (same LIFO check): the
+  // allocation becomes permanent and its undo state is discarded in O(1).
+  void accept(CommitToken&& token);
+
+  // Legacy inverse of commit_tentative, kept for callers that identify the
+  // allocation by value instead of by token: RESCHED_CHECKs that
+  // (t, q, p) is exactly the newest open tentative commit and rolls it
+  // back. With no open commit -- or mismatched arguments -- this trips
+  // instead of silently raising capacity above the availability.
   void uncommit(Time t, ProcCount q, Time p);
+
+  // Number of open (unresolved) tentative commits.
+  [[nodiscard]] std::size_t open_commits() const noexcept {
+    return open_.size();
+  }
 
   // Smallest breakpoint > t, or kTimeInfinity (event-driven scheduling).
   [[nodiscard]] Time next_change_after(Time t) const;
@@ -62,7 +153,26 @@ class FreeProfile {
   }
 
  private:
+  // One open tentative commit: identity for the checked wrappers plus the
+  // undo record that reverts it.
+  struct OpenCommit {
+    std::uint64_t serial = 0;
+    Time t = 0;
+    ProcCount q = 0;
+    Time p = 0;
+    StepProfile::Undo undo;
+  };
+
+  // Pops the top frame (rolling the profile back unless `keep`), recycling
+  // its undo buffer.
+  void resolve_top(bool keep);
+
   StepProfile profile_;
+  std::vector<OpenCommit> open_;
+  // Retired undo records, kept for their buffer capacity so probe loops
+  // stop allocating; bounded small.
+  std::vector<StepProfile::Undo> spare_;
+  std::uint64_t next_serial_ = 0;
 };
 
 }  // namespace resched

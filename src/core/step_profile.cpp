@@ -88,16 +88,52 @@ void StepProfile::coalesce_at(std::size_t i) {
 }
 
 void StepProfile::add(Time from, Time to, std::int64_t delta) {
+  add_impl(from, to, delta, nullptr);
+}
+
+void StepProfile::add_recorded(Time from, Time to, std::int64_t delta,
+                               Undo& undo) {
+  add_impl(from, to, delta, &undo);
+}
+
+void StepProfile::add_impl(Time from, Time to, std::int64_t delta,
+                           Undo* undo) {
   RESCHED_REQUIRE_MSG(from >= 0, "profile add with negative start");
+  if (undo != nullptr) {
+    // Disarm first: on a no-op or a thrown overflow the record stays dead.
+    undo->live_ = false;
+    undo->steps_.clear();
+  }
   if (from >= to || delta == 0) return;
   // Strong exception guarantee: probe every affected segment's checked
   // addition before the first structural change. Without this, an overflow
   // mid-window would throw with partial deltas applied and the split
   // breakpoints uncoalesced -- a silently non-canonical profile.
-  for (std::size_t i = index_of(from);
-       i < steps_.size() && steps_[i].start < to; ++i)
+  const std::size_t region = index_of(from);
+  for (std::size_t i = region; i < steps_.size() && steps_[i].start < to; ++i)
     (void)checked_add(steps_[i].value, delta);
-  const std::size_t first = split_at(from);
+  if (undo != nullptr) {
+    // Everything the add can touch -- value shifts, the two edge splits and
+    // the two edge coalesces -- lives in the steps whose start falls in
+    // [window_lo, to], where window_lo is the start of the segment
+    // containing `from`; steps outside stay bit-identical. Record them.
+    undo->from_ = from;
+    undo->to_ = to;
+    undo->delta_ = delta;
+    undo->window_lo_ = steps_[region].start;
+    undo->left_value_ = region > 0 ? steps_[region - 1].value : 0;
+    const std::size_t prior_end =
+        (to >= kTimeInfinity) ? steps_.size() : index_of(to) + 1;
+    undo->steps_.assign(steps_.begin() + static_cast<std::ptrdiff_t>(region),
+                        steps_.begin() + static_cast<std::ptrdiff_t>(prior_end));
+  }
+  // split_at(from), with the binary search already paid for by the probe.
+  std::size_t first = region;
+  if (steps_[region].start != from) {
+    steps_.insert(steps_.begin() + static_cast<std::ptrdiff_t>(region) + 1,
+                  Step{from, steps_[region].value});
+    first = region + 1;
+  }
   // Split the right edge only for finite windows; [from, kTimeInfinity)
   // means "from `from` onwards".
   const std::size_t last =
@@ -109,7 +145,93 @@ void StepProfile::add(Time from, Time to, std::int64_t delta) {
   // not move `first`.
   coalesce_at(last);
   coalesce_at(first);
-  index_apply_add(from, to, delta);
+  if (undo != nullptr) {
+    undo->patched_index_ = index_apply_add(from, to, delta);
+    undo->live_ = true;
+  } else {
+    (void)index_apply_add(from, to, delta);
+  }
+}
+
+void StepProfile::rollback(Undo& undo) {
+  RESCHED_CHECK_MSG(undo.live_, "rollback of a dead or spent undo record");
+  // Locate the recorded region in the current vector. The first step with
+  // start >= window_lo begins it (the step at window_lo itself may have
+  // been coalesced away by the recorded add); the first step with
+  // start > to ends it.
+  const auto lo_it = std::lower_bound(
+      steps_.begin(), steps_.end(), undo.window_lo_,
+      [](const Step& step, Time value) { return step.start < value; });
+  const std::size_t lo = static_cast<std::size_t>(lo_it - steps_.begin());
+  const std::size_t hi =
+      (undo.to_ >= kTimeInfinity) ? steps_.size() : index_of(undo.to_) + 1;
+  // The region must be exactly what the recorded add left there: anything
+  // else means a later overlapping mutation is still in effect (or the
+  // record belongs to another profile) and "reverting" would corrupt the
+  // function -- the silent capacity inflation this layer exists to kill.
+  // Verified by replaying the add's transformation of the few recorded
+  // steps (split at the window edges, shift by delta, coalesce into the
+  // recorded left neighbour) against the current region. The left
+  // neighbour's value is checked against the record first: it anchors the
+  // coalesce replay, and a later mutation that changed it (e.g. one that
+  // coalesced across this record's window_lo boundary) would otherwise
+  // make the replay accept -- and splice back -- a non-canonical region.
+  // A failed rollback consumes nothing: undo the blocking mutation first
+  // and the record is usable again.
+  const std::vector<Step>& prior = undo.steps_;
+  bool matches = hi >= lo && hi <= steps_.size();
+  const bool have_left = undo.window_lo_ > 0;
+  if (have_left)
+    matches = matches && lo > 0 && steps_[lo - 1].value == undo.left_value_;
+  else
+    matches = matches && lo == 0;
+  std::size_t cursor = lo;
+  bool left_known = have_left;
+  std::int64_t left_value = undo.left_value_;
+  const auto expect = [&](Time start, std::int64_t value) {
+    if (left_known && value == left_value) return;  // coalesced left
+    if (cursor >= hi || steps_[cursor].start != start ||
+        steps_[cursor].value != value) {
+      matches = false;
+      return;
+    }
+    ++cursor;
+    left_known = true;
+    left_value = value;
+  };
+  // Leading unmodified piece of the split segment containing `from`.
+  if (undo.from_ > undo.window_lo_) expect(prior[0].start, prior[0].value);
+  // The shifted pieces over [from, to).
+  for (std::size_t j = 0; j < prior.size() && matches; ++j) {
+    if (prior[j].start >= undo.to_) break;
+    expect(std::max(prior[j].start, undo.from_),
+           prior[j].value + undo.delta_);
+  }
+  // Trailing unmodified piece from `to` on (the last recorded step is the
+  // one containing -- or starting at -- `to`).
+  if (undo.to_ < kTimeInfinity) expect(undo.to_, prior.back().value);
+  if (cursor != hi) matches = false;
+  RESCHED_CHECK_MSG(matches,
+                    "rollback does not reverse the newest mutation of its "
+                    "region");
+  undo.live_ = false;
+  // Splice the prior steps back in: one copy plus at most one vector
+  // shift, never add's probe/split/coalesce path.
+  const std::size_t current = hi - lo;
+  if (prior.size() <= current) {
+    std::copy(prior.begin(), prior.end(),
+              steps_.begin() + static_cast<std::ptrdiff_t>(lo));
+    steps_.erase(
+        steps_.begin() + static_cast<std::ptrdiff_t>(lo + prior.size()),
+        steps_.begin() + static_cast<std::ptrdiff_t>(hi));
+  } else {
+    std::copy(prior.begin(), prior.begin() + static_cast<std::ptrdiff_t>(current),
+              steps_.begin() + static_cast<std::ptrdiff_t>(lo));
+    steps_.insert(steps_.begin() + static_cast<std::ptrdiff_t>(hi),
+                  prior.begin() + static_cast<std::ptrdiff_t>(current),
+                  prior.end());
+  }
+  index_rollback_patch(undo);
 }
 
 // ---------------------------------------------------------------------------
@@ -212,6 +334,7 @@ Time StepProfile::scan_accumulate(std::size_t i, Time cursor, Time stop,
 // ---------------------------------------------------------------------------
 
 std::unique_ptr<StepProfile::Index> StepProfile::build_index() const {
+  index_builds_.fetch_add(1, std::memory_order_relaxed);
   auto out = std::make_unique<Index>();
   Index& ix = *out;
   const std::size_t leaves = steps_.size();
@@ -378,18 +501,8 @@ void StepProfile::index_range_add(Index& ix, std::size_t node,
     ix.sums_ok = false;
 }
 
-void StepProfile::index_apply_add(Time from, Time to, std::int64_t delta) {
-  // add() implies exclusive access (invariant I5): no reader holds the
-  // snapshot while a mutation runs, so patching it in place is safe and
-  // keeps the index warm across the add stream.
-  Index* const snap = index_.load(std::memory_order_relaxed);
-  if (snap == nullptr) return;
-  if (steps_.size() < kMinIndexedSegments || snap->budget == 0) {
-    drop_index();
-    return;
-  }
-  Index& ix = *snap;
-  --ix.budget;
+void StepProfile::index_patch_leaves(Index& ix, Time from, Time to,
+                                     std::int64_t delta) const {
   const LeafWindow window = index_leaf_window(ix, from, to);
   // A leaf is recomputed iff the window covers it only partially; that is
   // the lone leaf itself when the whole window sits inside one leaf.
@@ -407,6 +520,49 @@ void StepProfile::index_apply_add(Time from, Time to, std::int64_t delta) {
   if (full_lo <= full_hi)
     index_range_add(ix, 1, 0, ix.cap - 1, static_cast<std::size_t>(full_lo),
                     static_cast<std::size_t>(full_hi), delta);
+}
+
+const StepProfile::Index* StepProfile::index_apply_add(Time from, Time to,
+                                                       std::int64_t delta) {
+  // add() implies exclusive access (invariant I5): no reader holds the
+  // snapshot while a mutation runs, so patching it in place is safe and
+  // keeps the index warm across the add stream.
+  Index* const snap = index_.load(std::memory_order_relaxed);
+  if (snap == nullptr) return nullptr;
+  if (steps_.size() < kMinIndexedSegments || snap->budget == 0) {
+    drop_index();
+    return nullptr;
+  }
+  --snap->budget;
+  index_patch_leaves(*snap, from, to, delta);
+  return snap;
+}
+
+void StepProfile::index_rollback_patch(const Undo& undo) {
+  // Same exclusive-access argument as index_apply_add. The snapshot seen
+  // here may postdate the recorded add (a const query built it from the
+  // post-state mid-probe); the patch below is exact for any snapshot, since
+  // boundary leaves are recomputed from the (already restored) steps_ and
+  // fully covered leaves receive the exact inverse lazy addend.
+  Index* const snap = index_.load(std::memory_order_relaxed);
+  if (snap == nullptr) return;
+  if (steps_.size() < kMinIndexedSegments) {
+    drop_index();
+    return;
+  }
+  if (undo.delta_ == kInt64Min) {
+    // -delta is unrepresentable, so an exact inverse lazy-add is not
+    // possible; such magnitudes exceed the tree's exact range anyway
+    // (invariant I4). Rebuild from the restored segments instead.
+    drop_index();
+    return;
+  }
+  // Budget-neutral (invariant I6): no unit consumed, and the unit the
+  // recorded add spent is refunded -- but only to the very snapshot that
+  // spent it; a snapshot rebuilt mid-pair starts with a full budget and
+  // must not be over-credited.
+  if (snap == undo.patched_index_) ++snap->budget;
+  index_patch_leaves(*snap, undo.from_, undo.to_, -undo.delta_);
 }
 
 std::int64_t StepProfile::index_range_min(const Index& ix, std::size_t node,

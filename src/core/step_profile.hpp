@@ -63,10 +63,42 @@
 //      reader can still hold it. This is what lets CampaignRunner share
 //      one generated instance across its worker threads instead of
 //      regenerating it.
+//  I6. A rollback() of a recorded add is budget-neutral: the inverse patch
+//      never consumes a rebuild-budget unit and refunds the unit the
+//      recorded add spent (only to the very snapshot that spent it -- one
+//      rebuilt mid-pair starts with a full budget and is not credited), so
+//      a commit/rollback pair leaves the snapshot, its budget and the
+//      amortization argument exactly where they were.
+//      This is sound because the pair is structurally net-zero: rollback
+//      restores the very segments the add displaced, so leaf spans hold no
+//      more real segments after the pair than before it.
 //
 // add() provides the strong exception guarantee: it validates every affected
 // segment's checked addition before the first structural change, so an
 // overflowing add throws with the profile (and its canonical form) intact.
+//
+// Transactional mutation (undo log): add_recorded() performs an add and
+// fills an opaque Undo record with the touched region -- the segments that
+// existed over [window, to] before the add and the segments the add left
+// there -- plus whether the index snapshot was patched in place (one rebuild
+// budget unit) or dropped. rollback() then restores the region with a single
+// splice in O(touched), *without* re-running add's probe/split/coalesce
+// machinery, verifies against the recorded post-state that it really is
+// reversing that mutation (a stale or out-of-order rollback trips
+// RESCHED_CHECK instead of silently corrupting the function), and
+// inverse-patches the index snapshot without consuming budget, refunding the
+// unit the recorded add spent. A tentative probe sequence (add_recorded ->
+// queries -> rollback) is therefore structurally net-zero: no budget drain,
+// no index drop, no O(s) rebuild -- the backfilling schedulers' tentative
+// commit/uncommit loops run entirely on warm snapshots. Undo records unwind
+// newest-first (strict nesting, the shape backtracking search and tentative
+// probes produce). Records whose *checked state* -- the closed region
+// [window_lo, to] plus the value of the step immediately left of it -- was
+// not touched by any still-live later mutation may also unwind out of
+// order; anything else trips the rollback check. Note the checked state is
+// slightly wider than the mutation window [from, to): a later add that
+// merely coalesces across this record's region boundary, or shifts the
+// region's trailing piece at `to`, blocks this record until it unwinds.
 #pragma once
 
 #include <atomic>
@@ -80,6 +112,13 @@
 namespace resched {
 
 class StepProfile {
+ private:
+  struct Step {
+    Time start;  // inclusive; value holds until the next step's start
+    std::int64_t value;
+    friend bool operator==(const Step&, const Step&) = default;
+  };
+
  public:
   struct Segment {
     Time start;  // inclusive
@@ -104,13 +143,16 @@ class StepProfile {
   }
   StepProfile(StepProfile&& other) noexcept
       : steps_(std::move(other.steps_)),
-        index_(other.index_.exchange(nullptr, std::memory_order_relaxed)) {}
+        index_(other.index_.exchange(nullptr, std::memory_order_relaxed)),
+        index_builds_(other.index_builds_.load(std::memory_order_relaxed)) {}
   StepProfile& operator=(StepProfile&& other) noexcept {
     if (this != &other) {
       steps_ = std::move(other.steps_);
       delete index_.exchange(
           other.index_.exchange(nullptr, std::memory_order_relaxed),
           std::memory_order_relaxed);
+      index_builds_.store(other.index_builds_.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
     }
     return *this;
   }
@@ -122,6 +164,64 @@ class StepProfile {
   // Strong exception guarantee: throws std::overflow_error with the profile
   // unchanged when any affected segment's value would overflow.
   void add(Time from, Time to, std::int64_t delta);
+
+  // Opaque undo record for one recorded add (see the transactional-mutation
+  // notes in the header comment). Default-constructed records are dead;
+  // add_recorded arms them, rollback (or a fresh add_recorded) spends them.
+  // Copy/move keep the usual value semantics; destroying a live record
+  // simply makes its mutation permanent.
+  class Undo {
+   public:
+    Undo() = default;
+    [[nodiscard]] bool live() const noexcept { return live_; }
+
+   private:
+    friend class StepProfile;
+    Time from_ = 0;
+    Time to_ = 0;
+    std::int64_t delta_ = 0;
+    Time window_lo_ = 0;          // start of the segment containing from_
+    // Value of the step left of window_lo_ at record time (valid iff
+    // window_lo_ > 0). Anchors the coalesce replay in rollback(): if a
+    // later mutation changed it, the rollback trips instead of splicing a
+    // non-canonical (or wrong) region back.
+    std::int64_t left_value_ = 0;
+    // Snapshot the recorded add patched in place (nullptr when it found
+    // none or dropped it). rollback() refunds the consumed budget unit
+    // only to this exact snapshot, so a drop-and-rebuild between the pair
+    // cannot over-credit a fresh snapshot that never spent it.
+    const void* patched_index_ = nullptr;
+    bool live_ = false;
+    // The steps that covered [window_lo_, to_] before the add -- everything
+    // the add could touch. The post-state is not stored: rollback replays
+    // the add's transformation of these few steps to verify it is reversing
+    // the right mutation, which keeps the recording cost on the (hot,
+    // usually accepted) commit path to one small copy.
+    std::vector<Step> steps_;
+  };
+
+  // add() that additionally fills `undo` so rollback() can revert it in
+  // O(touched). Reuses undo's buffer capacity, so a caller cycling one
+  // record through a probe loop allocates only on its first (or widest)
+  // commit. Same strong exception guarantee as add(): on overflow, throws
+  // with the profile unchanged and `undo` left dead.
+  void add_recorded(Time from, Time to, std::int64_t delta, Undo& undo);
+
+  // Reverts the recorded add: splices the prior segments back (O(touched)
+  // plus the vector shift), after RESCHED_CHECK-ing that the current
+  // region still matches the recorded post-state -- reversing anything
+  // other than the newest overlapping mutation is a caller bug, surfaced
+  // loudly instead of corrupting the function. Restores the index snapshot
+  // by exact inverse patching without consuming rebuild budget, refunding
+  // the unit the recorded add spent.
+  void rollback(Undo& undo);
+
+  // Number of full O(s) index builds this profile has performed (diagnostic
+  // for tests/benches; tentative probe loops must keep this flat). Copies
+  // start at zero, moves carry the count.
+  [[nodiscard]] std::uint64_t index_build_count() const noexcept {
+    return index_builds_.load(std::memory_order_relaxed);
+  }
 
   // Minimum value over the window [from, to); requires from < to.
   [[nodiscard]] std::int64_t min_in(Time from, Time to) const;
@@ -185,12 +285,6 @@ class StepProfile {
   }
 
  private:
-  struct Step {
-    Time start;  // inclusive; value holds until the next step's start
-    std::int64_t value;
-    friend bool operator==(const Step&, const Step&) = default;
-  };
-
   // Profiles below this size answer windowed queries by linear scan; the
   // index only pays for itself once scans get long.
   static constexpr std::size_t kMinIndexedSegments = 32;
@@ -233,6 +327,9 @@ class StepProfile {
   // shared-read stress suite runs under).
   std::vector<Step> steps_;
   mutable std::atomic<Index*> index_{nullptr};
+  // Diagnostic only (never compared, never part of function equality):
+  // counts build_index runs, including builds a racing reader discarded.
+  mutable std::atomic<std::uint64_t> index_builds_{0};
 
   void drop_index() noexcept {
     delete index_.exchange(nullptr, std::memory_order_relaxed);
@@ -296,7 +393,24 @@ class StepProfile {
   // reference stays valid for the rest of the calling query (I5).
   [[nodiscard]] const Index& ensure_index() const;
   // Incremental maintenance hook, called at the end of a successful add().
-  void index_apply_add(Time from, Time to, std::int64_t delta);
+  // Returns the snapshot it patched in place (one budget unit consumed),
+  // or nullptr when there was no snapshot or it had to be dropped.
+  const Index* index_apply_add(Time from, Time to, std::int64_t delta);
+  // Inverse patch for rollback(): same leaf-window decomposition as
+  // index_apply_add with -delta, but budget-neutral -- it never drops for
+  // budget, never consumes a unit, and refunds the one the recorded add
+  // spent (only to the very snapshot that spent it, undo.patched_index_).
+  // Runs after the region splice, so the boundary-leaf recomputes read the
+  // restored steps_.
+  void index_rollback_patch(const Undo& undo);
+  // Shared body of the two patchers: recomputes the window's partially
+  // covered boundary leaves from steps_ and lazy range-adds delta over the
+  // fully covered ones. Kept in one place so the forward and inverse
+  // patches can never desynchronize.
+  void index_patch_leaves(Index& ix, Time from, Time to,
+                          std::int64_t delta) const;
+  // Shared body of add()/add_recorded(); undo == nullptr means unrecorded.
+  void add_impl(Time from, Time to, std::int64_t delta, Undo* undo);
   // Leaf j's time span is [times[j], index_leaf_end(j)).
   [[nodiscard]] static Time index_leaf_end(const Index& ix, std::size_t j);
   // Leaf containing time t.

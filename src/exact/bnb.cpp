@@ -117,7 +117,12 @@ void dfs(SearchState& state) {
     const Time completion = checked_add(start, job.p);
     if (completion >= state.best) continue;  // placing it can't improve
 
-    state.free.commit(start, job.q, job.p);
+    // Tentative commit: the undo token reverts the placement in O(touched)
+    // on backtrack, without the index churn (and silent-mismatch risk) of
+    // the old blind uncommit. Tokens nest with the DFS, so the LIFO
+    // discipline holds by construction.
+    FreeProfile::CommitToken token =
+        state.free.commit_tentative(start, job.q, job.p);
     state.placed[static_cast<std::size_t>(id)] = true;
     state.starts[static_cast<std::size_t>(id)] = start;
     const Time saved_makespan = state.current_makespan;
@@ -127,7 +132,7 @@ void dfs(SearchState& state) {
 
     state.current_makespan = saved_makespan;
     state.placed[static_cast<std::size_t>(id)] = false;
-    state.free.uncommit(start, job.q, job.p);
+    state.free.rollback(std::move(token));
     if (state.aborted) return;
   }
 }

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <deque>
 #include <exception>
 #include <mutex>
 #include <optional>
@@ -89,16 +90,28 @@ CampaignResult run_campaign(const InstanceGenerator& generator,
   }
 
   // share_instances: one generator run per index instead of one per task.
-  // Generation parallelizes by index (slot i written only by the worker
-  // that drew i); afterwards every scheduler task reads its instance
+  // No pregeneration barrier: the first task to touch index i generates it
+  // under that instance's once_flag while workers on other indices keep
+  // scheduling, so generation overlaps the task phase instead of
+  // serializing ahead of it. Later tasks on i read the one built instance
   // const-shared, which StepProfile's snapshot index makes safe (I5).
+  // call_once's "turns" semantics also keep a throwing generator exact:
+  // the flag stays unset and the exception aborts the campaign as before.
+  // Determinism is untouched -- the instance is a pure function of
+  // (i, seeds[i]) no matter which worker builds it.
   std::vector<Instance> shared;
+  std::deque<std::once_flag> shared_once;
   if (config.share_instances) {
     shared.resize(config.instances);
-    parallel_for(resolve_threads(config.threads, config.instances),
-                 config.instances,
-                 [&](std::size_t i) { shared[i] = generator(i, seeds[i]); });
+    // deque: once_flag is immovable, and the container never resizes after
+    // this point.
+    shared_once.resize(config.instances);
   }
+  const auto shared_instance = [&](std::size_t i) -> const Instance& {
+    std::call_once(shared_once[i],
+                   [&] { shared[i] = generator(i, seeds[i]); });
+    return shared[i];
+  };
 
   std::vector<std::vector<TaskResult>> results(
       config.instances, std::vector<TaskResult>(names.size()));
@@ -113,12 +126,13 @@ CampaignResult run_campaign(const InstanceGenerator& generator,
       [&](std::size_t task) {
         const std::size_t i = task / names.size();
         const std::size_t s = task % names.size();
-        // Share mode reads the pregenerated instance; regenerate mode
-        // builds its own, whose lifetime must span the whole task.
+        // Share mode reads (generating on first touch) the per-index
+        // instance; regenerate mode builds its own, whose lifetime must
+        // span the whole task.
         std::optional<Instance> regenerated;
         const Instance& instance =
             config.share_instances
-                ? shared[i]
+                ? shared_instance(i)
                 : regenerated.emplace(generator(i, seeds[i]));
         TaskResult& slot = results[i][s];
         const auto scheduler = make_scheduler(names[s]);

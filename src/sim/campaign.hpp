@@ -72,7 +72,9 @@ struct CampaignConfig {
   // Re-validate every schedule against the instance (differential oracle for
   // the scheduler + profile stack); throws on the first violation.
   bool validate = true;
-  // true: generate each instance once (in parallel, by index) and let every
+  // true: generate each instance once -- on first touch, under a
+  // per-instance std::call_once, so generation overlaps the task phase
+  // instead of running behind a pregeneration barrier -- and let every
   // scheduler task read it shared; false: regenerate per task (seed
   // behavior). Aggregates are bit-identical either way.
   bool share_instances = false;

@@ -11,6 +11,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <atomic>
 #include <cmath>
 #include <memory>
 #include <stdexcept>
@@ -123,14 +125,20 @@ TEST(CampaignRunner, OutOfDomainSchedulersAreCountedAsSkipped) {
 }
 
 TEST(CampaignRunner, SharedInstancesMatchRegeneratedBitForBit) {
-  // share_instances reads one generated instance per index concurrently
-  // instead of regenerating per task; the aggregated result must be
-  // bit-identical to the regenerate mode for every thread count.
+  // share_instances generates each instance once -- on first touch, under
+  // a per-instance std::call_once that overlaps generation with the task
+  // phase (no pregeneration barrier) -- and every scheduler task reads it
+  // concurrently; the aggregated result must be bit-identical to the
+  // regenerate mode for every thread count, and the generator must run
+  // exactly once per index regardless of how many tasks race to it.
   CampaignConfig config;
   config.instances = 8;
   config.seed = 777;
   config.schedulers = {"lsrc", "conservative", "easy", "fcfs", "shelf-ff"};
-  const InstanceGenerator generator = [](std::size_t, std::uint64_t seed) {
+  std::array<std::atomic<int>, 8> generated{};
+  const InstanceGenerator generator = [&generated](std::size_t index,
+                                                   std::uint64_t seed) {
+    generated[index].fetch_add(1, std::memory_order_relaxed);
     return sweep_instance(seed, true);
   };
 
@@ -140,11 +148,31 @@ TEST(CampaignRunner, SharedInstancesMatchRegeneratedBitForBit) {
 
   config.share_instances = true;
   for (const std::size_t threads : {1u, 2u, 8u, 16u}) {
+    for (auto& count : generated) count.store(0, std::memory_order_relaxed);
     config.threads = threads;
     const CampaignResult shared = run_campaign(generator, config);
     ASSERT_NO_FATAL_FAILURE(ExpectBitIdentical(baseline, shared))
         << "share_instances threads=" << threads;
+    for (std::size_t i = 0; i < generated.size(); ++i)
+      EXPECT_EQ(generated[i].load(), 1)
+          << "instance " << i << " generated more than once (threads="
+          << threads << ")";
   }
+}
+
+TEST(CampaignRunner, SharedModeGeneratorExceptionsStillAbortTheCampaign) {
+  // call_once's turns semantics must not swallow or double-run a throwing
+  // generator: the failure propagates and aborts, same as regenerate mode.
+  CampaignConfig config;
+  config.instances = 6;
+  config.threads = 3;
+  config.share_instances = true;
+  config.schedulers = {"fcfs"};
+  const InstanceGenerator generator = [](std::size_t index, std::uint64_t) {
+    if (index == 3) throw std::runtime_error("generator failure");
+    return sweep_instance(index + 1, false);
+  };
+  EXPECT_THROW((void)run_campaign(generator, config), std::runtime_error);
 }
 
 namespace {

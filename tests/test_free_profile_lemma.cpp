@@ -7,8 +7,10 @@
 // capacity-increase events, so a counterexample here is a missed-start bug
 // in every list/backfilling algorithm at once.
 //
-// Also checks that commit/uncommit round-trip to the bit-identical profile,
-// which is what branch-and-bound backtracking assumes.
+// Also checks that tentative commits unwind to the bit-identical profile,
+// which is what branch-and-bound backtracking assumes. Undo is LIFO by
+// contract (tokens resolve newest-first); both the token rollback and the
+// checked legacy uncommit wrapper are exercised.
 #include "core/profile_allocator.hpp"
 
 #include <gtest/gtest.h>
@@ -75,19 +77,22 @@ TEST(FreeProfileLemma, EarliestFitReturnsT0OrCapacityIncreaseBreakpoint) {
   }
 }
 
-TEST(FreeProfileLemma, CommitUncommitRoundTripsToIdenticalProfile) {
+TEST(FreeProfileLemma, TentativeCommitsUnwindToIdenticalProfile) {
   Prng prng(9091);
   for (int round = 0; round < 120; ++round) {
     const ProcCount m = prng.uniform_int(2, 8);
     FreeProfile free(random_capacity(prng, m));
     const StepProfile snapshot = free.profile();
 
-    // Commit a random batch of jobs at their earliest fits, then undo them
-    // in a random order; the profile must come back bit-identical.
+    // Stack a random batch of tentative commits at their earliest fits
+    // (exactly the branch-and-bound shape), then unwind newest-first; the
+    // profile must come back bit-identical. Alternate between the token
+    // rollback and the checked legacy uncommit wrapper.
     struct Placed {
       Time t;
       ProcCount q;
       Time p;
+      FreeProfile::CommitToken token;
     };
     std::vector<Placed> placed;
     const int jobs = static_cast<int>(prng.uniform_int(1, 10));
@@ -97,17 +102,24 @@ TEST(FreeProfileLemma, CommitUncommitRoundTripsToIdenticalProfile) {
       const Time t0 = prng.uniform_int(0, kHorizon);
       if (free.profile().final_value() < q) continue;
       const Time t = free.earliest_fit(t0, q, p);
-      free.commit(t, q, p);
-      placed.push_back(Placed{t, q, p});
+      placed.push_back(Placed{t, q, p, free.commit_tentative(t, q, p)});
     }
     ASSERT_GE(free.profile().min_value(), 0)
         << "commit drove free capacity negative";
+    ASSERT_EQ(free.open_commits(), placed.size());
 
-    prng.shuffle(placed);
-    for (const Placed& job : placed) free.uncommit(job.t, job.q, job.p);
+    while (!placed.empty()) {
+      Placed& job = placed.back();
+      if (prng.chance(0.5)) {
+        free.rollback(std::move(job.token));
+      } else {
+        free.uncommit(job.t, job.q, job.p);
+      }
+      placed.pop_back();
+    }
+    ASSERT_EQ(free.open_commits(), 0u);
     ASSERT_EQ(free.profile(), snapshot)
-        << "commit/uncommit did not round-trip after " << placed.size()
-        << " jobs";
+        << "tentative commits did not round-trip";
   }
 }
 

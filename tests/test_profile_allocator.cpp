@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <utility>
+
 #include "core/availability.hpp"
 #include "util/prng.hpp"
 
@@ -68,21 +71,110 @@ TEST(FreeProfile, EarliestFitImpossibleWidthThrows) {
   EXPECT_THROW((void)free.earliest_fit(0, 3, 1), std::invalid_argument);
 }
 
-TEST(FreeProfile, CommitSubtractsAndUncommitRestores) {
+TEST(FreeProfile, TentativeCommitSubtractsAndUncommitRestores) {
   FreeProfile free{StepProfile(4)};
-  free.commit(2, 3, 5);
+  FreeProfile::CommitToken token = free.commit_tentative(2, 3, 5);
+  EXPECT_TRUE(token.live());
+  EXPECT_EQ(free.open_commits(), 1u);
   EXPECT_EQ(free.capacity_at(2), 1);
   EXPECT_EQ(free.capacity_at(6), 1);
   EXPECT_EQ(free.capacity_at(7), 4);
   EXPECT_FALSE(free.fits_at(0, 2, 5));
+  // The legacy wrapper reverses the newest open tentative commit.
   free.uncommit(2, 3, 5);
   EXPECT_EQ(free.capacity_at(2), 4);
+  EXPECT_EQ(free.open_commits(), 0u);
+}
+
+TEST(FreeProfile, RollbackAndAcceptResolveTokens) {
+  FreeProfile free{StepProfile(4)};
+  FreeProfile::CommitToken kept = free.commit_tentative(0, 2, 10);
+  free.accept(std::move(kept));
+  EXPECT_FALSE(kept.live());  // NOLINT(bugprone-use-after-move): asserted dead
+  EXPECT_EQ(free.capacity_at(5), 2);
+  EXPECT_EQ(free.open_commits(), 0u);
+
+  FreeProfile::CommitToken probe = free.commit_tentative(3, 2, 4);
+  EXPECT_EQ(free.capacity_at(4), 0);
+  free.rollback(std::move(probe));
+  EXPECT_EQ(free.capacity_at(4), 2);
+  // The accepted commit stays in effect.
+  EXPECT_EQ(free.capacity_at(9), 2);
+  EXPECT_EQ(free.capacity_at(10), 4);
+}
+
+TEST(FreeProfile, MismatchedUncommitTripsInsteadOfInflatingCapacity) {
+  // Regression: uncommit with arguments that never were (or no longer are)
+  // a live commit used to blindly add capacity back, silently raising the
+  // profile above the instance's availability. It now must reverse the
+  // newest open tentative commit exactly, or trip RESCHED_CHECK.
+  FreeProfile free{StepProfile(4)};
+  // No open commit at all.
+  EXPECT_THROW(free.uncommit(2, 3, 5), std::logic_error);
+  EXPECT_EQ(free.capacity_at(2), 4) << "failed uncommit must not mutate";
+
+  FreeProfile::CommitToken token = free.commit_tentative(2, 3, 5);
+  // Wrong start / demand / duration each trip; profile stays committed.
+  EXPECT_THROW(free.uncommit(3, 3, 5), std::logic_error);
+  EXPECT_THROW(free.uncommit(2, 2, 5), std::logic_error);
+  EXPECT_THROW(free.uncommit(2, 3, 6), std::logic_error);
+  EXPECT_EQ(free.capacity_at(2), 1);
+  // A permanent commit is not revocable either.
+  free.accept(std::move(token));
+  EXPECT_THROW(free.uncommit(2, 3, 5), std::logic_error);
+  EXPECT_EQ(free.capacity_at(2), 1);
+}
+
+TEST(FreeProfile, TokensResolveNewestFirst) {
+  FreeProfile free{StepProfile(8)};
+  FreeProfile::CommitToken first = free.commit_tentative(0, 2, 4);
+  FreeProfile::CommitToken second = free.commit_tentative(1, 3, 4);
+  // Resolving the older token out of order trips the LIFO check (and
+  // leaves it live: a failed resolve consumes nothing).
+  EXPECT_THROW(free.rollback(std::move(first)), std::logic_error);
+  EXPECT_THROW(free.accept(std::move(first)), std::logic_error);
+  EXPECT_TRUE(first.live());  // NOLINT(bugprone-use-after-move)
+  // Unwinding newest-first works.
+  free.rollback(std::move(second));
+  EXPECT_EQ(free.capacity_at(2), 6);
+  EXPECT_EQ(free.open_commits(), 1u);
+  // A dead token cannot resolve anything.
+  EXPECT_THROW(free.rollback(std::move(second)), std::logic_error);
 }
 
 TEST(FreeProfile, CommitRequiresFit) {
   FreeProfile free{StepProfile(2)};
   free.commit(0, 2, 3);
   EXPECT_THROW(free.commit(1, 1, 1), std::invalid_argument);
+}
+
+TEST(FreeProfile, TentativeProbeLoopNeverRebuildsTheIndex) {
+  // The acceptance criterion of the undo log: a tentative probe sequence
+  // (commit -> wide windowed probe -> rollback) leaves the query-index
+  // snapshot installed and its rebuild budget intact, so even far more
+  // pairs than the budget trigger zero further O(s) rebuilds. Before the
+  // undo log, each pair burned two budget units and the loop below would
+  // rebuild hundreds of times.
+  StepProfile capacity(64);
+  for (Time t = 0; t < 6000; t += 10) capacity.add(t, t + 5, -(1 + (t / 10) % 3));
+  FreeProfile free(capacity);
+  ASSERT_GT(free.profile().segment_count(), 256u);
+  // Warm the index with one wide probe.
+  ASSERT_TRUE(free.fits_at(0, 1, 7000));
+  const std::uint64_t builds_after_warmup = free.profile().index_build_count();
+  Prng prng(2026);
+  for (int probe = 0; probe < 4000; ++probe) {
+    const Time t = prng.uniform_int(0, 5000);
+    const ProcCount q = prng.uniform_int(1, 32);
+    const Time p = prng.uniform_int(1, 200);
+    if (!free.fits_at(t, q, p)) continue;
+    FreeProfile::CommitToken token = free.commit_tentative(t, q, p);
+    // Wide probe through the indexed descent (the head-reservation check).
+    (void)free.fits_at(0, 1, 7000);
+    free.rollback(std::move(token));
+  }
+  EXPECT_EQ(free.profile().index_build_count(), builds_after_warmup)
+      << "tentative probes must not drop or rebuild the index snapshot";
 }
 
 TEST(FreeProfile, ForInstanceUsesAvailability) {

@@ -12,6 +12,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 #include <stdexcept>
 
 #include "algorithms/online_batch.hpp"
@@ -89,6 +91,54 @@ TEST(Registry, InfoCoversEverySchedulerWithDescriptions) {
     EXPECT_FALSE(info[i].description.empty()) << info[i].name;
     EXPECT_TRUE(info[i].capabilities.deterministic) << info[i].name;
   }
+}
+
+namespace {
+// Counts constructions so the metadata-caching contract is observable.
+class CountingScheduler final : public Scheduler {
+ public:
+  explicit CountingScheduler(std::atomic<int>* constructions) {
+    constructions->fetch_add(1, std::memory_order_relaxed);
+  }
+  [[nodiscard]] ScheduleOutcome schedule(
+      const Instance& instance) const override {
+    return Schedule(instance.n());
+  }
+  [[nodiscard]] std::string name() const override { return "counting"; }
+};
+}  // namespace
+
+TEST(Registry, MetadataIsCachedAtRegistrationTime) {
+  // register_scheduler probes capabilities through one factory call at
+  // registration; registered_scheduler_info() afterwards is a pure
+  // metadata read -- it used to instantiate every scheduler per call.
+  // NOTE: pollutes the global registry for the rest of the binary, like
+  // the other registration tests here; registered once per process.
+  static std::atomic<int> constructions{0};
+  static const bool registered = [] {
+    register_scheduler(
+        "counting",
+        [] { return std::make_unique<CountingScheduler>(&constructions); },
+        "test-only: counts factory constructions");
+    return true;
+  }();
+  (void)registered;
+  EXPECT_EQ(constructions.load(), 1) << "exactly one registration-time probe";
+
+  for (int call = 0; call < 3; ++call) {
+    const auto info = registered_scheduler_info();
+    const auto it = std::find_if(
+        info.begin(), info.end(),
+        [](const SchedulerInfo& i) { return i.name == "counting"; });
+    ASSERT_NE(it, info.end());
+    EXPECT_TRUE(it->capabilities.reservations);
+  }
+  EXPECT_EQ(constructions.load(), 1)
+      << "registered_scheduler_info must not instantiate schedulers";
+
+  // make_scheduler still constructs fresh instances.
+  (void)make_scheduler("counting");
+  EXPECT_EQ(constructions.load(), 2);
 }
 
 TEST(Registry, CapabilityMatrixMatchesTheDocumentedDomains) {
