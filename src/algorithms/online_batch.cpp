@@ -4,6 +4,7 @@
 #include <numeric>
 #include <vector>
 
+#include "util/checked.hpp"
 #include "util/require.hpp"
 
 namespace resched {
@@ -80,8 +81,9 @@ ScheduleOutcome OnlineBatchScheduler::schedule_with_batches(
     for (std::size_t i = 0; i < batch_ids.size(); ++i) {
       const Time start = sub_schedule.start(static_cast<JobId>(i));
       result.set_start(batch_ids[i], start);
-      batch_completion =
-          std::max(batch_completion, start + sub.job(static_cast<JobId>(i)).p);
+      batch_completion = std::max(
+          batch_completion,
+          checked_add(start, sub.job(static_cast<JobId>(i)).p));
     }
     batches.push_back(BatchInfo{epoch, batch_completion, batch_ids.size()});
 

@@ -8,6 +8,32 @@
 
 namespace resched {
 
+ProcCount draw_width(Prng& prng, WidthDistribution width, ProcCount q_cap) {
+  RESCHED_REQUIRE(q_cap >= 1);
+  switch (width) {
+    case WidthDistribution::kUniform:
+      return prng.uniform_int(1, q_cap);
+    case WidthDistribution::kPowersOfTwo: {
+      int max_exp = 0;
+      while ((ProcCount{1} << (max_exp + 1)) <= q_cap) ++max_exp;
+      return ProcCount{1} << prng.uniform_int(0, max_exp);
+    }
+    case WidthDistribution::kMostlyNarrow: {
+      const ProcCount narrow_cap = std::max<ProcCount>(1, q_cap / 8);
+      return prng.chance(0.8) ? prng.uniform_int(1, narrow_cap)
+                              : prng.uniform_int(1, q_cap);
+    }
+  }
+  RESCHED_CHECK_MSG(false, "unknown width distribution");
+  return 1;
+}
+
+Time saturating_ticks(double ticks) {
+  if (!(ticks < static_cast<double>(kTimeInfinity))) return kTimeInfinity;
+  if (!(ticks > 0.0)) return 0;
+  return static_cast<Time>(std::llround(ticks));
+}
+
 Instance random_workload(const WorkloadConfig& config, std::uint64_t seed) {
   RESCHED_REQUIRE(config.m >= 1);
   RESCHED_REQUIRE(config.p_min >= 1 && config.p_min <= config.p_max);
@@ -27,32 +53,17 @@ Instance random_workload(const WorkloadConfig& config, std::uint64_t seed) {
                        ? prng.log_uniform_int(config.p_min, config.p_max)
                        : prng.uniform_int(config.p_min, config.p_max);
 
-    ProcCount q = 1;
-    switch (config.width) {
-      case WidthDistribution::kUniform:
-        q = prng.uniform_int(1, q_cap);
-        break;
-      case WidthDistribution::kPowersOfTwo: {
-        int max_exp = 0;
-        while ((ProcCount{1} << (max_exp + 1)) <= q_cap) ++max_exp;
-        q = ProcCount{1} << prng.uniform_int(0, max_exp);
-        break;
-      }
-      case WidthDistribution::kMostlyNarrow: {
-        const ProcCount narrow_cap = std::max<ProcCount>(1, q_cap / 8);
-        q = prng.chance(0.8) ? prng.uniform_int(1, narrow_cap)
-                             : prng.uniform_int(1, q_cap);
-        break;
-      }
-    }
+    const ProcCount q = draw_width(prng, config.width, q_cap);
 
     Time release = 0;
     if (config.mean_interarrival > 0.0) {
       // Exponential inter-arrival (Poisson process), rounded to ticks.
+      // n * mean_interarrival can grow the clock past what llround can
+      // represent; saturating_ticks clamps at kTimeInfinity instead.
       const double u = prng.uniform_real();
       arrival_clock +=
           -config.mean_interarrival * std::log(1.0 - u);
-      release = static_cast<Time>(std::llround(arrival_clock));
+      release = saturating_ticks(arrival_clock);
     }
 
     jobs.push_back(Job{static_cast<JobId>(i), q, p, release, ""});
@@ -95,24 +106,7 @@ Instance daily_cycle_workload(const DailyCycleConfig& config,
   jobs.reserve(config.n);
   for (std::size_t i = 0; i < config.n; ++i) {
     const Time p = prng.log_uniform_int(config.p_min, config.p_max);
-    ProcCount q = 1;
-    switch (config.width) {
-      case WidthDistribution::kUniform:
-        q = prng.uniform_int(1, q_cap);
-        break;
-      case WidthDistribution::kPowersOfTwo: {
-        int max_exp = 0;
-        while ((ProcCount{1} << (max_exp + 1)) <= q_cap) ++max_exp;
-        q = ProcCount{1} << prng.uniform_int(0, max_exp);
-        break;
-      }
-      case WidthDistribution::kMostlyNarrow: {
-        const ProcCount narrow_cap = std::max<ProcCount>(1, q_cap / 8);
-        q = prng.chance(0.8) ? prng.uniform_int(1, narrow_cap)
-                             : prng.uniform_int(1, q_cap);
-        break;
-      }
-    }
+    const ProcCount q = draw_width(prng, config.width, q_cap);
     jobs.push_back(Job{static_cast<JobId>(i), q, p, arrivals[i], ""});
   }
   return Instance(config.m, std::move(jobs));

@@ -33,6 +33,20 @@ struct WorkloadConfig {
   double mean_interarrival = 0.0;
 };
 
+class Prng;
+
+// One job-width draw from `width` capped at q_cap (>= 1). Shared by every
+// generator (random_workload, daily_cycle_workload, sim/load_gen) so the
+// distributions cannot drift apart; consumes the same Prng stream the
+// inlined switch used to, so fixed-seed draws are unchanged.
+[[nodiscard]] ProcCount draw_width(Prng& prng, WidthDistribution width,
+                                   ProcCount q_cap);
+
+// Rounds a tick count held in a double to Time, saturating: values at or
+// above kTimeInfinity (and NaN) clamp to kTimeInfinity, negatives to 0 --
+// large accumulated Poisson clocks must clamp, not overflow llround into UB.
+[[nodiscard]] Time saturating_ticks(double ticks);
+
 // Deterministic given (config, seed).
 [[nodiscard]] Instance random_workload(const WorkloadConfig& config,
                                        std::uint64_t seed);

@@ -22,6 +22,12 @@ Time Simulation::run(Time horizon) {
     now_ = time;
     handler(*this);
   }
+  // A bounded run leaves the clock at the bound, not at whatever event
+  // happened to fire last: phase-stepped callers (warmup -> measure loops,
+  // fixed-interval samplers) re-enter with now() == horizon and may schedule
+  // the next phase relative to it. Unbounded drains keep the classic
+  // "last event time" result.
+  if (horizon < kTimeInfinity && horizon > now_) now_ = horizon;
   return now_;
 }
 

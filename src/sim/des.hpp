@@ -25,8 +25,11 @@ class Simulation {
   [[nodiscard]] Time now() const noexcept { return now_; }
   [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
 
-  // Runs until the queue drains (or until `horizon` when given). Handlers
-  // may schedule further events. Returns the final clock value.
+  // Runs every event with time <= horizon (all events when unbounded).
+  // Handlers may schedule further events. Returns the final clock value:
+  // after a bounded run (horizon < kTimeInfinity) the clock rests exactly at
+  // the bound even if no event fired there, so stepped callers can resume
+  // phase-by-phase; an unbounded drain leaves it at the last fired event.
   Time run(Time horizon = kTimeInfinity);
 
  private:

@@ -1,0 +1,131 @@
+#include "sim/latency_recorder.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <numeric>
+
+#include "util/require.hpp"
+
+namespace resched {
+
+namespace {
+constexpr std::int64_t kSub = std::int64_t{1} << LatencyRecorder::kSubBits;
+// Largest index: INT64_MAX has exponent 62, shift 62 - kSubBits, plus a full
+// sub-bucket's worth of entries.
+constexpr std::size_t kBucketCount =
+    static_cast<std::size_t>(kSub + (62 - LatencyRecorder::kSubBits + 1) * kSub);
+}  // namespace
+
+LatencyRecorder::LatencyRecorder() : buckets_(kBucketCount, 0) {}
+
+std::size_t LatencyRecorder::bucket_index(std::int64_t value) noexcept {
+  if (value < kSub) return static_cast<std::size_t>(value);
+  const int exponent =
+      63 - std::countl_zero(static_cast<std::uint64_t>(value));
+  const int shift = exponent - kSubBits;
+  const std::int64_t sub = (value >> shift) - kSub;
+  return static_cast<std::size_t>(kSub + shift * kSub + sub);
+}
+
+std::int64_t LatencyRecorder::bucket_low(std::size_t index) noexcept {
+  const auto i = static_cast<std::int64_t>(index);
+  if (i < kSub) return i;
+  const std::int64_t shift = (i - kSub) / kSub;
+  const std::int64_t sub = (i - kSub) % kSub;
+  return (kSub + sub) << shift;
+}
+
+std::int64_t LatencyRecorder::bucket_mid(std::size_t index) noexcept {
+  const auto i = static_cast<std::int64_t>(index);
+  if (i < kSub) return i;  // exact region: width 1
+  const std::int64_t shift = (i - kSub) / kSub;
+  return bucket_low(index) + ((std::int64_t{1} << shift) >> 1);
+}
+
+void LatencyRecorder::record(std::int64_t value) noexcept {
+  if (value < 0) value = 0;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  ++buckets_[bucket_index(value)];
+}
+
+std::int64_t LatencyRecorder::min() const {
+  RESCHED_REQUIRE(count_ > 0);
+  return min_;
+}
+
+std::int64_t LatencyRecorder::max() const {
+  RESCHED_REQUIRE(count_ > 0);
+  return max_;
+}
+
+double LatencyRecorder::mean() const noexcept {
+  if (count_ == 0) return 0.0;
+  return static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+std::int64_t LatencyRecorder::percentile(double q) const {
+  const double qs[] = {q};
+  return percentiles(qs)[0];
+}
+
+std::vector<std::int64_t> LatencyRecorder::percentiles(
+    std::span<const double> qs) const {
+  RESCHED_REQUIRE(count_ > 0);
+  for (const double q : qs) RESCHED_REQUIRE(q >= 0.0 && q <= 1.0);
+
+  // Closest-rank targets, resolved in ascending order over one bucket walk.
+  std::vector<std::size_t> order(qs.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return qs[a] < qs[b]; });
+
+  std::vector<std::int64_t> results(qs.size(), 0);
+  // `cumulative` counts the samples strictly before `bucket`; each target
+  // lands on the first bucket whose running total reaches it. Ascending
+  // targets make the walk a single pass.
+  std::uint64_t cumulative = 0;
+  std::size_t bucket = 0;
+  for (const std::size_t qi : order) {
+    const auto target = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               std::ceil(qs[qi] * static_cast<double>(count_))));
+    while (cumulative + buckets_[bucket] < target) {
+      cumulative += buckets_[bucket];
+      ++bucket;
+    }
+    results[qi] = std::clamp(bucket_mid(bucket), min_, max_);
+  }
+  return results;
+}
+
+void LatencyRecorder::merge(const LatencyRecorder& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (std::size_t i = 0; i < buckets_.size(); ++i)
+    buckets_[i] += other.buckets_[i];
+}
+
+void LatencyRecorder::reset() noexcept {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  min_ = max_ = 0;
+  sum_ = 0;
+}
+
+}  // namespace resched

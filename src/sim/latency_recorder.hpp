@@ -1,0 +1,76 @@
+// Bounded-error latency / queue-depth histogram for the service harness.
+//
+// HdrHistogram-shaped log-bucketed counts over non-negative int64 samples:
+// values below 2^kSubBits are recorded exactly, every larger octave is split
+// into 2^kSubBits sub-buckets, so a reported quantile is within a relative
+// error of 2^-(kSubBits+1) (< 0.8% at kSubBits = 6) of the true sample.
+// Recording is O(1) and sort-free (a percentile query walks the fixed bucket
+// array), memory is a fixed ~29 KiB regardless of sample count, and two
+// recorders merge by adding counts -- exactly what an open-loop harness
+// needs for millions of per-decision samples where keeping (let alone
+// sorting) the raw stream would dominate the measurement.
+//
+// The unit is the caller's: the service loop records scheduler-decision
+// wall-clock nanoseconds, simulated wait/response ticks, and queue depths
+// through the same type.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace resched {
+
+class LatencyRecorder {
+ public:
+  // 64 exact values + 64 sub-buckets per octave.
+  static constexpr int kSubBits = 6;
+
+  LatencyRecorder();
+
+  // Records one sample; negative values clamp to 0.
+  void record(std::int64_t value) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  // Exact extremes and mean of the recorded stream (not bucketed).
+  // min()/max() require count() > 0.
+  [[nodiscard]] std::int64_t min() const;
+  [[nodiscard]] std::int64_t max() const;
+  [[nodiscard]] double mean() const noexcept;
+
+  // Value at quantile q in [0, 1] (closest-rank over the bucket walk, bucket
+  // midpoint as representative, clamped into [min(), max()] so q = 0 / 1 are
+  // exact). Requires count() > 0.
+  [[nodiscard]] std::int64_t percentile(double q) const;
+  // All requested quantiles in one bucket walk; results[i] matches qs[i]
+  // (qs need not be sorted).
+  [[nodiscard]] std::vector<std::int64_t> percentiles(
+      std::span<const double> qs) const;
+
+  // Adds every sample of `other` into this recorder (count-wise; extremes
+  // and sums pool exactly).
+  void merge(const LatencyRecorder& other) noexcept;
+
+  void reset() noexcept;
+
+  // Recorders with identical streams compare equal (used by the determinism
+  // suites to assert bit-identical service aggregates).
+  friend bool operator==(const LatencyRecorder&,
+                         const LatencyRecorder&) = default;
+
+ private:
+  [[nodiscard]] static std::size_t bucket_index(std::int64_t value) noexcept;
+  [[nodiscard]] static std::int64_t bucket_low(std::size_t index) noexcept;
+  [[nodiscard]] static std::int64_t bucket_mid(std::size_t index) noexcept;
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+  // Exact running sum; int64 samples over uint64 counts cannot overflow 128
+  // bits within any feasible run length.
+  __int128 sum_ = 0;
+};
+
+}  // namespace resched

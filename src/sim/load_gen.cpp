@@ -1,0 +1,41 @@
+#include "sim/load_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace resched {
+
+LoadGen::LoadGen(const LoadGenConfig& config, std::uint64_t seed)
+    : config_(config),
+      q_cap_(std::max<ProcCount>(
+          1, (config.alpha * Rational(config.m)).floor())),
+      prng_(seed) {
+  RESCHED_REQUIRE(config.m >= 1);
+  RESCHED_REQUIRE(config.p_min >= 1 && config.p_min <= config.p_max);
+  RESCHED_REQUIRE(config.alpha > Rational(0) && config.alpha <= Rational(1));
+}
+
+void LoadGen::set_rate(double jobs_per_kilotick) {
+  RESCHED_REQUIRE_MSG(jobs_per_kilotick > 0.0,
+                      "offered rate must be positive");
+  rate_ = jobs_per_kilotick;
+}
+
+ArrivalSpec LoadGen::next() {
+  // Exponential gap at the current rate; the clock saturates at
+  // kTimeInfinity rather than overflowing llround (same contract as
+  // random_workload's Poisson release times).
+  const double u = prng_.uniform_real();
+  arrival_clock_ += -mean_interarrival() * std::log(1.0 - u);
+  ArrivalSpec spec;
+  spec.time = saturating_ticks(arrival_clock_);
+  spec.p = config_.log_uniform_p
+               ? prng_.log_uniform_int(config_.p_min, config_.p_max)
+               : prng_.uniform_int(config_.p_min, config_.p_max);
+  spec.q = draw_width(prng_, config_.width, q_cap_);
+  return spec;
+}
+
+}  // namespace resched

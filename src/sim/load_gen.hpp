@@ -1,0 +1,73 @@
+// Open-loop load generator for the resident cluster service.
+//
+// Modeled on the `mutated` client lineage (SNIPPETS.md): arrivals follow a
+// Poisson process at a configurable offered rate, *independent of service
+// progress* -- the generator never waits for the cluster, which is what
+// exposes a scheduler's saturation point instead of measuring coordinated
+// omission. Job shapes reuse the generators/workload distributions
+// (log-uniform or uniform runtimes, shared draw_width widths, alpha-capped),
+// so service-harness traffic and the batch campaigns sample the same
+// populations.
+//
+// Rates are expressed in jobs per kilotick (1000 simulated ticks); a sweep
+// steps the rate by `step_size` up to `step_stop` (see sim/service_sim.hpp).
+// Everything is deterministic given (config, seed): fixed-seed arrival
+// sequences are pinned by goldens in tests/test_load_gen.cpp.
+#pragma once
+
+#include <cstdint>
+
+#include "core/types.hpp"
+#include "generators/workload.hpp"
+#include "util/prng.hpp"
+
+namespace resched {
+
+struct LoadGenConfig {
+  ProcCount m = 64;            // cluster size the widths are drawn against
+  Time p_min = 1;              // service-time bounds (ticks)
+  Time p_max = 100;
+  bool log_uniform_p = true;   // false: uniform runtimes
+  WidthDistribution width = WidthDistribution::kPowersOfTwo;
+  Rational alpha{1};           // width cap: q <= alpha * m
+};
+
+// One generated arrival: absolute arrival tick plus the job's shape.
+struct ArrivalSpec {
+  Time time = 0;
+  ProcCount q = 1;
+  Time p = 1;
+
+  friend bool operator==(const ArrivalSpec&, const ArrivalSpec&) = default;
+};
+
+class LoadGen {
+ public:
+  // Validates the config (throws std::invalid_argument). The stream is a
+  // pure function of (config, seed, rate sequence).
+  LoadGen(const LoadGenConfig& config, std::uint64_t seed);
+
+  // Sets the offered rate for subsequent arrivals, in jobs per kilotick
+  // (> 0). The arrival clock continues from where it is: a stepped sweep
+  // raises the rate mid-stream without restarting the process.
+  void set_rate(double jobs_per_kilotick);
+  [[nodiscard]] double rate() const noexcept { return rate_; }
+
+  // Draws the next arrival. The exponential inter-arrival gap saturates
+  // against kTimeInfinity (the clock clamps instead of overflowing).
+  [[nodiscard]] ArrivalSpec next();
+
+  // Ticks of simulated time per offered job at the current rate.
+  [[nodiscard]] double mean_interarrival() const noexcept {
+    return 1000.0 / rate_;
+  }
+
+ private:
+  LoadGenConfig config_;
+  ProcCount q_cap_;
+  Prng prng_;
+  double rate_ = 1.0;
+  double arrival_clock_ = 0.0;
+};
+
+}  // namespace resched

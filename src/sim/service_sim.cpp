@@ -1,0 +1,262 @@
+#include "sim/service_sim.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "sim/des.hpp"
+#include "util/checked.hpp"
+#include "util/prng.hpp"
+#include "util/require.hpp"
+
+namespace resched {
+namespace {
+
+constexpr int kWarmup = 0;
+constexpr int kMeasure = 1;
+constexpr int kCooldown = 2;
+
+struct ServiceJob {
+  Time arrival = 0;
+  ProcCount q = 1;
+  Time p = 1;
+  int phase = kWarmup;
+};
+
+// One fixed-rate service step: owns the DES, the queue and the recorders.
+class ServiceLoop {
+ public:
+  ServiceLoop(const Scheduler& scheduler, const LoadGenConfig& load,
+              std::uint64_t seed, double rate, const ServiceConfig& config)
+      : scheduler_(scheduler), config_(config), m_(load.m), gen_(load, seed) {
+    gen_.set_rate(rate);
+    result_.offered_rate = rate;
+    jobs_.reserve(config.phases.total());
+  }
+
+  ServiceStepResult run() {
+    if (config_.phases.total() > 0) {
+      schedule_next_arrival();
+      sim_.run();
+    }
+    RESCHED_CHECK_MSG(busy_ == 0, "machines still busy after service drain");
+    result_.end_queue_depth = waiting_.size();
+    result_.sim_end = sim_.now();
+    result_.measured = measured_done_;
+    if (measured_done_ > 0) {
+      const Time span = std::max<Time>(1, measure_end_ - measure_begin_);
+      result_.sustained_rate =
+          static_cast<double>(measured_done_) * 1000.0 /
+          static_cast<double>(span);
+    }
+    if (config_.phases.measure > 0 && !result_.saturated) {
+      // Queue growth diverged if measurement could not finish (bail aborted
+      // the step) or completions fell behind the offered rate.
+      result_.saturated =
+          measured_done_ < config_.phases.measure ||
+          result_.sustained_rate <
+              config_.saturation_fraction * result_.offered_rate;
+    }
+    return std::move(result_);
+  }
+
+ private:
+  using WallClock = std::chrono::steady_clock;
+  using Running = std::multimap<Time, ProcCount>;  // completion tick -> width
+
+  [[nodiscard]] int phase_of(std::uint64_t index) const noexcept {
+    if (index < config_.phases.warmup) return kWarmup;
+    if (index < config_.phases.warmup + config_.phases.measure)
+      return kMeasure;
+    return kCooldown;
+  }
+
+  // Measurement window: open from the first measure-phase arrival until the
+  // last measure-phase completion.
+  [[nodiscard]] bool in_measure() const noexcept {
+    return measure_begin_ >= 0 && measured_done_ < config_.phases.measure;
+  }
+
+  void schedule_next_arrival() {
+    if (aborted_ || emitted_ >= config_.phases.total()) return;
+    const ArrivalSpec spec = gen_.next();
+    const std::uint64_t index = emitted_++;
+    sim_.at(std::max(spec.time, sim_.now()),
+            [this, spec, index](Simulation&) { on_arrival(spec, index); });
+  }
+
+  void on_arrival(const ArrivalSpec& spec, std::uint64_t index) {
+    if (aborted_) return;
+    RESCHED_CHECK_MSG(index == jobs_.size(), "arrivals fired out of order");
+    jobs_.push_back(
+        ServiceJob{sim_.now(), spec.q, spec.p, phase_of(index)});
+    waiting_.push_back(index);
+    ++result_.arrivals;
+    result_.peak_queue_depth =
+        std::max(result_.peak_queue_depth, waiting_.size());
+    if (jobs_.back().phase == kMeasure && measure_begin_ < 0) {
+      measure_begin_ = sim_.now();
+      result_.queue_depth.record(
+          static_cast<std::int64_t>(waiting_.size()));
+      schedule_queue_sample();
+    }
+    if (waiting_.size() > config_.bail_queue_depth) {
+      // Divergence bail-out: stop the arrival chain and all dispatching;
+      // already-running jobs drain, the backlog stays as evidence.
+      aborted_ = true;
+      result_.saturated = true;
+      return;
+    }
+    schedule_next_arrival();
+    dispatch();
+  }
+
+  void on_complete(Running::iterator it, std::uint64_t index) {
+    const ServiceJob& job = jobs_[index];
+    busy_ -= job.q;
+    running_.erase(it);
+    ++result_.completed;
+    if (job.phase == kMeasure) {
+      result_.response_ticks.record(checked_sub(sim_.now(), job.arrival));
+      ++measured_done_;
+      measure_end_ = sim_.now();
+    }
+    if (aborted_) return;
+    dispatch();
+  }
+
+  void schedule_queue_sample() {
+    sim_.after(config_.queue_sample_interval, [this](Simulation&) {
+      if (aborted_ || !in_measure()) return;
+      result_.queue_depth.record(static_cast<std::int64_t>(waiting_.size()));
+      schedule_queue_sample();
+    });
+  }
+
+  // Re-plan on event: hand the scheduler the head of the waiting queue with
+  // running jobs pinned as reservations (relative times, "now" = 0), then
+  // commit exactly the jobs it placed at the current instant.
+  void dispatch() {
+    if (waiting_.empty()) return;
+    const bool time_it = config_.record_wall_latency;
+    const WallClock::time_point wall_begin =
+        time_it ? WallClock::now() : WallClock::time_point{};
+
+    const Time now = sim_.now();
+    const std::size_t k = std::min(waiting_.size(), config_.dispatch_window);
+    std::vector<Job> window;
+    window.reserve(k);
+    for (std::size_t j = 0; j < k; ++j) {
+      const ServiceJob& job = jobs_[waiting_[j]];
+      window.push_back(Job{static_cast<JobId>(j), job.q, job.p, 0, ""});
+    }
+    std::vector<Reservation> held;
+    held.reserve(running_.size());
+    ReservationId rid = 0;
+    for (const auto& [end, q] : running_) {
+      // A job completing at this exact tick has its event still pending;
+      // clamp its remaining occupancy to one tick rather than emit p = 0.
+      held.push_back(
+          Reservation{rid++, q, std::max<Time>(1, checked_sub(end, now)), 0,
+                      ""});
+    }
+    const Instance instance(m_, std::move(window), std::move(held));
+    const Schedule plan = scheduler_.schedule(instance).value();
+    ++result_.decisions;
+
+    std::vector<std::size_t> head;  // window positions starting now
+    for (std::size_t j = 0; j < k; ++j)
+      if (plan.start(static_cast<JobId>(j)) == 0) head.push_back(j);
+    for (auto pos = head.rbegin(); pos != head.rend(); ++pos) {
+      start_job(waiting_[*pos]);
+      waiting_.erase(waiting_.begin() + static_cast<std::ptrdiff_t>(*pos));
+    }
+
+    if (time_it && in_measure()) {
+      result_.decision_ns.record(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              WallClock::now() - wall_begin)
+              .count());
+    }
+  }
+
+  void start_job(std::uint64_t index) {
+    const ServiceJob& job = jobs_[index];
+    busy_ += job.q;
+    RESCHED_CHECK_MSG(busy_ <= m_, "service dispatch exceeded capacity");
+    if (job.phase == kMeasure)
+      result_.wait_ticks.record(checked_sub(sim_.now(), job.arrival));
+    const Time completion = checked_add(sim_.now(), job.p);
+    const auto it = running_.emplace(completion, job.q);
+    sim_.at(completion,
+            [this, it, index](Simulation&) { on_complete(it, index); });
+  }
+
+  const Scheduler& scheduler_;
+  const ServiceConfig& config_;
+  const ProcCount m_;
+  LoadGen gen_;
+  Simulation sim_;
+  std::vector<ServiceJob> jobs_;    // indexed by arrival order
+  std::deque<std::uint64_t> waiting_;  // job indices, arrival order
+  Running running_;
+  ProcCount busy_ = 0;
+  std::uint64_t emitted_ = 0;
+  std::uint64_t measured_done_ = 0;
+  Time measure_begin_ = -1;
+  Time measure_end_ = 0;
+  bool aborted_ = false;
+  ServiceStepResult result_;
+};
+
+}  // namespace
+
+ServiceStepResult run_service_step(const Scheduler& scheduler,
+                                   const LoadGenConfig& load,
+                                   std::uint64_t seed, double rate,
+                                   const ServiceConfig& config) {
+  RESCHED_REQUIRE_MSG(rate > 0.0, "offered rate must be positive");
+  RESCHED_REQUIRE(config.dispatch_window >= 1);
+  RESCHED_REQUIRE(config.queue_sample_interval >= 1);
+  RESCHED_REQUIRE(config.saturation_fraction > 0.0 &&
+                  config.saturation_fraction <= 1.0);
+  RESCHED_REQUIRE_MSG(scheduler.capabilities().reservations,
+                      "service harness models running jobs as reservations; "
+                      "the scheduler must accept them");
+  ServiceLoop loop(scheduler, load, seed, rate, config);
+  return loop.run();
+}
+
+double ServiceSweepResult::knee_rate() const {
+  RESCHED_REQUIRE(has_knee());
+  return steps[static_cast<std::size_t>(knee_index)].offered_rate;
+}
+
+ServiceSweepResult run_service_sweep(const Scheduler& scheduler,
+                                     const LoadGenConfig& load,
+                                     std::uint64_t seed, double step_size,
+                                     double step_stop,
+                                     const ServiceConfig& config) {
+  RESCHED_REQUIRE(step_size > 0.0 && step_stop >= step_size);
+  ServiceSweepResult sweep;
+  Prng root(seed);
+  for (std::size_t i = 0;; ++i) {
+    const double rate = step_size * static_cast<double>(i + 1);
+    if (rate > step_stop * (1.0 + 1e-9)) break;
+    // The step seed comes from the root stream alone, so every scheduler
+    // swept with the same (seed, step_size) faces identical arrivals.
+    const std::uint64_t step_seed = root.fork_seed();
+    ServiceStepResult step =
+        run_service_step(scheduler, load, step_seed, rate, config);
+    if (step.saturated && sweep.knee_index < 0)
+      sweep.knee_index = static_cast<int>(i);
+    sweep.steps.push_back(std::move(step));
+  }
+  return sweep;
+}
+
+}  // namespace resched

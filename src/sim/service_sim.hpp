@@ -1,0 +1,126 @@
+// Resident cluster service: schedulers under sustained open-loop traffic.
+//
+// Every other driver in the repo is batch-mode (build instance -> schedule
+// -> exit). This harness runs the cluster as a long-lived service on the
+// sim/des kernel: an open-loop LoadGen feeds arrivals, and the scheduler
+// under test is re-invoked *incrementally* on each arrival/completion event
+// over a rolling window of the waiting queue, with the currently running
+// jobs presented as reservations pinning their remaining occupancy. Jobs the
+// scheduler places at "now" start immediately; everything else keeps
+// waiting for the next event. That is exactly how EASY/conservative run in
+// production batch systems -- re-plan on event, commit only the head of the
+// plan.
+//
+// A step runs three phases in the mutated-client style (SNIPPETS.md):
+// warmup jobs prime the pipeline, measure jobs contribute samples, cooldown
+// jobs hold the pressure while measurement drains. Recorded per step, all
+// through the log-bucketed LatencyRecorder:
+//   * scheduler-decision latency (wall-clock ns per re-plan invocation),
+//   * job wait and response times (simulated ticks -- deterministic),
+//   * queue depth over time (sampled every queue_sample_interval ticks of
+//     the measure window by a self-rescheduling DES event).
+//
+// A sweep raises the offered rate from step_size to step_stop in step_size
+// increments and reports the saturation knee: the first step whose queue
+// growth diverges -- the backlog trips bail_queue_depth, or the sustained
+// completion rate falls below saturation_fraction of the offered rate.
+//
+// Determinism: with record_wall_latency off, a step's entire result is a
+// pure function of (scheduler, load config, seed, rate) -- pinned by
+// tests/test_service_sim.cpp. Wall-clock decision latency is inherently
+// run-to-run noisy; everything else never is.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "algorithms/scheduler.hpp"
+#include "core/types.hpp"
+#include "sim/latency_recorder.hpp"
+#include "sim/load_gen.hpp"
+
+namespace resched {
+
+// Sample phases, counted in jobs (the open-loop analogue of mutated's
+// pre_samples / samples / post_samples).
+struct ServicePhases {
+  std::uint64_t warmup = 200;
+  std::uint64_t measure = 1000;
+  std::uint64_t cooldown = 200;
+
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return warmup + measure + cooldown;
+  }
+};
+
+struct ServiceConfig {
+  ServicePhases phases;
+  // Rolling dispatch window: at most this many head-of-queue jobs are handed
+  // to the scheduler per decision. Bounds per-event cost at saturation
+  // (a real backfill lookahead), so a diverging queue cannot make one
+  // decision O(backlog).
+  std::size_t dispatch_window = 128;
+  // Backlog bail-out: beyond this waiting-queue depth the step aborts and is
+  // marked saturated (queue growth has clearly diverged).
+  std::size_t bail_queue_depth = 5000;
+  // Queue-depth sampling period (simulated ticks) during the measure window.
+  Time queue_sample_interval = 500;
+  // Saturation test: sustained completion rate below this fraction of the
+  // offered rate marks the step saturated.
+  double saturation_fraction = 0.95;
+  // Wall-clock timing of each scheduler decision (steady_clock). Off =>
+  // decision_ns stays empty and the whole result is deterministic.
+  bool record_wall_latency = true;
+};
+
+struct ServiceStepResult {
+  double offered_rate = 0.0;  // jobs per kilotick
+  std::uint64_t arrivals = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t measured = 0;   // measure-phase jobs fully served
+  std::uint64_t decisions = 0;  // scheduler invocations (all phases)
+  std::size_t peak_queue_depth = 0;
+  std::size_t end_queue_depth = 0;
+  Time sim_end = 0;
+
+  LatencyRecorder wait_ticks;      // start - arrival, measure phase only
+  LatencyRecorder response_ticks;  // completion - arrival, measure phase
+  LatencyRecorder queue_depth;     // waiting-queue depth over measure window
+  LatencyRecorder decision_ns;     // wall ns per decision in measure window
+
+  double sustained_rate = 0.0;  // measured completions per kilotick
+  bool saturated = false;
+
+  friend bool operator==(const ServiceStepResult&,
+                         const ServiceStepResult&) = default;
+};
+
+// Runs one fixed-rate step. The scheduler must accept reservations (running
+// jobs are modeled as such); throws std::invalid_argument otherwise.
+// `rate` is in jobs per kilotick.
+[[nodiscard]] ServiceStepResult run_service_step(const Scheduler& scheduler,
+                                                 const LoadGenConfig& load,
+                                                 std::uint64_t seed,
+                                                 double rate,
+                                                 const ServiceConfig& config);
+
+struct ServiceSweepResult {
+  std::vector<ServiceStepResult> steps;  // rate = step_size * (i + 1)
+  int knee_index = -1;                   // first saturated step, -1 if none
+
+  [[nodiscard]] bool has_knee() const noexcept { return knee_index >= 0; }
+  // Offered rate at the knee; requires has_knee().
+  [[nodiscard]] double knee_rate() const;
+};
+
+// Stepped saturation sweep: rates step_size, 2*step_size, ... up to
+// step_stop (inclusive). Each step reuses the same derived seed, so every
+// scheduler in a comparison faces an identical arrival sequence per rate.
+[[nodiscard]] ServiceSweepResult run_service_sweep(const Scheduler& scheduler,
+                                                   const LoadGenConfig& load,
+                                                   std::uint64_t seed,
+                                                   double step_size,
+                                                   double step_stop,
+                                                   const ServiceConfig& config);
+
+}  // namespace resched

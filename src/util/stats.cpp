@@ -43,16 +43,32 @@ void OnlineStats::merge(const OnlineStats& other) noexcept {
   max_ = std::max(max_, other.max_);
 }
 
-double percentile(std::vector<double> values, double q) {
-  RESCHED_REQUIRE(!values.empty());
-  RESCHED_REQUIRE(q >= 0.0 && q <= 1.0);
-  std::sort(values.begin(), values.end());
-  const double rank = q * static_cast<double>(values.size() - 1);
+namespace {
+// Closest-rank interpolation over an already sorted sample set.
+double sorted_percentile(const std::vector<double>& sorted, double q) {
+  const double rank = q * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(std::floor(rank));
   const auto hi = static_cast<std::size_t>(std::ceil(rank));
-  if (lo == hi) return values[lo];
+  if (lo == hi) return sorted[lo];
   const double frac = rank - static_cast<double>(lo);
-  return values[lo] * (1.0 - frac) + values[hi] * frac;
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+}  // namespace
+
+double percentile(std::vector<double> values, double q) {
+  const double qs[] = {q};
+  return percentiles(std::move(values), qs)[0];
+}
+
+std::vector<double> percentiles(std::vector<double> values,
+                                std::span<const double> qs) {
+  RESCHED_REQUIRE(!values.empty());
+  for (const double q : qs) RESCHED_REQUIRE(q >= 0.0 && q <= 1.0);
+  std::sort(values.begin(), values.end());
+  std::vector<double> results;
+  results.reserve(qs.size());
+  for (const double q : qs) results.push_back(sorted_percentile(values, q));
+  return results;
 }
 
 }  // namespace resched

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <limits>
+#include <span>
 #include <vector>
 
 namespace resched {
@@ -35,6 +36,16 @@ class OnlineStats {
 
 // Percentile with linear interpolation between closest ranks; q in [0, 1].
 // Copies and sorts internally (batch use only). Requires non-empty input.
+// Asking for several quantiles of one sample set? Use percentiles() below:
+// this overload pays a full copy + sort per call.
 [[nodiscard]] double percentile(std::vector<double> values, double q);
+
+// All requested quantiles of one sample set for a single sort: returns
+// results[i] = percentile of qs[i] (qs need not be sorted). Requires
+// non-empty values and every q in [0, 1]. Hot paths with streaming samples
+// should prefer the log-bucketed sim/latency_recorder.hpp instead -- this
+// still copies the batch once.
+[[nodiscard]] std::vector<double> percentiles(std::vector<double> values,
+                                              std::span<const double> qs);
 
 }  // namespace resched

@@ -41,6 +41,61 @@ TEST(Des, HorizonStopsEarly) {
   EXPECT_EQ(count, 2);
 }
 
+TEST(Des, BoundedRunAdvancesClockToHorizon) {
+  // A bounded run means "simulate up to the horizon": even when no event
+  // sits at the bound, the clock must land there, not at the last event
+  // fired -- otherwise phase-stepped drivers (run(100), run(200), ...)
+  // observe time standing still across empty windows.
+  Simulation sim;
+  sim.at(3, [](Simulation&) {});
+  const Time end = sim.run(50);
+  EXPECT_EQ(end, 50);
+  EXPECT_EQ(sim.now(), 50);
+}
+
+TEST(Des, BoundedRunWithNoEventsStillAdvances) {
+  Simulation sim;
+  EXPECT_EQ(sim.run(25), 25);
+  EXPECT_EQ(sim.now(), 25);
+  // A later bound keeps advancing; an earlier one never rewinds.
+  EXPECT_EQ(sim.run(40), 40);
+  EXPECT_EQ(sim.run(10), 40);
+}
+
+TEST(Des, UnboundedRunKeepsLastEventTime) {
+  // Draining without a horizon reports when the system went quiet, not an
+  // arbitrary bound.
+  Simulation sim;
+  sim.at(7, [](Simulation&) {});
+  EXPECT_EQ(sim.run(), 7);
+  EXPECT_EQ(sim.now(), 7);
+}
+
+TEST(Des, EventExactlyAtHorizonFires) {
+  Simulation sim;
+  int count = 0;
+  sim.at(50, [&](Simulation&) { ++count; });
+  sim.at(51, [&](Simulation&) { ++count; });
+  EXPECT_EQ(sim.run(50), 50);
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(Des, PhaseSteppedRunsResumeFromHorizon) {
+  // run(h1), run(h2) must behave like one run(h2): events land in order and
+  // `after` offsets anchor at the advanced clock, not the last event.
+  Simulation sim;
+  std::vector<Time> fired;
+  sim.at(5, [&](Simulation& s) { fired.push_back(s.now()); });
+  sim.at(95, [&](Simulation& s) { fired.push_back(s.now()); });
+  sim.run(60);
+  EXPECT_EQ(sim.now(), 60);
+  sim.after(10, [&](Simulation& s) { fired.push_back(s.now()); });
+  sim.run(100);
+  EXPECT_EQ(fired, (std::vector<Time>{5, 70, 95}));
+  EXPECT_EQ(sim.now(), 100);
+}
+
 TEST(Des, RejectsPastEvents) {
   Simulation sim;
   sim.at(10, [](Simulation& s) {

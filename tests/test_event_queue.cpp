@@ -52,6 +52,25 @@ TEST(EventQueue, RejectsNegativeTime) {
   EXPECT_THROW(queue.push(-1, 0), std::invalid_argument);
 }
 
+TEST(EventQueue, BoundedDrainStopsAtHorizon) {
+  // The pop-while-next_time()-fits pattern Simulation::run uses for bounded
+  // runs: everything at or before the horizon drains in (time, FIFO) order,
+  // later events stay queued untouched.
+  EventQueue<int> queue;
+  queue.push(5, 50);
+  queue.push(30, 300);
+  queue.push(10, 100);
+  queue.push(10, 101);
+  queue.push(20, 200);
+  constexpr Time kHorizon = 10;
+  std::vector<int> drained;
+  while (!queue.empty() && queue.next_time() <= kHorizon)
+    drained.push_back(queue.pop().second);
+  EXPECT_EQ(drained, (std::vector<int>{50, 100, 101}));
+  EXPECT_EQ(queue.size(), 2u);
+  EXPECT_EQ(queue.next_time(), 20);
+}
+
 TEST(EventQueue, MovesPayloads) {
   EventQueue<std::unique_ptr<int>> queue;
   queue.push(1, std::make_unique<int>(42));

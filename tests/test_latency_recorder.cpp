@@ -1,0 +1,163 @@
+#include "sim/latency_recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/prng.hpp"
+#include "util/stats.hpp"
+
+namespace resched {
+namespace {
+
+TEST(LatencyRecorder, EmptyDefaults) {
+  LatencyRecorder rec;
+  EXPECT_EQ(rec.count(), 0u);
+  EXPECT_EQ(rec.mean(), 0.0);
+  EXPECT_THROW((void)rec.min(), std::invalid_argument);
+  EXPECT_THROW((void)rec.percentile(0.5), std::invalid_argument);
+}
+
+TEST(LatencyRecorder, SmallValuesAreExact) {
+  // Values below 2^kSubBits land in width-1 buckets: every quantile of a
+  // small-valued stream is exact, not just bounded-error.
+  LatencyRecorder rec;
+  for (std::int64_t v = 0; v < 64; ++v) rec.record(v);
+  EXPECT_EQ(rec.count(), 64u);
+  EXPECT_EQ(rec.min(), 0);
+  EXPECT_EQ(rec.max(), 63);
+  EXPECT_EQ(rec.percentile(0.0), 0);
+  EXPECT_EQ(rec.percentile(0.5), 31);  // closest rank: ceil(0.5*64) = 32nd
+  EXPECT_EQ(rec.percentile(1.0), 63);
+}
+
+TEST(LatencyRecorder, NegativeClampsToZero) {
+  LatencyRecorder rec;
+  rec.record(-17);
+  EXPECT_EQ(rec.min(), 0);
+  EXPECT_EQ(rec.percentile(0.5), 0);
+}
+
+TEST(LatencyRecorder, BoundedRelativeError) {
+  // Log-bucketing guarantee: every reported quantile is within
+  // 2^-(kSubBits+1) of the true closest-rank sample.
+  Prng prng(3);
+  std::vector<std::int64_t> values;
+  LatencyRecorder rec;
+  for (int i = 0; i < 5000; ++i) {
+    // Heavy-tailed: spread over ~9 decades like real latency data.
+    const std::int64_t v = prng.log_uniform_int(1, 1'000'000'000);
+    values.push_back(v);
+    rec.record(v);
+  }
+  std::sort(values.begin(), values.end());
+  const double tolerance =
+      1.0 / static_cast<double>(std::int64_t{1}
+                                << (LatencyRecorder::kSubBits + 1));
+  for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(values.size())));
+    const double truth = static_cast<double>(values[rank - 1]);
+    const double reported = static_cast<double>(rec.percentile(q));
+    EXPECT_NEAR(reported, truth, truth * tolerance)
+        << "q = " << q;
+  }
+}
+
+TEST(LatencyRecorder, PercentilesMatchRepeatedSingleQueries) {
+  Prng prng(4);
+  LatencyRecorder rec;
+  for (int i = 0; i < 1000; ++i) rec.record(prng.uniform_int(0, 100000));
+  const double qs[] = {0.999, 0.5, 0.0, 0.99, 1.0};  // deliberately unsorted
+  const std::vector<std::int64_t> batch = rec.percentiles(qs);
+  ASSERT_EQ(batch.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i)
+    EXPECT_EQ(batch[i], rec.percentile(qs[i])) << "q = " << qs[i];
+  // Monotone in q once re-sorted.
+  EXPECT_LE(batch[2], batch[1]);
+  EXPECT_LE(batch[1], batch[3]);
+  EXPECT_LE(batch[3], batch[0]);
+  EXPECT_LE(batch[0], batch[4]);
+}
+
+TEST(LatencyRecorder, MergeMatchesCombinedStream) {
+  Prng prng(5);
+  LatencyRecorder combined;
+  LatencyRecorder left;
+  LatencyRecorder right;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = prng.log_uniform_int(1, 10'000'000);
+    combined.record(v);
+    (i % 3 == 0 ? left : right).record(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left, combined);
+  EXPECT_EQ(left.count(), combined.count());
+  EXPECT_EQ(left.min(), combined.min());
+  EXPECT_EQ(left.max(), combined.max());
+  EXPECT_DOUBLE_EQ(left.mean(), combined.mean());
+  for (const double q : {0.5, 0.99, 0.999})
+    EXPECT_EQ(left.percentile(q), combined.percentile(q));
+}
+
+TEST(LatencyRecorder, MergeWithEmptyIsIdentity) {
+  LatencyRecorder rec;
+  rec.record(42);
+  LatencyRecorder empty;
+  rec.merge(empty);
+  EXPECT_EQ(rec.count(), 1u);
+  EXPECT_EQ(rec.percentile(1.0), 42);
+  empty.merge(rec);
+  EXPECT_EQ(empty, rec);
+}
+
+TEST(LatencyRecorder, MeanIsExactNotBucketed) {
+  LatencyRecorder rec;
+  rec.record(1'000'000'007);  // lands mid-bucket
+  rec.record(3);
+  EXPECT_DOUBLE_EQ(rec.mean(), (1'000'000'007.0 + 3.0) / 2.0);
+  EXPECT_EQ(rec.max(), 1'000'000'007);
+}
+
+TEST(LatencyRecorder, ExtremeValuesDoNotOverflow) {
+  LatencyRecorder rec;
+  rec.record(std::numeric_limits<std::int64_t>::max());
+  rec.record(std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(rec.count(), 2u);
+  // Clamped into [min, max], so the representative stays exact here.
+  EXPECT_EQ(rec.percentile(0.5), std::numeric_limits<std::int64_t>::max());
+  EXPECT_GT(rec.mean(), 0.0);
+}
+
+TEST(LatencyRecorder, ResetClears) {
+  LatencyRecorder rec;
+  rec.record(5);
+  rec.reset();
+  EXPECT_EQ(rec.count(), 0u);
+  EXPECT_EQ(rec, LatencyRecorder{});
+}
+
+TEST(LatencyRecorder, AgreesWithSortBasedPercentileOnUniformData) {
+  // Cross-check against util/stats percentiles() (sort-based ground truth)
+  // within the bucket resolution.
+  Prng prng(6);
+  LatencyRecorder rec;
+  std::vector<double> values;
+  for (int i = 0; i < 4000; ++i) {
+    const std::int64_t v = prng.uniform_int(1000, 2000);
+    rec.record(v);
+    values.push_back(static_cast<double>(v));
+  }
+  const double qs[] = {0.5, 0.99};
+  const std::vector<double> truth = percentiles(values, qs);
+  for (std::size_t i = 0; i < 2; ++i)
+    EXPECT_NEAR(static_cast<double>(rec.percentiles(qs)[i]), truth[i],
+                truth[i] / 64.0);
+}
+
+}  // namespace
+}  // namespace resched

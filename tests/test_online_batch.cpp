@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "algorithms/lsrc.hpp"
 #include "bounds/lower_bounds.hpp"
 #include "generators/workload.hpp"
@@ -91,6 +93,33 @@ TEST(OnlineBatch, DoublingGuaranteeAgainstLowerBound) {
               bound * static_cast<double>(lb) + 1e-9)
         << "seed " << seed;
   }
+}
+
+TEST(OnlineBatch, HugeDurationsThrowInsteadOfOverflowing) {
+  // Regression: batch completion used a raw `start + p`. A near-limit
+  // duration job that starts after a short one pushes start + p past Time's
+  // range -- that must surface as a typed overflow error from checked
+  // arithmetic, never as signed-overflow UB.
+  constexpr Time kHuge = std::numeric_limits<Time>::max() - 50;
+  const Instance instance(
+      1, {Job{0, 1, 100, 0, ""}, Job{1, 1, kHuge, 0, ""}});
+  OnlineBatchScheduler scheduler(lsrc());
+  EXPECT_THROW((void)scheduler.schedule(instance), std::overflow_error);
+}
+
+TEST(OnlineBatch, LargeButRepresentableEpochsStillSchedule) {
+  // Just inside the checked boundary: the second batch opens at an epoch of
+  // kTimeInfinity and completes at twice that without tripping the guard.
+  const Instance instance(
+      1, {Job{0, 1, kTimeInfinity, 0, ""}, Job{1, 1, kTimeInfinity, 1, ""}});
+  OnlineBatchScheduler scheduler(lsrc());
+  std::vector<BatchInfo> batches;
+  const Schedule schedule =
+      scheduler.schedule_with_batches(instance, batches).value();
+  ASSERT_EQ(batches.size(), 2u);
+  EXPECT_EQ(batches[1].epoch, kTimeInfinity);
+  EXPECT_EQ(batches[1].completion, 2 * kTimeInfinity);
+  EXPECT_EQ(schedule.start(1), kTimeInfinity);
 }
 
 TEST(OnlineBatch, NameComposesBase) {

@@ -89,5 +89,36 @@ TEST(Percentile, RejectsBadInput) {
   EXPECT_THROW((void)percentile({1.0}, 1.5), std::invalid_argument);
 }
 
+TEST(Percentiles, MatchesSingleQuantileQueries) {
+  // The batched sort-once overload must agree exactly with the one-q
+  // overload for every requested quantile.
+  const std::vector<double> values{5.0, 1.0, 9.0, 3.0, 7.0, 2.0};
+  const double qs[] = {0.0, 0.25, 0.5, 0.9, 1.0};
+  const std::vector<double> batch = percentiles(values, qs);
+  ASSERT_EQ(batch.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i)
+    EXPECT_DOUBLE_EQ(batch[i], percentile(values, qs[i])) << "q = " << qs[i];
+}
+
+TEST(Percentiles, UnsortedQuantilesKeepRequestOrder) {
+  const std::vector<double> values{10.0, 20.0, 30.0, 40.0};
+  const double qs[] = {1.0, 0.25, 0.0};
+  const std::vector<double> batch = percentiles(values, qs);
+  EXPECT_DOUBLE_EQ(batch[0], 40.0);
+  EXPECT_DOUBLE_EQ(batch[1], 17.5);
+  EXPECT_DOUBLE_EQ(batch[2], 10.0);
+}
+
+TEST(Percentiles, EmptyQuantileListIsEmptyResult) {
+  EXPECT_TRUE(percentiles({1.0, 2.0}, {}).empty());
+}
+
+TEST(Percentiles, RejectsBadInput) {
+  const double ok[] = {0.5};
+  EXPECT_THROW((void)percentiles({}, ok), std::invalid_argument);
+  const double bad[] = {0.5, -0.1};
+  EXPECT_THROW((void)percentiles({1.0}, bad), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace resched
