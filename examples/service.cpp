@@ -8,6 +8,17 @@
 // saturated. The detected saturation knee -- the first rate whose queue
 // growth diverges -- closes each scheduler's section.
 //
+// Decision accounting: `decisions` counts every scheduler invocation across
+// all three phases, while the dec_ns_* percentiles sample only the
+// `decisions_measured` invocations that fell inside the open measure window
+// (the two were conflated before the counters were split). Schedulers that
+// advertise incremental_replan plan on the persistent absolute-time profile
+// (decisions_incremental) unless --no-incremental forces the per-decision
+// scratch rebuild (decisions_scratch); --verify-incremental runs both per
+// decision and cross-checks them. --churn enables the deterministic churn
+// stream (cancellations, availability drops, window moves) at the given
+// events-per-kilotick rate.
+//
 // With a fixed --seed every simulated quantity (arrivals, waits, queue
 // depths, knee) is bit-identical across runs and across schedulers at the
 // same rate step. Wall-clock decision latency is real measured time and
@@ -17,6 +28,7 @@
 // Run: ./build/examples/service --schedulers=easy,conservative
 //      [--m=64] [--step-size=20] [--step-stop=200] [--seed=42]
 //      [--warmup=100] [--measure=500] [--cooldown=100] [--window=128]
+//      [--no-incremental] [--verify-incremental] [--churn=0]
 //      [--machine-readable] [--stable]
 #include <iostream>
 #include <string>
@@ -82,6 +94,12 @@ int main(int argc, char** argv) {
   cli.add_option("p-max", "maximum service time (ticks)", "100");
   cli.add_option("width", "width distribution: pow2|uniform|narrow", "pow2");
   cli.add_option("alpha", "width cap as a fraction of m", "1/2");
+  cli.add_option("churn", "churn events per kilotick (0 = off)", "0");
+  cli.add_option("compact", "history compaction interval, ticks", "256");
+  cli.add_flag("no-incremental",
+               "force the scratch instance rebuild per decision");
+  cli.add_flag("verify-incremental",
+               "run both planning paths per decision and cross-check them");
   cli.add_flag("machine-readable", "CSV rows instead of aligned tables");
   cli.add_flag("stable", "blank wall-clock columns (deterministic output)");
   if (!cli.parse(argc, argv)) return 0;
@@ -101,6 +119,10 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(cli.get_int("cooldown"));
   config.dispatch_window = static_cast<std::size_t>(cli.get_int("window"));
   config.bail_queue_depth = static_cast<std::size_t>(cli.get_int("bail"));
+  config.incremental = !cli.get_flag("no-incremental");
+  config.verify_incremental = cli.get_flag("verify-incremental");
+  config.churn.events_per_kilotick = cli.get_double("churn");
+  config.compact_interval = cli.get_int("compact");
   const bool stable = cli.get_flag("stable");
   config.record_wall_latency = !stable;
 
@@ -112,7 +134,11 @@ int main(int argc, char** argv) {
   if (csv)
     std::cout << "record,scheduler,rate,arrivals,completed,wait_p50,"
                  "wait_p99,wait_p999,dec_ns_p50,dec_ns_p99,dec_ns_p999,"
-                 "queue_mean,queue_peak,queue_end,sustained,saturated\n";
+                 "queue_mean,queue_peak,queue_end,sustained,saturated,"
+                 "decisions,decisions_measured,decisions_incremental,"
+                 "decisions_scratch,suffix_jobs,frames_rewound,"
+                 "snapshots_reused,deferred_dispatches,canceled,"
+                 "churn_events\n";
 
   for (const std::string& name : split(cli.get_string("schedulers"), ',')) {
     const auto scheduler = make_scheduler(name);
@@ -123,10 +149,16 @@ int main(int argc, char** argv) {
       std::cout << "=== " << name << " ===  (m = " << load.m
                 << ", phases " << config.phases.warmup << "/"
                 << config.phases.measure << "/" << config.phases.cooldown
-                << ", seed " << seed << ")\n";
+                << ", seed " << seed << ", plan "
+                << (scheduler->capabilities().incremental_replan &&
+                            (config.incremental || config.verify_incremental)
+                        ? "incremental"
+                        : "scratch")
+                << ")\n";
     Table table({"rate/kt", "arrived", "done", "wait p50", "wait p99",
                  "wait p999", "dec ns p50", "dec ns p99", "dec ns p999",
-                 "q mean", "q peak", "q end", "sustained", "sat"});
+                 "q mean", "q peak", "q end", "decisions", "inc/scr",
+                 "sustained", "sat"});
     for (const ServiceStepResult& step : sweep.steps) {
       const auto wait = quantile_cells(step.wait_ticks, false);
       const auto dec = quantile_cells(step.decision_ns, stable);
@@ -134,6 +166,9 @@ int main(int argc, char** argv) {
           step.queue_depth.count() == 0
               ? "-"
               : format_double(step.queue_depth.mean(), 1);
+      const std::string plan_split =
+          std::to_string(step.decisions_incremental) + "/" +
+          std::to_string(step.decisions_scratch);
       if (csv) {
         std::cout << "service," << name << ','
                   << format_double(step.offered_rate, 3) << ','
@@ -142,12 +177,20 @@ int main(int argc, char** argv) {
                   << queue_mean << ',' << step.peak_queue_depth << ','
                   << step.end_queue_depth << ','
                   << format_double(step.sustained_rate, 3) << ','
-                  << (step.saturated ? 1 : 0) << "\n";
+                  << (step.saturated ? 1 : 0) << ','
+                  << step.decisions << ',' << step.decisions_measured << ','
+                  << step.decisions_incremental << ','
+                  << step.decisions_scratch << ','
+                  << step.suffix_jobs_replanned << ','
+                  << step.plan_frames_rewound << ','
+                  << step.snapshots_reused << ','
+                  << step.deferred_dispatches << ',' << step.canceled << ','
+                  << step.churn_events << "\n";
       } else {
         table.add(format_double(step.offered_rate, 1), step.arrivals,
                   step.completed, wait[0], wait[1], wait[2], dec[0], dec[1],
                   dec[2], queue_mean, step.peak_queue_depth,
-                  step.end_queue_depth,
+                  step.end_queue_depth, step.decisions, plan_split,
                   format_double(step.sustained_rate, 2),
                   step.saturated ? "yes" : "no");
       }
@@ -158,7 +201,7 @@ int main(int argc, char** argv) {
       std::cout << "knee," << name << ','
                 << (sweep.has_knee() ? format_double(sweep.knee_rate(), 3)
                                      : std::string("none"))
-                << ",,,,,,,,,,,,,\n";
+                << ",,,,,,,,,,,,,,,,,,,,,,,\n";
     } else if (sweep.has_knee()) {
       std::cout << "saturation knee: " << format_double(sweep.knee_rate(), 1)
                 << " jobs/kilotick (step " << sweep.knee_index + 1 << ")\n\n";

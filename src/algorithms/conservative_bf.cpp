@@ -7,27 +7,46 @@
 #include "core/profile_allocator.hpp"
 
 namespace resched {
+namespace {
 
-ScheduleOutcome ConservativeBackfillScheduler::schedule(
-    const Instance& instance) const {
-  Schedule schedule(instance.n());
-  FreeProfile free = FreeProfile::for_instance(instance);
-
-  std::vector<JobId> queue(instance.n());
+// Shared core of schedule() and replan(): place each job, in arrival order,
+// at its earliest fit no sooner than max(t0, release). schedule() runs it
+// with a fresh profile and t0 = 0; the incremental path runs it with the
+// service's persistent absolute-time profile and t0 = now. Same computation
+// up to time translation (the churn oracle fuzz pins the bit-identity).
+Schedule conservative_run(FreeProfile& free, const std::vector<Job>& jobs,
+                          Time t0) {
+  Schedule schedule(jobs.size());
+  std::vector<JobId> queue(jobs.size());
   std::iota(queue.begin(), queue.end(), JobId{0});
   std::stable_sort(queue.begin(), queue.end(), [&](JobId a, JobId b) {
-    return instance.job(a).release < instance.job(b).release;
+    return jobs[static_cast<std::size_t>(a)].release <
+           jobs[static_cast<std::size_t>(b)].release;
   });
 
   for (const JobId id : queue) {
-    const Job& job = instance.job(id);
-    const Time start = free.earliest_fit(job.release, job.q, job.p);
+    const Job& job = jobs[static_cast<std::size_t>(id)];
+    const Time start =
+        free.earliest_fit(std::max(t0, job.release), job.q, job.p);
     // The fit was just proven by earliest_fit; commit_fitted skips the
     // redundant windowed-min recheck on this hot placement path.
     free.commit_fitted(start, job.q, job.p);
     schedule.set_start(id, start);
   }
   return schedule;
+}
+
+}  // namespace
+
+ScheduleOutcome ConservativeBackfillScheduler::schedule(
+    const Instance& instance) const {
+  FreeProfile free = FreeProfile::for_instance(instance);
+  return conservative_run(free, instance.jobs(), 0);
+}
+
+Schedule ConservativeBackfillScheduler::replan(
+    const ReplanRequest& request) const {
+  return conservative_run(request.free, request.queue, request.now);
 }
 
 }  // namespace resched

@@ -10,38 +10,42 @@
 #include "util/require.hpp"
 
 namespace resched {
+namespace {
 
-ScheduleOutcome EasyBackfillScheduler::schedule(
-    const Instance& instance) const {
-  Schedule schedule(instance.n());
-  if (instance.n() == 0) return schedule;
+// Shared core of schedule() and replan(): EASY's event loop over an explicit
+// job vector (ids == positions), a pre-seeded wake-up set and a start clock.
+// schedule() calls it with a fresh profile, reservation-end events and
+// t0 = 0; the incremental path calls it with the service's persistent
+// absolute-time profile, the running-job/window wake-ups and t0 = now. The
+// two are the same computation up to time translation, which is what keeps
+// the incremental plan bit-identical to the full re-solve oracle.
+Schedule easy_run(FreeProfile& free, ProcCount m, const std::vector<Job>& jobs,
+                  EventTimes events, Time t0) {
+  Schedule schedule(jobs.size());
+  if (jobs.empty()) return schedule;
 
-  FreeProfile free = FreeProfile::for_instance(instance);
-
-  std::vector<JobId> arrival(instance.n());
+  std::vector<JobId> arrival(jobs.size());
   std::iota(arrival.begin(), arrival.end(), JobId{0});
   std::stable_sort(arrival.begin(), arrival.end(), [&](JobId a, JobId b) {
-    return instance.job(a).release < instance.job(b).release;
+    return jobs[static_cast<std::size_t>(a)].release <
+           jobs[static_cast<std::size_t>(b)].release;
   });
 
-  EventTimes events;
-  for (const Reservation& resa : instance.reservations())
-    events.push(resa.end());
-
-  Time t = instance.job(arrival[0]).release;
-  for (const Job& job : instance.jobs())
+  Time t = std::max(t0, jobs[static_cast<std::size_t>(arrival[0])].release);
+  for (const Job& job : jobs)
     if (job.release > t) events.push(job.release);
 
   // Waiting jobs, event-indexed by processor demand; rank = arrival-order
   // position, so passes examine candidates in exactly the FCFS order the
   // seed's deque walk used.
-  BackfillQueue waiting(instance.m());
+  BackfillQueue waiting(m);
   std::size_t next_arrival = 0;
   std::size_t started = 0;
-  while (started < instance.n()) {
+  while (started < jobs.size()) {
     while (next_arrival < arrival.size() &&
-           instance.job(arrival[next_arrival]).release <= t) {
-      const Job& job = instance.job(arrival[next_arrival]);
+           jobs[static_cast<std::size_t>(arrival[next_arrival])].release <=
+               t) {
+      const Job& job = jobs[static_cast<std::size_t>(arrival[next_arrival])];
       waiting.insert(job.id, static_cast<std::int64_t>(next_arrival), job.q);
       ++next_arrival;
     }
@@ -56,7 +60,7 @@ ScheduleOutcome EasyBackfillScheduler::schedule(
     JobId head_id = -1;
     while (const auto candidate =
                waiting.next(capacity, /*ignore_capacity=*/true)) {
-      const Job& head = instance.job(candidate->id);
+      const Job& head = jobs[static_cast<std::size_t>(candidate->id)];
       if (!free.fits_at(t, head.q, head.p)) {
         head_id = head.id;
         head_blocked = true;
@@ -75,7 +79,7 @@ ScheduleOutcome EasyBackfillScheduler::schedule(
     // FCFS order. Only buckets with q <= capacity wake up; the retired ones
     // would have failed fits_at outright.
     if (head_blocked) {
-      const Job& head = instance.job(head_id);
+      const Job& head = jobs[static_cast<std::size_t>(head_id)];
       const Time head_start = free.earliest_fit(t, head.q, head.p);
       const Time head_end = checked_add(head_start, head.p);
       // Probe-window invariant: the head fits at head_start right now
@@ -87,7 +91,7 @@ ScheduleOutcome EasyBackfillScheduler::schedule(
       // head_start cannot push the head at all, so it commits outright
       // with no tentative machinery.
       while (const auto candidate = waiting.next(capacity)) {
-        const Job& job = instance.job(candidate->id);
+        const Job& job = jobs[static_cast<std::size_t>(candidate->id)];
         if (!free.fits_at(t, job.q, job.p)) {
           waiting.keep();
           continue;
@@ -121,7 +125,7 @@ ScheduleOutcome EasyBackfillScheduler::schedule(
     }
     waiting.end_pass();
 
-    if (started == instance.n()) break;
+    if (started == jobs.size()) break;
 
     const Time next = events.next_after(t);
     RESCHED_CHECK_MSG(next < kTimeInfinity,
@@ -129,6 +133,26 @@ ScheduleOutcome EasyBackfillScheduler::schedule(
     t = next;
   }
   return schedule;
+}
+
+}  // namespace
+
+ScheduleOutcome EasyBackfillScheduler::schedule(
+    const Instance& instance) const {
+  if (instance.n() == 0) return Schedule(0);
+  FreeProfile free = FreeProfile::for_instance(instance);
+  EventTimes events;
+  for (const Reservation& resa : instance.reservations())
+    events.push(resa.end());
+  return easy_run(free, instance.m(), instance.jobs(), std::move(events), 0);
+}
+
+Schedule EasyBackfillScheduler::replan(const ReplanRequest& request) const {
+  EventTimes events;
+  for (const Time wakeup : request.wakeups)
+    if (wakeup > request.now) events.push(wakeup);
+  return easy_run(request.free, request.m, request.queue, std::move(events),
+                  request.now);
 }
 
 }  // namespace resched

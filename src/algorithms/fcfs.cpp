@@ -8,20 +8,29 @@
 #include "util/require.hpp"
 
 namespace resched {
+namespace {
 
-ScheduleOutcome FcfsScheduler::schedule(const Instance& instance) const {
-  Schedule schedule(instance.n());
-  FreeProfile free = FreeProfile::for_instance(instance);
-
-  std::vector<JobId> queue(instance.n());
+// Shared core of schedule() and replan(): non-overtaking placement in
+// arrival order, starting no sooner than max(t0, release, previous start).
+// schedule() runs it with a fresh profile and t0 = 0; the incremental path
+// runs it with the service's persistent absolute-time profile and t0 = now.
+// `floor` seeds the non-overtaking chain for append-mode suffix planning:
+// when `jobs` is the tail of a longer queue whose prefix is already planned
+// on `free`, the chain must continue from the prefix's last start, not
+// restart at t0 (append_only_replan in scheduler.hpp).
+Schedule fcfs_run(FreeProfile& free, const std::vector<Job>& jobs, Time t0,
+                  Time floor) {
+  Schedule schedule(jobs.size());
+  std::vector<JobId> queue(jobs.size());
   std::iota(queue.begin(), queue.end(), JobId{0});
   std::stable_sort(queue.begin(), queue.end(), [&](JobId a, JobId b) {
-    return instance.job(a).release < instance.job(b).release;
+    return jobs[static_cast<std::size_t>(a)].release <
+           jobs[static_cast<std::size_t>(b)].release;
   });
 
-  Time previous_start = 0;
+  Time previous_start = std::max(t0, floor);
   for (const JobId id : queue) {
-    const Job& job = instance.job(id);
+    const Job& job = jobs[static_cast<std::size_t>(id)];
     const Time ready = std::max(previous_start, job.release);
     const Time start = free.earliest_fit(ready, job.q, job.p);
     free.commit_fitted(start, job.q, job.p);
@@ -29,6 +38,18 @@ ScheduleOutcome FcfsScheduler::schedule(const Instance& instance) const {
     previous_start = start;  // no later job may start before this one
   }
   return schedule;
+}
+
+}  // namespace
+
+ScheduleOutcome FcfsScheduler::schedule(const Instance& instance) const {
+  FreeProfile free = FreeProfile::for_instance(instance);
+  return fcfs_run(free, instance.jobs(), 0, 0);
+}
+
+Schedule FcfsScheduler::replan(const ReplanRequest& request) const {
+  return fcfs_run(request.free, request.queue, request.now,
+                  request.not_before);
 }
 
 }  // namespace resched

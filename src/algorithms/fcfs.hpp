@@ -19,7 +19,14 @@ class FcfsScheduler final : public Scheduler {
   // Unrestricted domain: the outcome is always a schedule.
   [[nodiscard]] ScheduleOutcome schedule(
       const Instance& instance) const override;
+  // Incremental path: the same placement loop run against a persistent
+  // absolute-time profile (see ReplanRequest in scheduler.hpp).
+  [[nodiscard]] Schedule replan(const ReplanRequest& request) const override;
   [[nodiscard]] std::string name() const override { return "fcfs"; }
+  [[nodiscard]] Capabilities capabilities() const override {
+    return Capabilities{.incremental_replan = true,
+                        .append_only_replan = true};
+  }
 };
 
 }  // namespace resched

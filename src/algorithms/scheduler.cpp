@@ -43,6 +43,13 @@ const DomainError& ScheduleOutcome::error() const {
   return std::get<DomainError>(result_);
 }
 
+Schedule Scheduler::replan(const ReplanRequest& request) const {
+  (void)request;
+  fail_invariant("incremental_replan", __FILE__, __LINE__,
+                 name() + " does not implement incremental replan "
+                          "(capabilities().incremental_replan is false)");
+}
+
 std::optional<DomainError> Scheduler::out_of_domain(
     const Instance& instance) const {
   const Capabilities caps = capabilities();

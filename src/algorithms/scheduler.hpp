@@ -92,6 +92,55 @@ struct Capabilities {
   bool release_times = true;  // accepts instances with release > 0
   bool reservations = true;   // accepts instances with reservations
   bool deterministic = true;  // pure function of the instance (seeds fixed)
+  // Implements replan(): the algorithm can plan a waiting queue directly
+  // against an externally maintained FreeProfile at an absolute clock, so a
+  // resident service repairs its plan on churn events instead of rebuilding
+  // instance + profile from scratch per decision. replan() must be
+  // bit-identical (modulo the time translation) to schedule() on the
+  // equivalent from-scratch instance -- pinned by the churn oracle fuzz.
+  bool incremental_replan = false;
+  // replan() is a pure FCFS fold: each queued job is planned exactly once,
+  // in queue order, against the profile state left by its predecessors, and
+  // never revisited. For such schedulers planning a queue suffix on the
+  // profile that still holds the prefix's plan frames yields the same
+  // starts as replanning the whole queue (earliest-fit results are stable
+  // as `now` advances past nothing), so the service loop retains the plan
+  // across pure-arrival decisions and replans only the appended jobs.
+  // Event-loop algorithms (easy: a late arrival can backfill ahead of an
+  // earlier job's pending decision) must leave this false.
+  bool append_only_replan = false;
+};
+
+class FreeProfile;
+
+// Input to Scheduler::replan -- the incremental path of the resident
+// service (sim/service_sim.*). Semantics contract:
+//  * `free` is the persistent remaining-capacity profile in ABSOLUTE time:
+//    already-started jobs and availability windows are subtracted; history
+//    before `now` is dead (never queried, possibly compacted).
+//  * `queue` holds the waiting jobs in FCFS order with dense ids 0..k-1;
+//    release is the absolute arrival tick, all <= now.
+//  * `wakeups` are the future capacity-increase instants (> now): running
+//    job completions and availability-window ends. Exactly the reservation
+//    ends a from-scratch solve would see.
+//  * The scheduler plans entirely through frames on `free` (the caller has
+//    plan recording on and rewinds afterwards); returned starts are
+//    absolute (>= now).
+// Equivalence: replan(free, queue, wakeups, now) must equal
+// schedule(instance) + now, where instance is the scratch translation
+// (releases 0, running jobs and windows as reservations relative to now).
+struct ReplanRequest {
+  FreeProfile& free;
+  const std::vector<Job>& queue;
+  const std::vector<Time>& wakeups;
+  ProcCount m = 1;  // cluster size (demand bound for the event structures)
+  Time now = 0;
+  // Order floor for append-mode suffix planning (append_only_replan): the
+  // largest start already planned for jobs ahead of `queue`. Schedulers
+  // whose placement chains on queue order (fcfs non-overtaking) must not
+  // start any queued job before this instant; overtaking schedulers
+  // (conservative) ignore it. 0 = no prefix.
+  Time not_before = 0;
 };
 
 // Result of Scheduler::schedule -- a schedule, or a typed domain rejection.
@@ -136,6 +185,12 @@ class Scheduler {
   [[nodiscard]] virtual Capabilities capabilities() const {
     return Capabilities{};
   }
+
+  // Incremental replan entry point (see ReplanRequest). Only meaningful
+  // when capabilities().incremental_replan is true; the default trips
+  // RESCHED_CHECK. Implementations share their core loop with schedule()
+  // so the two stay bit-identical by construction.
+  [[nodiscard]] virtual Schedule replan(const ReplanRequest& request) const;
 
   // Evaluates capabilities() against a concrete instance: nullopt when the
   // instance is in-domain, otherwise the first violated capability as a

@@ -60,33 +60,48 @@ Time FreeProfile::earliest_fit(Time t0, ProcCount q, Time p) const {
   }
 }
 
-void FreeProfile::commit(Time t, ProcCount q, Time p) {
-  RESCHED_REQUIRE_MSG(fits_at(t, q, p),
-                      "commit of a job that does not fit at its start time");
-  profile_.add(t, checked_add(t, p), -q);
-}
-
-void FreeProfile::commit_fitted(Time t, ProcCount q, Time p) {
-  RESCHED_ASSERT(fits_at(t, q, p));
-  RESCHED_REQUIRE(t >= 0 && q >= 1 && p > 0);
-  profile_.add(t, checked_add(t, p), -q);
-}
-
-FreeProfile::CommitToken FreeProfile::commit_tentative(Time t, ProcCount q,
-                                                       Time p) {
-  RESCHED_ASSERT(fits_at(t, q, p));
-  RESCHED_REQUIRE(t >= 0 && q >= 1 && p > 0);
+void FreeProfile::push_frame(Time t, ProcCount q, Time p, bool accepted) {
   OpenCommit frame;
   frame.serial = ++next_serial_;
   frame.t = t;
   frame.q = q;
   frame.p = p;
+  frame.accepted = accepted;
   if (!spare_.empty()) {
     frame.undo = std::move(spare_.back());
     spare_.pop_back();
   }
   profile_.add_recorded(t, checked_add(t, p), -q, frame.undo);
   open_.push_back(std::move(frame));
+}
+
+void FreeProfile::commit(Time t, ProcCount q, Time p) {
+  RESCHED_REQUIRE_MSG(fits_at(t, q, p),
+                      "commit of a job that does not fit at its start time");
+  if (retain_accepted_) {
+    push_frame(t, q, p, /*accepted=*/true);
+    return;
+  }
+  profile_.add(t, checked_add(t, p), -q);
+  ++permanent_mutations_;
+}
+
+void FreeProfile::commit_fitted(Time t, ProcCount q, Time p) {
+  RESCHED_ASSERT(fits_at(t, q, p));
+  RESCHED_REQUIRE(t >= 0 && q >= 1 && p > 0);
+  if (retain_accepted_) {
+    push_frame(t, q, p, /*accepted=*/true);
+    return;
+  }
+  profile_.add(t, checked_add(t, p), -q);
+  ++permanent_mutations_;
+}
+
+FreeProfile::CommitToken FreeProfile::commit_tentative(Time t, ProcCount q,
+                                                       Time p) {
+  RESCHED_ASSERT(fits_at(t, q, p));
+  RESCHED_REQUIRE(t >= 0 && q >= 1 && p > 0);
+  push_frame(t, q, p, /*accepted=*/false);
   return CommitToken(next_serial_);
 }
 
@@ -113,7 +128,71 @@ void FreeProfile::accept(CommitToken&& token) {
                     "commit tokens resolve newest-first: this token is not "
                     "the newest open tentative commit");
   token.live_ = false;
+  if (retain_accepted_) {
+    // Plan-recording mode: seal the decision but keep the frame (and its
+    // undo) so rewind_to can invalidate the whole plan suffix later.
+    open_.back().accepted = true;
+    return;
+  }
   resolve_top(/*keep=*/true);
+  ++permanent_mutations_;
+}
+
+void FreeProfile::rewind_to(const Checkpoint& checkpoint) {
+  RESCHED_CHECK_MSG(
+      permanent_mutations_ == checkpoint.permanent,
+      "rewind_to across a permanent capacity mutation: the checkpoint "
+      "predates an adjust_capacity / unretained commit / compact_history");
+  RESCHED_CHECK_MSG(
+      open_.size() >= checkpoint.depth && next_serial_ >= checkpoint.serial,
+      "rewind_to target is ahead of this profile's state");
+  while (open_.size() > checkpoint.depth) {
+    RESCHED_CHECK_MSG(open_.back().serial > checkpoint.serial,
+                      "frame stack does not match the rewind checkpoint");
+    resolve_top(/*keep=*/false);
+  }
+}
+
+std::vector<FreeProfile::PlanStep> FreeProfile::plan_since(
+    const Checkpoint& checkpoint) const {
+  RESCHED_CHECK_MSG(open_.size() >= checkpoint.depth,
+                    "plan_since checkpoint is ahead of this profile's state");
+  std::vector<PlanStep> steps;
+  steps.reserve(open_.size() - checkpoint.depth);
+  for (std::size_t i = checkpoint.depth; i < open_.size(); ++i) {
+    RESCHED_CHECK_MSG(open_[i].serial > checkpoint.serial,
+                      "frame stack does not match the plan_since checkpoint");
+    steps.push_back(
+        PlanStep{open_[i].t, open_[i].q, open_[i].p, open_[i].accepted});
+  }
+  return steps;
+}
+
+void FreeProfile::set_retain_accepted(bool on) {
+  RESCHED_REQUIRE_MSG(open_.empty(),
+                      "toggling plan recording with open frames");
+  retain_accepted_ = on;
+}
+
+void FreeProfile::adjust_capacity(Time from, Time to, std::int64_t delta) {
+  RESCHED_REQUIRE(from >= 0 && to > from);
+  RESCHED_CHECK_MSG(open_.empty(),
+                    "adjust_capacity with open plan frames: rewind first");
+  if (delta == 0) return;
+  if (delta < 0)
+    RESCHED_REQUIRE_MSG(
+        profile_.min_in(from, to) >= -delta,
+        "capacity adjustment would drive free capacity negative");
+  profile_.add(from, to, delta);
+  ++permanent_mutations_;
+}
+
+std::size_t FreeProfile::compact_history(Time t) {
+  RESCHED_CHECK_MSG(open_.empty(),
+                    "compact_history with open plan frames: rewind first");
+  const std::size_t removed = profile_.compact_before(t);
+  if (removed > 0) ++permanent_mutations_;
+  return removed;
 }
 
 void FreeProfile::uncommit(Time t, ProcCount q, Time p) {
@@ -125,6 +204,9 @@ void FreeProfile::uncommit(Time t, ProcCount q, Time p) {
   RESCHED_CHECK_MSG(!open_.empty(),
                     "uncommit with no open tentative commit to reverse");
   const OpenCommit& top = open_.back();
+  RESCHED_CHECK_MSG(!top.accepted,
+                    "uncommit would reverse an accepted plan decision; only "
+                    "rewind_to may unwind those");
   RESCHED_CHECK_MSG(
       top.t == t && top.q == q && top.p == p,
       "uncommit(t, q, p) does not match the newest open tentative commit");

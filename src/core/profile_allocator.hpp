@@ -45,6 +45,41 @@
 // profiles through StepProfile's lazily built min/max segment-tree index;
 // earliest_fit leaps over whole runs of deficient segments per iteration
 // (first_at_least), so placements no longer rescan the profile linearly.
+//
+// ## Versioned plans (checkpoint / rewind -- the incremental-replan substrate)
+//
+// A resident service re-plans on every arrival/completion event. Rebuilding
+// the capacity profile from scratch per decision is the dominant cost; the
+// alternative is to keep ONE long-lived FreeProfile (absolute time) and let
+// each plan run directly on it, then unwind the plan's speculative
+// allocations before the next event. Three pieces make that safe:
+//
+//   checkpoint()            -- O(1) snapshot of the plan frontier: the frame
+//                              stack depth, the commit serial and the
+//                              underlying StepProfile::version().
+//   set_retain_accepted(on) -- plan-recording mode: commit/commit_fitted
+//                              open a recorded frame instead of mutating
+//                              unrecorded, and accept() keeps its frame (undo
+//                              intact) instead of discarding it. Every
+//                              mutation a scheduler makes while planning is
+//                              therefore on the frame stack.
+//   rewind_to(checkpoint)   -- rolls the frame stack back to the checkpoint
+//                              depth, newest-first, in O(touched) per frame
+//                              with the query index kept warm (invariant I6
+//                              in step_profile.hpp): the whole plan suffix is
+//                              invalidated without an O(s) rebuild. Verifies
+//                              through the profile version that nothing but
+//                              frames mutated since the checkpoint.
+//
+// plan_since(checkpoint) reads the delta between the checkpoint's version
+// and now as the ordered list of (t, q, p) allocations -- the decisions a
+// repair loop inspects to find the committed head of a plan.
+//
+// Permanent world changes (a job actually starting, churn: cancellations
+// freeing capacity, availability drops, reservation moves) go through
+// adjust_capacity(), which requires an empty frame stack: plans are always
+// rewound before the world moves, so a checkpoint can never span a
+// permanent mutation (rewind_to checks this and trips loudly).
 #pragma once
 
 #include <cstdint>
@@ -133,6 +168,61 @@ class FreeProfile {
   // allocation becomes permanent and its undo state is discarded in O(1).
   void accept(CommitToken&& token);
 
+  // O(1) snapshot of the plan frontier; see the header notes. A checkpoint
+  // taken on one FreeProfile must only be passed back to that object.
+  struct Checkpoint {
+    std::uint64_t serial = 0;    // next commit serial at checkpoint time
+    std::size_t depth = 0;       // frame-stack depth at checkpoint time
+    std::uint64_t version = 0;   // StepProfile::version() at checkpoint time
+    std::uint64_t permanent = 0; // permanent mutations seen at checkpoint time
+  };
+  [[nodiscard]] Checkpoint checkpoint() const noexcept {
+    return Checkpoint{next_serial_, open_.size(), profile_.version(),
+                      permanent_mutations_};
+  }
+
+  // Rolls the frame stack back to the checkpoint's depth, newest-first
+  // (accepted-retained frames included), leaving the profile bit-identical
+  // to its checkpoint state with the query index warm. Trips RESCHED_CHECK
+  // if any permanent mutation (adjust_capacity, non-retained commit,
+  // compact_history) happened since the checkpoint -- those cannot be
+  // rewound -- or if the stack is already below the checkpoint depth.
+  void rewind_to(const Checkpoint& checkpoint);
+
+  // One allocation recorded on the frame stack since a checkpoint.
+  struct PlanStep {
+    Time t = 0;
+    ProcCount q = 0;
+    Time p = 0;
+    bool accepted = false;
+    friend bool operator==(const PlanStep&, const PlanStep&) = default;
+  };
+  // The delta between the checkpoint's version and now: every still-open
+  // frame recorded since, oldest first. O(frames since).
+  [[nodiscard]] std::vector<PlanStep> plan_since(
+      const Checkpoint& checkpoint) const;
+
+  // Plan-recording mode: while on, commit()/commit_fitted() open recorded
+  // frames and accept() retains its frame with the undo intact, so
+  // rewind_to can unwind a whole plan. Toggling requires an empty stack.
+  void set_retain_accepted(bool on);
+  [[nodiscard]] bool retain_accepted() const noexcept {
+    return retain_accepted_;
+  }
+
+  // Permanent capacity mutation (a job starting for real; churn events:
+  // cancellation refunds, availability drops, reservation moves). delta < 0
+  // withdraws capacity over [from, to), delta > 0 restores it. Requires an
+  // empty frame stack -- plans must be rewound before the world moves --
+  // and, for withdrawals, that the window can afford it (min capacity over
+  // the window stays >= 0).
+  void adjust_capacity(Time from, Time to, std::int64_t delta);
+
+  // Forwards StepProfile::compact_before: coalesces dead history strictly
+  // before t (the service loop's monotone clock). Requires an empty frame
+  // stack. Returns the number of segments removed.
+  std::size_t compact_history(Time t);
+
   // Legacy inverse of commit_tentative, kept for callers that identify the
   // allocation by value instead of by token: RESCHED_CHECKs that
   // (t, q, p) is exactly the newest open tentative commit and rolls it
@@ -154,18 +244,23 @@ class FreeProfile {
 
  private:
   // One open tentative commit: identity for the checked wrappers plus the
-  // undo record that reverts it.
+  // undo record that reverts it. `accepted` marks a frame accept() retained
+  // in plan-recording mode: sealed as a decision, still rewindable.
   struct OpenCommit {
     std::uint64_t serial = 0;
     Time t = 0;
     ProcCount q = 0;
     Time p = 0;
+    bool accepted = false;
     StepProfile::Undo undo;
   };
 
   // Pops the top frame (rolling the profile back unless `keep`), recycling
   // its undo buffer.
   void resolve_top(bool keep);
+  // Opens a recorded frame for a validated allocation; shared by
+  // commit_tentative and the retain-mode permanent commits.
+  void push_frame(Time t, ProcCount q, Time p, bool accepted);
 
   StepProfile profile_;
   std::vector<OpenCommit> open_;
@@ -173,6 +268,10 @@ class FreeProfile {
   // stop allocating; bounded small.
   std::vector<StepProfile::Undo> spare_;
   std::uint64_t next_serial_ = 0;
+  // Count of non-rewindable mutations (adjust_capacity, non-retained
+  // commits, compact_history); rewind_to refuses to cross one.
+  std::uint64_t permanent_mutations_ = 0;
+  bool retain_accepted_ = false;
 };
 
 }  // namespace resched

@@ -151,6 +151,7 @@ void StepProfile::add_impl(Time from, Time to, std::int64_t delta,
   } else {
     (void)index_apply_add(from, to, delta);
   }
+  ++version_;
 }
 
 void StepProfile::rollback(Undo& undo) {
@@ -232,6 +233,21 @@ void StepProfile::rollback(Undo& undo) {
                   prior.end());
   }
   index_rollback_patch(undo);
+  ++version_;
+}
+
+std::size_t StepProfile::compact_before(Time t) {
+  RESCHED_REQUIRE_MSG(t >= 0, "compact_before with negative time");
+  const std::size_t i = index_of(t);
+  if (i == 0) return 0;
+  // The suffix [i, ...) already starts with the segment containing t;
+  // promoting it to cover [0, t) keeps canonical form (its value differs
+  // from its right neighbour's by the invariant on steps_).
+  steps_.erase(steps_.begin(), steps_.begin() + static_cast<std::ptrdiff_t>(i));
+  steps_.front().start = 0;
+  drop_index();
+  ++version_;
+  return i;
 }
 
 // ---------------------------------------------------------------------------

@@ -139,12 +139,14 @@ class StepProfile {
   StepProfile& operator=(const StepProfile& other) {
     steps_ = other.steps_;
     drop_index();
+    ++version_;
     return *this;
   }
   StepProfile(StepProfile&& other) noexcept
       : steps_(std::move(other.steps_)),
         index_(other.index_.exchange(nullptr, std::memory_order_relaxed)),
-        index_builds_(other.index_builds_.load(std::memory_order_relaxed)) {}
+        index_builds_(other.index_builds_.load(std::memory_order_relaxed)),
+        version_(other.version_) {}
   StepProfile& operator=(StepProfile&& other) noexcept {
     if (this != &other) {
       steps_ = std::move(other.steps_);
@@ -153,6 +155,7 @@ class StepProfile {
           std::memory_order_relaxed);
       index_builds_.store(other.index_builds_.load(std::memory_order_relaxed),
                           std::memory_order_relaxed);
+      version_ = other.version_;
     }
     return *this;
   }
@@ -222,6 +225,24 @@ class StepProfile {
   [[nodiscard]] std::uint64_t index_build_count() const noexcept {
     return index_builds_.load(std::memory_order_relaxed);
   }
+
+  // Monotone mutation version: incremented by every successful state change
+  // (add, add_recorded, rollback, compact_before, copy assignment). The O(1)
+  // checkpoint primitive of the incremental-replan layer: two equal versions
+  // of one live object guarantee no mutation happened in between, so a
+  // caller holding a version can tell whether its derived state (plans,
+  // deltas, caches) is still current without comparing segments. Copies
+  // start at zero (a copy is a new history); moves carry the version.
+  [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
+
+  // Collapses every segment boundary strictly before t into one leading
+  // segment carrying value_at(t); the function on [t, +inf) is unchanged,
+  // the function on [0, t) is rewritten to the constant value_at(t). For
+  // callers that advance a clock monotonically and never query the past
+  // again (the resident service profile): dead history otherwise accumulates
+  // one segment per completed job forever. Structural, so it drops the query
+  // index. Returns the number of segments removed.
+  std::size_t compact_before(Time t);
 
   // Minimum value over the window [from, to); requires from < to.
   [[nodiscard]] std::int64_t min_in(Time from, Time to) const;
@@ -330,6 +351,9 @@ class StepProfile {
   // Diagnostic only (never compared, never part of function equality):
   // counts build_index runs, including builds a racing reader discarded.
   mutable std::atomic<std::uint64_t> index_builds_{0};
+  // Mutation version (see version()). Plain integer: every increment site
+  // requires exclusive access to the profile already.
+  std::uint64_t version_ = 0;
 
   void drop_index() noexcept {
     delete index_.exchange(nullptr, std::memory_order_relaxed);

@@ -1,0 +1,104 @@
+#include "generators/churn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "core/types.hpp"
+#include "generators/workload.hpp"
+
+namespace resched {
+
+const char* to_string(ChurnKind kind) noexcept {
+  switch (kind) {
+    case ChurnKind::kCancelWaiting:
+      return "cancel_waiting";
+    case ChurnKind::kCancelRunning:
+      return "cancel_running";
+    case ChurnKind::kAvailabilityDrop:
+      return "availability_drop";
+    case ChurnKind::kReservationMove:
+      return "reservation_move";
+  }
+  return "unknown";
+}
+
+ChurnGen::ChurnGen(const ChurnConfig& config, std::uint64_t seed)
+    : config_(config), prng_(seed) {
+  if (!config.enabled()) {
+    throw std::invalid_argument("ChurnGen requires a positive event rate");
+  }
+  auto check_weight = [](double w, const char* what) {
+    if (!(w >= 0.0)) {
+      throw std::invalid_argument(std::string("negative churn weight: ") +
+                                  what);
+    }
+  };
+  check_weight(config.cancel_waiting_weight, "cancel_waiting");
+  check_weight(config.cancel_running_weight, "cancel_running");
+  check_weight(config.availability_drop_weight, "availability_drop");
+  check_weight(config.reservation_move_weight, "reservation_move");
+  total_weight_ = config.cancel_waiting_weight + config.cancel_running_weight +
+                  config.availability_drop_weight +
+                  config.reservation_move_weight;
+  if (!(total_weight_ > 0.0)) {
+    throw std::invalid_argument("all churn kind weights are zero");
+  }
+  if (config.max_drop_width < 1) {
+    throw std::invalid_argument("max_drop_width must be >= 1");
+  }
+  if (config.drop_duration_min < 1 ||
+      config.drop_duration_min > config.drop_duration_max) {
+    throw std::invalid_argument("invalid drop duration range");
+  }
+  if (config.drop_lead_max < 0) {
+    throw std::invalid_argument("drop_lead_max must be >= 0");
+  }
+  if (config.move_shift_max < 0) {
+    throw std::invalid_argument("move_shift_max must be >= 0");
+  }
+}
+
+ChurnEvent ChurnGen::next() {
+  ChurnEvent event;
+
+  // Exponential inter-event gap at the configured rate, floored to one tick
+  // so consecutive events always advance the service clock.
+  const double u = prng_.uniform_real();
+  const double mean_gap = 1000.0 / config_.events_per_kilotick;
+  const double gap = -mean_gap * std::log(1.0 - u);
+  event.gap = std::max<Time>(1, saturating_ticks(gap));
+
+  // Kind by relative weight.
+  const double roll = prng_.uniform_real() * total_weight_;
+  double edge = config_.cancel_waiting_weight;
+  if (roll < edge) {
+    event.kind = ChurnKind::kCancelWaiting;
+  } else if (roll < (edge += config_.cancel_running_weight)) {
+    event.kind = ChurnKind::kCancelRunning;
+  } else if (roll < (edge += config_.availability_drop_weight)) {
+    event.kind = ChurnKind::kAvailabilityDrop;
+  } else {
+    event.kind = ChurnKind::kReservationMove;
+  }
+
+  // All shape fields are drawn unconditionally so the stream's draw count
+  // per event is fixed: consumers that skip an event (no eligible target)
+  // stay aligned with consumers that apply it.
+  event.pick = prng_.next_u64();
+  event.width = static_cast<ProcCount>(
+      prng_.uniform_int(1, static_cast<std::int64_t>(config_.max_drop_width)));
+  event.duration = prng_.uniform_int(config_.drop_duration_min,
+                                     config_.drop_duration_max);
+  event.lead = config_.drop_lead_max == 0
+                   ? 0
+                   : prng_.uniform_int(0, config_.drop_lead_max);
+  event.shift = config_.move_shift_max == 0
+                    ? 0
+                    : prng_.uniform_int(-config_.move_shift_max,
+                                        config_.move_shift_max);
+  return event;
+}
+
+}  // namespace resched

@@ -1,0 +1,94 @@
+// Churn events: the ways a live cluster's world changes out from under an
+// already-committed plan.
+//
+// The paper's reservation model is static -- a schedule is built once
+// against a fixed availability profile. Production batch systems (the
+// EASY/CBF lineage in PAPERS.md) live under churn instead: jobs are
+// cancelled while queued or running, machines drop out mid-horizon, and
+// maintenance reservations are moved. This header models that event stream
+// for the resident service harness (sim/service_sim.*) and for the
+// differential churn fuzz (tests/test_churn_fuzz.cpp): each event
+// invalidates a suffix of the current plan, and the incremental replan path
+// must repair it bit-identically to a full re-solve.
+//
+// ChurnGen is an open-loop generator in the LoadGen mold: exponential
+// inter-event gaps at a configurable rate, event kinds drawn by weight, and
+// all shape parameters (drop width/duration, move shift, target selector)
+// drawn up front so the stream is a pure function of (config, seed) --
+// independent of what the consumer does with each event.
+#pragma once
+
+#include <cstdint>
+
+#include "core/types.hpp"
+#include "util/prng.hpp"
+
+namespace resched {
+
+enum class ChurnKind {
+  kCancelWaiting,      // a queued job is withdrawn before it ever starts
+  kCancelRunning,      // a running job is killed; its processors free now
+  kAvailabilityDrop,   // w processors leave for a window [now, now + d)
+  kReservationMove,    // a pending availability window is shifted in time
+};
+
+[[nodiscard]] const char* to_string(ChurnKind kind) noexcept;
+
+struct ChurnConfig {
+  // Offered churn rate, events per kilotick; 0 disables churn entirely.
+  double events_per_kilotick = 0.0;
+  // Relative kind weights (>= 0, not all zero when enabled).
+  double cancel_waiting_weight = 1.0;
+  double cancel_running_weight = 1.0;
+  double availability_drop_weight = 1.0;
+  double reservation_move_weight = 1.0;
+  // Availability-drop shape: width in [1, max_drop_width] processors
+  // (clamped by the consumer to what the cluster can afford), duration in
+  // [drop_duration_min, drop_duration_max] ticks, starting lead in
+  // [0, drop_lead_max] ticks ahead of the event (lead > 0 creates pending
+  // windows, the targets reservation moves shift around).
+  ProcCount max_drop_width = 4;
+  Time drop_duration_min = 50;
+  Time drop_duration_max = 500;
+  Time drop_lead_max = 200;
+  // Reservation-move shape: the window start is shifted by a draw in
+  // [-move_shift_max, +move_shift_max] (consumer clamps to feasibility).
+  Time move_shift_max = 200;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return events_per_kilotick > 0.0;
+  }
+};
+
+// One drawn event. `gap` is the inter-event time in ticks (>= 1); the shape
+// fields are always populated (the consumer reads the ones its kind uses).
+// `pick` selects the target (waiting index, running job, movable window) via
+// modulo on the consumer side, so the stream stays consumer-independent.
+struct ChurnEvent {
+  ChurnKind kind = ChurnKind::kCancelWaiting;
+  Time gap = 1;
+  std::uint64_t pick = 0;
+  ProcCount width = 1;     // availability drops
+  Time duration = 1;       // availability drops
+  Time lead = 0;           // availability drops: window starts at now + lead
+  Time shift = 0;          // reservation moves (signed)
+
+  friend bool operator==(const ChurnEvent&, const ChurnEvent&) = default;
+};
+
+class ChurnGen {
+ public:
+  // Validates the config (throws std::invalid_argument). Requires
+  // config.enabled(): a disabled config has no stream to draw.
+  ChurnGen(const ChurnConfig& config, std::uint64_t seed);
+
+  // Draws the next event; deterministic in (config, seed, call index).
+  [[nodiscard]] ChurnEvent next();
+
+ private:
+  ChurnConfig config_;
+  double total_weight_ = 0.0;
+  Prng prng_;
+};
+
+}  // namespace resched

@@ -228,5 +228,185 @@ TEST_P(EarliestFitRandomized, AgreesWithBruteForce) {
 INSTANTIATE_TEST_SUITE_P(Seeds, EarliestFitRandomized,
                          ::testing::Values(10, 11, 12, 13, 14, 15));
 
+TEST(FreeProfileVersioned, CheckpointRewindRestoresPlanState) {
+  FreeProfile free{StepProfile(8)};
+  free.set_retain_accepted(true);
+  const FreeProfile::Checkpoint before = free.checkpoint();
+
+  // A plan in recording mode: permanent-API commits become frames too.
+  free.commit_fitted(0, 3, 10);
+  free.commit(5, 2, 4);
+  FreeProfile::CommitToken probe = free.commit_tentative(12, 8, 2);
+  free.accept(std::move(probe));
+  EXPECT_EQ(free.open_commits(), 3u);
+  EXPECT_EQ(free.capacity_at(6), 3);
+  EXPECT_EQ(free.capacity_at(12), 0);
+
+  free.rewind_to(before);
+  EXPECT_EQ(free.open_commits(), 0u);
+  EXPECT_EQ(free.capacity_at(0), 8);
+  EXPECT_EQ(free.capacity_at(6), 8);
+  EXPECT_EQ(free.capacity_at(12), 8);
+  // Rewinding to the same checkpoint again is a no-op, not an error.
+  free.rewind_to(before);
+}
+
+TEST(FreeProfileVersioned, RewindToMidPlanCheckpointUnwindsOnlyTheSuffix) {
+  FreeProfile free{StepProfile(8)};
+  free.set_retain_accepted(true);
+  free.commit_fitted(0, 2, 10);
+  const FreeProfile::Checkpoint mid = free.checkpoint();
+  free.commit_fitted(0, 4, 5);
+  EXPECT_EQ(free.capacity_at(0), 2);
+  free.rewind_to(mid);
+  EXPECT_EQ(free.capacity_at(0), 6) << "prefix frame must survive";
+  EXPECT_EQ(free.open_commits(), 1u);
+}
+
+TEST(FreeProfileVersioned, PlanSinceListsTheRecordedDecisions) {
+  FreeProfile free{StepProfile(8)};
+  free.set_retain_accepted(true);
+  const FreeProfile::Checkpoint before = free.checkpoint();
+  free.commit_fitted(0, 3, 10);
+  FreeProfile::CommitToken probe = free.commit_tentative(10, 2, 4);
+  free.accept(std::move(probe));
+  FreeProfile::CommitToken open = free.commit_tentative(20, 1, 1);
+
+  const std::vector<FreeProfile::PlanStep> plan = free.plan_since(before);
+  ASSERT_EQ(plan.size(), 3u);
+  EXPECT_EQ(plan[0], (FreeProfile::PlanStep{0, 3, 10, true}));
+  EXPECT_EQ(plan[1], (FreeProfile::PlanStep{10, 2, 4, true}));
+  EXPECT_EQ(plan[2], (FreeProfile::PlanStep{20, 1, 1, false}));
+  free.rollback(std::move(open));
+  EXPECT_EQ(free.plan_since(before).size(), 2u);
+  free.rewind_to(before);
+  EXPECT_TRUE(free.plan_since(before).empty());
+}
+
+TEST(FreeProfileVersioned, AcceptedFramesRefuseLegacyUncommit) {
+  // uncommit() reverses tentative probes; a retained *accepted* frame is a
+  // sealed plan decision that only rewind_to may unwind.
+  FreeProfile free{StepProfile(4)};
+  free.set_retain_accepted(true);
+  FreeProfile::CommitToken token = free.commit_tentative(0, 2, 5);
+  free.accept(std::move(token));
+  EXPECT_THROW(free.uncommit(0, 2, 5), std::logic_error);
+  EXPECT_EQ(free.capacity_at(0), 2) << "failed uncommit must not mutate";
+}
+
+TEST(FreeProfileVersioned, ToggleRetainRequiresEmptyStack) {
+  FreeProfile free{StepProfile(4)};
+  FreeProfile::CommitToken token = free.commit_tentative(0, 1, 1);
+  EXPECT_THROW(free.set_retain_accepted(true), std::invalid_argument);
+  free.rollback(std::move(token));
+  free.set_retain_accepted(true);
+  EXPECT_TRUE(free.retain_accepted());
+}
+
+TEST(FreeProfileVersioned, RewindRefusesToCrossPermanentMutations) {
+  FreeProfile free{StepProfile(8)};
+  free.set_retain_accepted(true);
+  const FreeProfile::Checkpoint before = free.checkpoint();
+  free.adjust_capacity(0, 10, -3);  // the world moved: not a plan frame
+  EXPECT_THROW(free.rewind_to(before), std::logic_error);
+  EXPECT_EQ(free.capacity_at(5), 5) << "failed rewind must not mutate";
+}
+
+TEST(FreeProfileVersioned, AdjustCapacityContracts) {
+  FreeProfile free{StepProfile(4)};
+  // Withdrawals must stay within the window's minimum free capacity.
+  EXPECT_THROW(free.adjust_capacity(0, 10, -5), std::invalid_argument);
+  free.adjust_capacity(2, 6, -4);
+  EXPECT_EQ(free.capacity_at(3), 0);
+  EXPECT_THROW(free.adjust_capacity(0, 4, -1), std::invalid_argument);
+  // Restores lift the window back; a cancellation refund.
+  free.adjust_capacity(2, 6, 4);
+  EXPECT_EQ(free.capacity_at(3), 4);
+  // Plans must be rewound before the world moves.
+  FreeProfile::CommitToken token = free.commit_tentative(0, 1, 1);
+  EXPECT_THROW(free.adjust_capacity(0, 1, -1), std::logic_error);
+  free.rollback(std::move(token));
+  EXPECT_THROW(free.adjust_capacity(3, 3, -1), std::invalid_argument);
+}
+
+TEST(FreeProfileVersioned, CompactHistoryPreservesTheLiveSuffix) {
+  FreeProfile free{StepProfile(16)};
+  for (Time t = 0; t < 100; t += 10) free.adjust_capacity(t, t + 5, -1);
+  const std::size_t segments_before = free.profile().segment_count();
+  const ProcCount at_now = free.capacity_at(52);
+  const ProcCount later = free.capacity_at(75);
+  const std::size_t removed = free.compact_history(52);
+  EXPECT_GT(removed, 0u);
+  EXPECT_LT(free.profile().segment_count(), segments_before);
+  EXPECT_EQ(free.capacity_at(52), at_now);
+  EXPECT_EQ(free.capacity_at(75), later);
+  EXPECT_EQ(free.capacity_at(1000), 16);
+  // A checkpoint taken before a compaction is no longer rewindable: the
+  // coalescing is a permanent mutation.
+  free.set_retain_accepted(true);
+  const FreeProfile::Checkpoint before = free.checkpoint();
+  ASSERT_GT(free.compact_history(60), 0u);
+  EXPECT_THROW(free.rewind_to(before), std::logic_error);
+  EXPECT_EQ(free.capacity_at(75), later);
+}
+
+// Differential twin fuzz: a long random interleaving of plan frames,
+// checkpoints, rewinds and permanent mutations stays bit-identical to a
+// naive twin that re-derives the profile from the surviving operations.
+TEST(FreeProfileVersioned, CheckpointRewindTwinFuzz) {
+  Prng prng(777);
+  for (int round = 0; round < 20; ++round) {
+    FreeProfile free{StepProfile(32)};
+    free.set_retain_accepted(true);
+    // The twin records every operation that is still in effect.
+    struct Op {
+      Time from = 0, to = 0;
+      std::int64_t delta = 0;
+    };
+    std::vector<Op> permanent;
+    std::vector<Op> frames;
+    struct Mark {
+      FreeProfile::Checkpoint cp;
+      std::size_t frame_count = 0;
+    };
+    std::vector<Mark> marks;
+
+    for (int step = 0; step < 120; ++step) {
+      const int roll = static_cast<int>(prng.uniform_int(0, 9));
+      const Time t = prng.uniform_int(0, 400);
+      const ProcCount q = prng.uniform_int(1, 8);
+      const Time p = prng.uniform_int(1, 40);
+      if (roll < 4) {
+        if (!free.fits_at(t, q, p)) continue;
+        free.commit_fitted(t, q, p);
+        frames.push_back(Op{t, t + p, -static_cast<std::int64_t>(q)});
+      } else if (roll < 6) {
+        marks.push_back(Mark{free.checkpoint(), frames.size()});
+      } else if (roll < 8 && !marks.empty()) {
+        const std::size_t pick = static_cast<std::size_t>(
+            prng.uniform_int(0, static_cast<std::int64_t>(marks.size()) - 1));
+        const Mark mark = marks[pick];
+        free.rewind_to(mark.cp);
+        frames.resize(mark.frame_count);
+        marks.resize(pick + 1);
+      } else if (frames.empty()) {
+        // Permanent mutations require an empty frame stack; only attempt
+        // one between plans.
+        if (free.profile().min_in(t, t + p) < q) continue;
+        free.adjust_capacity(t, t + p, -static_cast<std::int64_t>(q));
+        permanent.push_back(Op{t, t + p, -static_cast<std::int64_t>(q)});
+        marks.clear();  // checkpoints cannot cross a permanent mutation
+      }
+    }
+
+    StepProfile twin(32);
+    for (const Op& op : permanent) twin.add(op.from, op.to, op.delta);
+    for (const Op& op : frames) twin.add(op.from, op.to, op.delta);
+    for (Time t = 0; t <= 450; ++t)
+      ASSERT_EQ(free.capacity_at(t), twin.value_at(t))
+          << "round " << round << " t=" << t;
+  }
+}
+
 }  // namespace
 }  // namespace resched
