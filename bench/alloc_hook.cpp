@@ -1,0 +1,109 @@
+// Global operator new/delete replacement for bench and test binaries.
+//
+// Routes every residual C++ heap allocation (std containers, std::function
+// spills, map nodes -- anything not already on an instrumented malloc path)
+// through std::malloc plus resched::note_alloc(), so alloc_count() observes
+// the COMPLETE heap traffic of an operation, not just the library's own
+// SegStore/Arena sites. Those library sites allocate with std::malloc
+// directly and are therefore invisible here: each heap event is counted
+// exactly once.
+//
+// Linked as a CMake OBJECT library into every bench and test executable
+// ($<TARGET_OBJECTS:resched_alloc_hook>). It must NOT be part of the
+// resched static library: replacement operators belong to the final link,
+// and examples/ deliberately ship without the hook. malloc/free stay
+// interceptable by ASan/TSan, so the sanitizer jobs keep full leak checking.
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+
+#include "core/arena.hpp"
+
+namespace {
+
+void* hooked_alloc(std::size_t size) noexcept {
+  if (size == 0) size = 1;
+  void* p = std::malloc(size);
+  if (p != nullptr) resched::note_alloc(size);
+  return p;
+}
+
+void* hooked_aligned_alloc(std::size_t size, std::size_t align) noexcept {
+  void* p = nullptr;
+  if (posix_memalign(&p, align < sizeof(void*) ? sizeof(void*) : align,
+                     size == 0 ? 1 : size) != 0)
+    return nullptr;
+  resched::note_alloc(size);
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  void* p = hooked_alloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  void* p = hooked_alloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return hooked_alloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return hooked_alloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p = hooked_aligned_alloc(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  void* p = hooked_aligned_alloc(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return hooked_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return hooked_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t,
+                     const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  std::free(p);
+}

@@ -6,6 +6,8 @@
 // what the parallelism buys).
 #include "bench_util.hpp"
 
+#include "algorithms/scheduler.hpp"
+#include "core/arena.hpp"
 #include "generators/reservations.hpp"
 #include "generators/workload.hpp"
 #include "sim/campaign.hpp"
@@ -80,6 +82,31 @@ void BM_CampaignShared(benchmark::State& state) {
 }
 BENCHMARK(BM_CampaignShared)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime()
     ->Unit(benchmark::kMillisecond);
+
+// Batch-path allocation cost: one schedule() call over the standard
+// campaign instance (n = 300, m = 64, 10 reservations), heap events
+// counted by the global alloc hook. The campaign fan-out above is
+// thread-pooled (the thread-local counter cannot see the workers), so the
+// per-schedule figure is measured here on the calling thread.
+void BM_ScheduleAllocs(benchmark::State& state, const char* name) {
+  const auto scheduler = make_scheduler(name);
+  const Instance instance = sweep_instance(7);
+  std::uint64_t allocs = 0;
+  std::uint64_t runs = 0;
+  for (auto _ : state) {
+    const std::uint64_t allocs_begin = alloc_count();
+    const ScheduleOutcome outcome = scheduler->schedule(instance);
+    allocs += alloc_count() - allocs_begin;
+    ++runs;
+    benchmark::DoNotOptimize(outcome.ok());
+  }
+  state.counters["allocs_per_schedule"] =
+      runs > 0 ? static_cast<double>(allocs) / static_cast<double>(runs)
+               : 0.0;
+}
+BENCHMARK_CAPTURE(BM_ScheduleAllocs, easy, "easy");
+BENCHMARK_CAPTURE(BM_ScheduleAllocs, conservative, "conservative");
+BENCHMARK_CAPTURE(BM_ScheduleAllocs, fcfs, "fcfs");
 
 Instance tail_instance(std::uint64_t seed) {
   WorkloadConfig workload;

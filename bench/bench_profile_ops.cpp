@@ -4,6 +4,7 @@
 // pin down the cost of its core operations as the segment count grows.
 #include "bench_util.hpp"
 
+#include "core/arena.hpp"
 #include "core/profile_allocator.hpp"
 #include "core/step_profile.hpp"
 #include "util/prng.hpp"
@@ -36,14 +37,21 @@ void print_tables() {
 
 void BM_ProfileAdd(benchmark::State& state) {
   Prng prng(1);
+  std::uint64_t allocs = 0;
+  std::uint64_t ops = 0;
   for (auto _ : state) {
     state.PauseTiming();
     StepProfile profile = busy_profile(state.range(0), 2);
     state.ResumeTiming();
     const Time start = prng.uniform_int(0, 100'000);
+    const std::uint64_t allocs_begin = alloc_count();
     profile.add(start, start + 200, -1);
+    allocs += alloc_count() - allocs_begin;
+    ++ops;
     benchmark::DoNotOptimize(profile.segment_count());
   }
+  state.counters["allocs_per_op"] =
+      ops > 0 ? static_cast<double>(allocs) / static_cast<double>(ops) : 0.0;
 }
 BENCHMARK(BM_ProfileAdd)->Range(64, 4096);
 
@@ -125,16 +133,26 @@ void BM_BackfillChurn(benchmark::State& state) {
   FreeProfile free(busy_profile(state.range(0), 6));
   benchmark::DoNotOptimize(free.profile().min_in(0, 100'000));  // warm index
   Prng prng(21);
+  std::uint64_t allocs = 0;
+  std::uint64_t probes = 0;
   for (auto _ : state) {
     const Time t = prng.uniform_int(0, 50'000);
     const ProcCount q = prng.uniform_int(1, 64);
     if (!free.fits_at(t, q, 300)) continue;
+    const std::uint64_t allocs_begin = alloc_count();
     FreeProfile::CommitToken token = free.commit_tentative(t, q, 300);
     benchmark::DoNotOptimize(free.profile().min_in(0, 100'000));
     free.rollback(std::move(token));
+    allocs += alloc_count() - allocs_begin;
+    ++probes;
   }
   state.counters["index_rebuilds"] =
       static_cast<double>(free.profile().index_build_count());
+  // Steady-state commit/probe/rollback cycles should be allocation-free:
+  // undo frames come from the spare pool, segment edits reuse capacity.
+  state.counters["allocs_per_probe"] =
+      probes > 0 ? static_cast<double>(allocs) / static_cast<double>(probes)
+                 : 0.0;
 }
 BENCHMARK(BM_BackfillChurn)->Range(64, 4096);
 
@@ -167,4 +185,4 @@ BENCHMARK(BM_ProfilePlus)->Range(64, 4096);
 
 }  // namespace
 
-RESCHED_BENCH_MAIN(print_tables, "BENCH_profile.json")
+RESCHED_BENCH_MAIN(print_tables, "BENCH_profile_ops.json")

@@ -110,6 +110,14 @@ void BM_ServiceStep(benchmark::State& state, const char* scheduler_name,
       static_cast<double>(last.plan_frames_rewound);
   state.counters["history_compactions"] =
       static_cast<double>(last.history_compactions);
+  // Heap allocations per measure-window decision (global operator-new hook
+  // plus the library's instrumented malloc sites). Deterministic; gated by
+  // bench/alloc_budget.json in CI. Steady-state incremental paths target 0.
+  state.counters["allocs_per_decision"] =
+      last.decisions_measured > 0
+          ? static_cast<double>(last.decision_allocs) /
+                static_cast<double>(last.decisions_measured)
+          : 0.0;
   state.counters["churn_events"] = static_cast<double>(last.churn_events);
   state.counters["canceled"] = static_cast<double>(last.canceled);
   state.counters["saturated"] = last.saturated ? 1.0 : 0.0;

@@ -6,9 +6,14 @@
 
 namespace resched {
 
-BackfillQueue::BackfillQueue(ProcCount max_q) {
+BackfillQueue::BackfillQueue(ProcCount max_q, Arena* scratch)
+    : buckets_(ArenaAlloc<Bucket>(scratch)),
+      heap_(ArenaAlloc<Head>(scratch)),
+      pass_qs_(ArenaAlloc<ProcCount>(scratch)) {
   RESCHED_REQUIRE_MSG(max_q >= 1, "backfill queue needs max_q >= 1");
-  buckets_.resize(static_cast<std::size_t>(max_q) + 1);
+  buckets_.reserve(static_cast<std::size_t>(max_q) + 1);
+  for (std::size_t q = 0; q <= static_cast<std::size_t>(max_q); ++q)
+    buckets_.emplace_back(scratch);
 }
 
 void BackfillQueue::insert(JobId id, std::int64_t rank, ProcCount q) {

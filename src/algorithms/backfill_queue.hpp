@@ -44,6 +44,7 @@
 #include <set>
 #include <vector>
 
+#include "core/arena.hpp"
 #include "core/types.hpp"
 
 namespace resched {
@@ -57,8 +58,10 @@ class BackfillQueue {
   };
 
   // max_q: largest processor demand that will ever be inserted (the
-  // instance's machine count).
-  explicit BackfillQueue(ProcCount max_q);
+  // instance's machine count). With a scratch arena, every internal buffer
+  // (buckets, merge heap, pass list) is bump-allocated from it -- the
+  // replan hot path; null = plain counted heap (batch schedule()).
+  explicit BackfillQueue(ProcCount max_q, Arena* scratch = nullptr);
 
   // Inserts a pending job. Must not be called while a pass is open.
   void insert(JobId id, std::int64_t rank, ProcCount q);
@@ -84,7 +87,8 @@ class BackfillQueue {
 
  private:
   struct Bucket {
-    std::vector<Entry> items;  // sorted by rank
+    explicit Bucket(Arena* scratch) : items(ArenaAlloc<Entry>(scratch)) {}
+    ScratchVec<Entry> items;   // sorted by rank
     std::size_t read = 0;      // pass cursors: next candidate / survivor slot
     std::size_t write = 0;
     bool in_pass = false;
@@ -102,17 +106,23 @@ class BackfillQueue {
 
   void touch(Bucket& bucket, ProcCount q);
 
-  std::vector<Bucket> buckets_;         // indexed by q, 0..max_q
-  std::vector<Head> heap_;              // std::push_heap/pop_heap, min by rank
-  std::vector<ProcCount> pass_qs_;      // buckets touched by the open pass
+  ScratchVec<Bucket> buckets_;          // indexed by q, 0..max_q
+  ScratchVec<Head> heap_;               // std::push_heap/pop_heap, min by rank
+  ScratchVec<ProcCount> pass_qs_;       // buckets touched by the open pass
   std::size_t size_ = 0;
   ProcCount current_ = -1;              // bucket of the last popped candidate
   bool pass_open_ = false;
 };
 
 // Deduplicated min-queue of wake-up times for event-driven schedulers.
+// With a scratch arena the set's nodes come from the bump allocator
+// (erased nodes are not individually reclaimed -- the arena reset at the
+// end of the decision takes them all); null = plain counted heap.
 class EventTimes {
  public:
+  explicit EventTimes(Arena* scratch = nullptr)
+      : times_(std::less<Time>(), ArenaAlloc<Time>(scratch)) {}
+
   // Records a wake-up; duplicates coalesce.
   void push(Time t) { times_.insert(t); }
 
@@ -130,7 +140,7 @@ class EventTimes {
   }
 
  private:
-  std::set<Time> times_;
+  std::set<Time, std::less<Time>, ArenaAlloc<Time>> times_;
 };
 
 }  // namespace resched

@@ -4,6 +4,7 @@
 #include <numeric>
 #include <vector>
 
+#include "core/arena.hpp"
 #include "core/profile_allocator.hpp"
 
 namespace resched {
@@ -15,13 +16,18 @@ namespace {
 // service's persistent absolute-time profile and t0 = now. Same computation
 // up to time translation (the churn oracle fuzz pins the bit-identity).
 Schedule conservative_run(FreeProfile& free, const std::vector<Job>& jobs,
-                          Time t0) {
-  Schedule schedule(jobs.size());
-  std::vector<JobId> queue(jobs.size());
+                          Time t0, Arena* scratch) {
+  Schedule schedule(jobs.size(), scratch);
+  ScratchVec<JobId> queue(jobs.size(), JobId{0}, ArenaAlloc<JobId>(scratch));
   std::iota(queue.begin(), queue.end(), JobId{0});
-  std::stable_sort(queue.begin(), queue.end(), [&](JobId a, JobId b) {
-    return jobs[static_cast<std::size_t>(a)].release <
-           jobs[static_cast<std::size_t>(b)].release;
+  // (release, id) is a total order, so this in-place sort produces exactly
+  // the permutation a stable sort by release would -- without stable_sort's
+  // unconditional heap-allocated merge buffer (one alloc per decision).
+  std::sort(queue.begin(), queue.end(), [&](JobId a, JobId b) {
+    const Time ra = jobs[static_cast<std::size_t>(a)].release;
+    const Time rb = jobs[static_cast<std::size_t>(b)].release;
+    if (ra != rb) return ra < rb;
+    return a < b;
   });
 
   for (const JobId id : queue) {
@@ -41,12 +47,13 @@ Schedule conservative_run(FreeProfile& free, const std::vector<Job>& jobs,
 ScheduleOutcome ConservativeBackfillScheduler::schedule(
     const Instance& instance) const {
   FreeProfile free = FreeProfile::for_instance(instance);
-  return conservative_run(free, instance.jobs(), 0);
+  return conservative_run(free, instance.jobs(), 0, nullptr);
 }
 
 Schedule ConservativeBackfillScheduler::replan(
     const ReplanRequest& request) const {
-  return conservative_run(request.free, request.queue, request.now);
+  return conservative_run(request.free, request.queue, request.now,
+                          request.scratch);
 }
 
 }  // namespace resched

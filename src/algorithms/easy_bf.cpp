@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "algorithms/backfill_queue.hpp"
+#include "core/arena.hpp"
 #include "core/profile_allocator.hpp"
 #include "util/checked.hpp"
 #include "util/require.hpp"
@@ -20,15 +21,20 @@ namespace {
 // two are the same computation up to time translation, which is what keeps
 // the incremental plan bit-identical to the full re-solve oracle.
 Schedule easy_run(FreeProfile& free, ProcCount m, const std::vector<Job>& jobs,
-                  EventTimes events, Time t0) {
-  Schedule schedule(jobs.size());
+                  EventTimes events, Time t0, Arena* scratch) {
+  Schedule schedule(jobs.size(), scratch);
   if (jobs.empty()) return schedule;
 
-  std::vector<JobId> arrival(jobs.size());
+  ScratchVec<JobId> arrival(jobs.size(), JobId{0}, ArenaAlloc<JobId>(scratch));
   std::iota(arrival.begin(), arrival.end(), JobId{0});
-  std::stable_sort(arrival.begin(), arrival.end(), [&](JobId a, JobId b) {
-    return jobs[static_cast<std::size_t>(a)].release <
-           jobs[static_cast<std::size_t>(b)].release;
+  // (release, id) is a total order, so this in-place sort produces exactly
+  // the permutation a stable sort by release would -- without stable_sort's
+  // unconditional heap-allocated merge buffer (one alloc per decision).
+  std::sort(arrival.begin(), arrival.end(), [&](JobId a, JobId b) {
+    const Time ra = jobs[static_cast<std::size_t>(a)].release;
+    const Time rb = jobs[static_cast<std::size_t>(b)].release;
+    if (ra != rb) return ra < rb;
+    return a < b;
   });
 
   Time t = std::max(t0, jobs[static_cast<std::size_t>(arrival[0])].release);
@@ -38,7 +44,7 @@ Schedule easy_run(FreeProfile& free, ProcCount m, const std::vector<Job>& jobs,
   // Waiting jobs, event-indexed by processor demand; rank = arrival-order
   // position, so passes examine candidates in exactly the FCFS order the
   // seed's deque walk used.
-  BackfillQueue waiting(m);
+  BackfillQueue waiting(m, scratch);
   std::size_t next_arrival = 0;
   std::size_t started = 0;
   while (started < jobs.size()) {
@@ -144,15 +150,16 @@ ScheduleOutcome EasyBackfillScheduler::schedule(
   EventTimes events;
   for (const Reservation& resa : instance.reservations())
     events.push(resa.end());
-  return easy_run(free, instance.m(), instance.jobs(), std::move(events), 0);
+  return easy_run(free, instance.m(), instance.jobs(), std::move(events), 0,
+                  nullptr);
 }
 
 Schedule EasyBackfillScheduler::replan(const ReplanRequest& request) const {
-  EventTimes events;
+  EventTimes events(request.scratch);
   for (const Time wakeup : request.wakeups)
     if (wakeup > request.now) events.push(wakeup);
   return easy_run(request.free, request.m, request.queue, std::move(events),
-                  request.now);
+                  request.now, request.scratch);
 }
 
 }  // namespace resched

@@ -4,6 +4,7 @@
 #include <numeric>
 #include <vector>
 
+#include "core/arena.hpp"
 #include "core/profile_allocator.hpp"
 #include "util/require.hpp"
 
@@ -19,13 +20,18 @@ namespace {
 // on `free`, the chain must continue from the prefix's last start, not
 // restart at t0 (append_only_replan in scheduler.hpp).
 Schedule fcfs_run(FreeProfile& free, const std::vector<Job>& jobs, Time t0,
-                  Time floor) {
-  Schedule schedule(jobs.size());
-  std::vector<JobId> queue(jobs.size());
+                  Time floor, Arena* scratch) {
+  Schedule schedule(jobs.size(), scratch);
+  ScratchVec<JobId> queue(jobs.size(), JobId{0}, ArenaAlloc<JobId>(scratch));
   std::iota(queue.begin(), queue.end(), JobId{0});
-  std::stable_sort(queue.begin(), queue.end(), [&](JobId a, JobId b) {
-    return jobs[static_cast<std::size_t>(a)].release <
-           jobs[static_cast<std::size_t>(b)].release;
+  // (release, id) is a total order, so this in-place sort produces exactly
+  // the permutation a stable sort by release would -- without stable_sort's
+  // unconditional heap-allocated merge buffer (one alloc per decision).
+  std::sort(queue.begin(), queue.end(), [&](JobId a, JobId b) {
+    const Time ra = jobs[static_cast<std::size_t>(a)].release;
+    const Time rb = jobs[static_cast<std::size_t>(b)].release;
+    if (ra != rb) return ra < rb;
+    return a < b;
   });
 
   Time previous_start = std::max(t0, floor);
@@ -44,12 +50,12 @@ Schedule fcfs_run(FreeProfile& free, const std::vector<Job>& jobs, Time t0,
 
 ScheduleOutcome FcfsScheduler::schedule(const Instance& instance) const {
   FreeProfile free = FreeProfile::for_instance(instance);
-  return fcfs_run(free, instance.jobs(), 0, 0);
+  return fcfs_run(free, instance.jobs(), 0, 0, nullptr);
 }
 
 Schedule FcfsScheduler::replan(const ReplanRequest& request) const {
   return fcfs_run(request.free, request.queue, request.now,
-                  request.not_before);
+                  request.not_before, request.scratch);
 }
 
 }  // namespace resched

@@ -111,6 +111,7 @@ struct Capabilities {
   bool append_only_replan = false;
 };
 
+class Arena;
 class FreeProfile;
 
 // Input to Scheduler::replan -- the incremental path of the resident
@@ -141,6 +142,12 @@ struct ReplanRequest {
   // start any queued job before this instant; overtaking schedulers
   // (conservative) ignore it. 0 = no prefix.
   Time not_before = 0;
+  // Decision-scoped bump allocator for the scheduler's transient state
+  // (queues, event sets, the returned Schedule's start array). Owned and
+  // reset by the caller between decisions; null = plain heap (the batch
+  // schedule() path). Anything allocated from it must not outlive the
+  // decision that produced it.
+  Arena* scratch = nullptr;
 };
 
 // Result of Scheduler::schedule -- a schedule, or a typed domain rejection.

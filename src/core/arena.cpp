@@ -1,0 +1,80 @@
+#include "core/arena.hpp"
+
+#include <cstring>
+
+#include "util/require.hpp"
+
+namespace resched {
+
+namespace {
+
+thread_local std::uint64_t g_alloc_count = 0;
+thread_local std::uint64_t g_alloc_bytes = 0;
+
+constexpr std::size_t kFirstChunkBytes = 1 << 12;  // 4 KiB
+constexpr std::size_t kMaxChunkBytes = 1 << 20;    // growth cap per chunk
+
+}  // namespace
+
+void note_alloc(std::size_t bytes) noexcept {
+  ++g_alloc_count;
+  g_alloc_bytes += bytes;
+}
+
+std::uint64_t alloc_count() noexcept { return g_alloc_count; }
+
+std::uint64_t alloc_bytes() noexcept { return g_alloc_bytes; }
+
+Arena::~Arena() {
+  for (const Chunk& chunk : chunks_) std::free(chunk.data);
+}
+
+void Arena::reset() noexcept {
+  active_ = 0;
+  offset_ = 0;
+}
+
+std::size_t Arena::capacity_bytes() const noexcept {
+  std::size_t total = 0;
+  for (const Chunk& chunk : chunks_) total += chunk.size;
+  return total;
+}
+
+void Arena::grow(std::size_t bytes) {
+  // Reuse a retained chunk if the next one fits the request; otherwise
+  // allocate a new chunk with geometric growth so a warmed-up arena
+  // settles into a handful of chunks regardless of request pattern.
+  while (active_ + 1 < chunks_.size()) {
+    ++active_;
+    offset_ = 0;
+    if (chunks_[active_].size >= bytes) return;
+  }
+  std::size_t size = chunks_.empty() ? kFirstChunkBytes
+                                     : std::min(chunks_.back().size * 2,
+                                                kMaxChunkBytes);
+  if (size < bytes) size = bytes;
+  char* data = static_cast<char*>(std::malloc(size));
+  RESCHED_CHECK_MSG(data != nullptr, "arena chunk allocation failed");
+  note_alloc(size);
+  chunks_.push_back(Chunk{data, size});
+  active_ = chunks_.size() - 1;
+  offset_ = 0;
+}
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  RESCHED_CHECK_MSG(align != 0 && (align & (align - 1)) == 0,
+                    "arena alignment must be a power of two");
+  RESCHED_CHECK_MSG(align <= alignof(std::max_align_t),
+                    "arena does not support over-aligned requests");
+  if (bytes == 0) bytes = 1;
+  if (chunks_.empty()) grow(bytes);
+  std::size_t aligned = (offset_ + align - 1) & ~(align - 1);
+  if (aligned + bytes > chunks_[active_].size) {
+    grow(bytes);
+    aligned = 0;  // fresh chunks are max_align_t-aligned (malloc)
+  }
+  offset_ = aligned + bytes;
+  return chunks_[active_].data + aligned;
+}
+
+}  // namespace resched

@@ -1,5 +1,6 @@
 #include "core/profile_allocator.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "core/availability.hpp"
@@ -9,9 +10,9 @@
 namespace resched {
 
 namespace {
-// spare_ exists to recycle undo-buffer capacity across probe loops, not to
-// hoard deep backtracking stacks after they unwind.
-constexpr std::size_t kMaxSpareUndoRecords = 8;
+// Floor of the frame-pool cap: enough for probe loops and shallow plans
+// even before the open-stack high-water mark has been established.
+constexpr std::size_t kMinPoolFrames = 8;
 }  // namespace
 
 FreeProfile::FreeProfile(StepProfile free_capacity)
@@ -62,17 +63,23 @@ Time FreeProfile::earliest_fit(Time t0, ProcCount q, Time p) const {
 
 void FreeProfile::push_frame(Time t, ProcCount q, Time p, bool accepted) {
   OpenCommit frame;
+  if (!frame_pool_.empty()) {
+    // Recycle a whole retired frame: its undo record keeps the buffer
+    // capacity of the widest window it ever held, so a warmed-up
+    // plan/rewind cycle opens frames without touching the heap.
+    frame = std::move(frame_pool_.back());
+    frame_pool_.pop_back();
+  } else {
+    ++frame_misses_;
+  }
   frame.serial = ++next_serial_;
   frame.t = t;
   frame.q = q;
   frame.p = p;
   frame.accepted = accepted;
-  if (!spare_.empty()) {
-    frame.undo = std::move(spare_.back());
-    spare_.pop_back();
-  }
   profile_.add_recorded(t, checked_add(t, p), -q, frame.undo);
   open_.push_back(std::move(frame));
+  open_high_water_ = std::max(open_high_water_, open_.size());
 }
 
 void FreeProfile::commit(Time t, ProcCount q, Time p) {
@@ -108,8 +115,10 @@ FreeProfile::CommitToken FreeProfile::commit_tentative(Time t, ProcCount q,
 void FreeProfile::resolve_top(bool keep) {
   OpenCommit& top = open_.back();
   if (!keep) profile_.rollback(top.undo);
-  if (spare_.size() < kMaxSpareUndoRecords)
-    spare_.push_back(std::move(top.undo));
+  // Adaptive cap: a rewind of the deepest plan ever carried recycles every
+  // frame; anything past that depth would be dead weight.
+  if (frame_pool_.size() < std::max(kMinPoolFrames, open_high_water_))
+    frame_pool_.push_back(std::move(top));
   open_.pop_back();
 }
 

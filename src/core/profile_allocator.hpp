@@ -235,6 +235,21 @@ class FreeProfile {
     return open_.size();
   }
 
+  // Heap blocks attributable to this view: the segment store's spills plus
+  // every frame the pool failed to recycle (frame_misses). A steady-state
+  // probe/plan loop on a warmed-up profile must keep this flat -- the
+  // bench-smoke budget gate and the fuzz suites assert exactly that.
+  [[nodiscard]] std::uint64_t alloc_count() const noexcept {
+    return profile_.alloc_count() + frame_misses_;
+  }
+
+  // Frames push_frame constructed from scratch because the recycle pool was
+  // empty (diagnostic; the adaptive pool keeps this at the warm-up cost:
+  // one per unit of peak frame-stack depth).
+  [[nodiscard]] std::uint64_t frame_misses() const noexcept {
+    return frame_misses_;
+  }
+
   // Smallest breakpoint > t, or kTimeInfinity (event-driven scheduling).
   [[nodiscard]] Time next_change_after(Time t) const;
 
@@ -264,9 +279,16 @@ class FreeProfile {
 
   StepProfile profile_;
   std::vector<OpenCommit> open_;
-  // Retired undo records, kept for their buffer capacity so probe loops
-  // stop allocating; bounded small.
-  std::vector<StepProfile::Undo> spare_;
+  // Retired frames, kept whole (undo buffer included) so probe loops and
+  // plan/rewind cycles stop allocating once warm. Capped adaptively at
+  // max(kMinPoolFrames, peak open-stack depth): a full rewind of the
+  // deepest plan this profile has ever carried can recycle every frame,
+  // while a shallow prober never hoards more than a handful.
+  std::vector<OpenCommit> frame_pool_;
+  // High-water mark of open_.size(); sets the pool cap.
+  std::size_t open_high_water_ = 0;
+  // push_frame pool misses (see frame_misses()).
+  std::uint64_t frame_misses_ = 0;
   std::uint64_t next_serial_ = 0;
   // Count of non-rewindable mutations (adjust_capacity, non-retained
   // commits, compact_history); rewind_to refuses to cross one.

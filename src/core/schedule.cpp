@@ -8,7 +8,8 @@
 
 namespace resched {
 
-Schedule::Schedule(std::size_t n_jobs) : starts_(n_jobs) {}
+Schedule::Schedule(std::size_t n_jobs, Arena* scratch)
+    : starts_(n_jobs, ArenaAlloc<std::optional<Time>>(scratch)) {}
 
 void Schedule::set_start(JobId job, Time start) {
   RESCHED_REQUIRE(job >= 0 && static_cast<std::size_t>(job) < starts_.size());

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "core/arena.hpp"
 #include "core/instance.hpp"
 #include "core/step_profile.hpp"
 
@@ -28,8 +29,12 @@ class Schedule {
  public:
   // A schedule over no jobs (default-constructible for result structs).
   Schedule() = default;
-  // An empty schedule for n jobs (all unscheduled).
-  explicit Schedule(std::size_t n_jobs);
+  // An empty schedule for n jobs (all unscheduled). With a scratch arena the
+  // start array is bump-allocated from it (the replan hot path): such a
+  // schedule must be consumed before the arena resets -- copying it (or
+  // copy-assigning from it) lands on the plain heap, moving it keeps the
+  // arena backing.
+  explicit Schedule(std::size_t n_jobs, Arena* scratch = nullptr);
 
   void set_start(JobId job, Time start);
   [[nodiscard]] bool is_scheduled(JobId job) const;
@@ -62,7 +67,7 @@ class Schedule {
   friend bool operator==(const Schedule&, const Schedule&) = default;
 
  private:
-  std::vector<std::optional<Time>> starts_;
+  std::vector<std::optional<Time>, ArenaAlloc<std::optional<Time>>> starts_;
 };
 
 }  // namespace resched

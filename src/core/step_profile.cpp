@@ -56,35 +56,30 @@ constexpr std::int64_t kInt64Max = std::numeric_limits<std::int64_t>::max();
 }  // namespace
 
 StepProfile::StepProfile(std::int64_t initial_value) {
-  steps_.push_back(Step{Time{0}, initial_value});
+  steps_.push_back(Time{0}, initial_value);
 }
 
 std::size_t StepProfile::index_of(Time t) const noexcept {
   // Last index whose start is <= t; the front start of 0 and t >= 0 make the
   // "- 1" safe.
-  const auto it = std::upper_bound(
-      steps_.begin(), steps_.end(), t,
-      [](Time value, const Step& step) { return value < step.start; });
-  return static_cast<std::size_t>(it - steps_.begin()) - 1;
+  return steps_.upper_bound_start(t) - 1;
 }
 
 std::int64_t StepProfile::value_at(Time t) const {
   RESCHED_REQUIRE_MSG(t >= 0, "profile queried at negative time");
-  return steps_[index_of(t)].value;
+  return steps_.value(index_of(t));
 }
 
 std::size_t StepProfile::split_at(Time t) {
   const std::size_t i = index_of(t);
-  if (steps_[i].start == t) return i;
-  steps_.insert(steps_.begin() + static_cast<std::ptrdiff_t>(i) + 1,
-                Step{t, steps_[i].value});
+  if (steps_.start(i) == t) return i;
+  steps_.insert(i + 1, t, steps_.value(i));
   return i + 1;
 }
 
 void StepProfile::coalesce_at(std::size_t i) {
   if (i == 0 || i >= steps_.size()) return;
-  if (steps_[i].value == steps_[i - 1].value)
-    steps_.erase(steps_.begin() + static_cast<std::ptrdiff_t>(i));
+  if (steps_.value(i) == steps_.value(i - 1)) steps_.erase(i);
 }
 
 void StepProfile::add(Time from, Time to, std::int64_t delta) {
@@ -110,8 +105,8 @@ void StepProfile::add_impl(Time from, Time to, std::int64_t delta,
   // mid-window would throw with partial deltas applied and the split
   // breakpoints uncoalesced -- a silently non-canonical profile.
   const std::size_t region = index_of(from);
-  for (std::size_t i = region; i < steps_.size() && steps_[i].start < to; ++i)
-    (void)checked_add(steps_[i].value, delta);
+  for (std::size_t i = region; i < steps_.size() && steps_.start(i) < to; ++i)
+    (void)checked_add(steps_.value(i), delta);
   if (undo != nullptr) {
     // Everything the add can touch -- value shifts, the two edge splits and
     // the two edge coalesces -- lives in the steps whose start falls in
@@ -120,18 +115,16 @@ void StepProfile::add_impl(Time from, Time to, std::int64_t delta,
     undo->from_ = from;
     undo->to_ = to;
     undo->delta_ = delta;
-    undo->window_lo_ = steps_[region].start;
-    undo->left_value_ = region > 0 ? steps_[region - 1].value : 0;
+    undo->window_lo_ = steps_.start(region);
+    undo->left_value_ = region > 0 ? steps_.value(region - 1) : 0;
     const std::size_t prior_end =
         (to >= kTimeInfinity) ? steps_.size() : index_of(to) + 1;
-    undo->steps_.assign(steps_.begin() + static_cast<std::ptrdiff_t>(region),
-                        steps_.begin() + static_cast<std::ptrdiff_t>(prior_end));
+    undo->steps_.assign_range(steps_, region, prior_end);
   }
   // split_at(from), with the binary search already paid for by the probe.
   std::size_t first = region;
-  if (steps_[region].start != from) {
-    steps_.insert(steps_.begin() + static_cast<std::ptrdiff_t>(region) + 1,
-                  Step{from, steps_[region].value});
+  if (steps_.start(region) != from) {
+    steps_.insert(region + 1, from, steps_.value(region));
     first = region + 1;
   }
   // Split the right edge only for finite windows; [from, kTimeInfinity)
@@ -139,7 +132,7 @@ void StepProfile::add_impl(Time from, Time to, std::int64_t delta,
   const std::size_t last =
       (to >= kTimeInfinity) ? steps_.size() : split_at(to);
   // Validated above: the split pieces carry the same values that were probed.
-  for (std::size_t i = first; i < last; ++i) steps_[i].value += delta;
+  for (std::size_t i = first; i < last; ++i) steps_.add_value(i, delta);
   // Interior neighbours shifted by the same delta stay distinct, so only the
   // two window edges can need merging. Right edge first: erasing there does
   // not move `first`.
@@ -156,14 +149,11 @@ void StepProfile::add_impl(Time from, Time to, std::int64_t delta,
 
 void StepProfile::rollback(Undo& undo) {
   RESCHED_CHECK_MSG(undo.live_, "rollback of a dead or spent undo record");
-  // Locate the recorded region in the current vector. The first step with
+  // Locate the recorded region in the current store. The first step with
   // start >= window_lo begins it (the step at window_lo itself may have
   // been coalesced away by the recorded add); the first step with
   // start > to ends it.
-  const auto lo_it = std::lower_bound(
-      steps_.begin(), steps_.end(), undo.window_lo_,
-      [](const Step& step, Time value) { return step.start < value; });
-  const std::size_t lo = static_cast<std::size_t>(lo_it - steps_.begin());
+  const std::size_t lo = steps_.lower_bound_start(undo.window_lo_);
   const std::size_t hi =
       (undo.to_ >= kTimeInfinity) ? steps_.size() : index_of(undo.to_) + 1;
   // The region must be exactly what the recorded add left there: anything
@@ -179,11 +169,11 @@ void StepProfile::rollback(Undo& undo) {
   // make the replay accept -- and splice back -- a non-canonical region.
   // A failed rollback consumes nothing: undo the blocking mutation first
   // and the record is usable again.
-  const std::vector<Step>& prior = undo.steps_;
+  const SegStore& prior = undo.steps_;
   bool matches = hi >= lo && hi <= steps_.size();
   const bool have_left = undo.window_lo_ > 0;
   if (have_left)
-    matches = matches && lo > 0 && steps_[lo - 1].value == undo.left_value_;
+    matches = matches && lo > 0 && steps_.value(lo - 1) == undo.left_value_;
   else
     matches = matches && lo == 0;
   std::size_t cursor = lo;
@@ -191,8 +181,8 @@ void StepProfile::rollback(Undo& undo) {
   std::int64_t left_value = undo.left_value_;
   const auto expect = [&](Time start, std::int64_t value) {
     if (left_known && value == left_value) return;  // coalesced left
-    if (cursor >= hi || steps_[cursor].start != start ||
-        steps_[cursor].value != value) {
+    if (cursor >= hi || steps_.start(cursor) != start ||
+        steps_.value(cursor) != value) {
       matches = false;
       return;
     }
@@ -201,37 +191,24 @@ void StepProfile::rollback(Undo& undo) {
     left_value = value;
   };
   // Leading unmodified piece of the split segment containing `from`.
-  if (undo.from_ > undo.window_lo_) expect(prior[0].start, prior[0].value);
+  if (undo.from_ > undo.window_lo_) expect(prior.start(0), prior.value(0));
   // The shifted pieces over [from, to).
   for (std::size_t j = 0; j < prior.size() && matches; ++j) {
-    if (prior[j].start >= undo.to_) break;
-    expect(std::max(prior[j].start, undo.from_),
-           prior[j].value + undo.delta_);
+    if (prior.start(j) >= undo.to_) break;
+    expect(std::max(prior.start(j), undo.from_),
+           prior.value(j) + undo.delta_);
   }
   // Trailing unmodified piece from `to` on (the last recorded step is the
   // one containing -- or starting at -- `to`).
-  if (undo.to_ < kTimeInfinity) expect(undo.to_, prior.back().value);
+  if (undo.to_ < kTimeInfinity) expect(undo.to_, prior.back_value());
   if (cursor != hi) matches = false;
   RESCHED_CHECK_MSG(matches,
                     "rollback does not reverse the newest mutation of its "
                     "region");
   undo.live_ = false;
-  // Splice the prior steps back in: one copy plus at most one vector
-  // shift, never add's probe/split/coalesce path.
-  const std::size_t current = hi - lo;
-  if (prior.size() <= current) {
-    std::copy(prior.begin(), prior.end(),
-              steps_.begin() + static_cast<std::ptrdiff_t>(lo));
-    steps_.erase(
-        steps_.begin() + static_cast<std::ptrdiff_t>(lo + prior.size()),
-        steps_.begin() + static_cast<std::ptrdiff_t>(hi));
-  } else {
-    std::copy(prior.begin(), prior.begin() + static_cast<std::ptrdiff_t>(current),
-              steps_.begin() + static_cast<std::ptrdiff_t>(lo));
-    steps_.insert(steps_.begin() + static_cast<std::ptrdiff_t>(hi),
-                  prior.begin() + static_cast<std::ptrdiff_t>(current),
-                  prior.end());
-  }
+  // Splice the prior steps back in: one capacity check plus one memmove per
+  // array (SegStore::replace_range), never add's probe/split/coalesce path.
+  steps_.replace_range(lo, hi, prior);
   index_rollback_patch(undo);
   ++version_;
 }
@@ -243,8 +220,8 @@ std::size_t StepProfile::compact_before(Time t) {
   // The suffix [i, ...) already starts with the segment containing t;
   // promoting it to cover [0, t) keeps canonical form (its value differs
   // from its right neighbour's by the invariant on steps_).
-  steps_.erase(steps_.begin(), steps_.begin() + static_cast<std::ptrdiff_t>(i));
-  steps_.front().start = 0;
+  steps_.erase(0, i);
+  steps_.set_start(0, 0);
   drop_index();
   ++version_;
   return i;
@@ -252,36 +229,46 @@ std::size_t StepProfile::compact_before(Time t) {
 
 // ---------------------------------------------------------------------------
 // Linear-scan query fallbacks (exact; used below kMinIndexedSegments and for
-// the partial boundary leaves of indexed queries).
+// the partial boundary leaves of indexed queries). Each hoists the SoA value
+// array once and streams it contiguously -- the scan-heavy leaf walks this
+// layout exists for.
 // ---------------------------------------------------------------------------
 
 std::int64_t StepProfile::scan_min_at(std::size_t i, Time to) const {
-  std::int64_t result = steps_[i].value;
-  for (++i; i < steps_.size() && steps_[i].start < to; ++i)
-    result = std::min(result, steps_[i].value);
+  const Time* times = steps_.times_data();
+  const std::int64_t* values = steps_.values_data();
+  std::int64_t result = values[i];
+  for (++i; i < steps_.size() && times[i] < to; ++i)
+    result = std::min(result, values[i]);
   return result;
 }
 
 std::int64_t StepProfile::scan_max_at(std::size_t i, Time to) const {
-  std::int64_t result = steps_[i].value;
-  for (++i; i < steps_.size() && steps_[i].start < to; ++i)
-    result = std::max(result, steps_[i].value);
+  const Time* times = steps_.times_data();
+  const std::int64_t* values = steps_.values_data();
+  std::int64_t result = values[i];
+  for (++i; i < steps_.size() && times[i] < to; ++i)
+    result = std::max(result, values[i]);
   return result;
 }
 
 Time StepProfile::scan_first_below_at(std::size_t i, Time from, Time to,
                                       std::int64_t threshold) const {
-  if (steps_[i].value < threshold) return from;
-  for (++i; i < steps_.size() && steps_[i].start < to; ++i)
-    if (steps_[i].value < threshold) return steps_[i].start;
+  const Time* times = steps_.times_data();
+  const std::int64_t* values = steps_.values_data();
+  if (values[i] < threshold) return from;
+  for (++i; i < steps_.size() && times[i] < to; ++i)
+    if (values[i] < threshold) return times[i];
   return kTimeInfinity;
 }
 
 Time StepProfile::scan_first_at_least_at(std::size_t i, Time from,
                                          std::int64_t threshold) const {
-  if (steps_[i].value >= threshold) return from;
+  const Time* times = steps_.times_data();
+  const std::int64_t* values = steps_.values_data();
+  if (values[i] >= threshold) return from;
   for (++i; i < steps_.size(); ++i)
-    if (steps_[i].value >= threshold) return steps_[i].start;
+    if (values[i] >= threshold) return times[i];
   return kTimeInfinity;
 }
 
@@ -309,8 +296,8 @@ StepProfile::Wide StepProfile::scan_integral_at(std::size_t i, Time from,
   Time cursor = from;
   while (cursor < to) {
     const Time seg_end =
-        (i + 1 < steps_.size()) ? std::min(steps_[i + 1].start, to) : to;
-    if (!wide_add(area, wide_mul(steps_[i].value, seg_end - cursor)))
+        (i + 1 < steps_.size()) ? std::min(steps_.start(i + 1), to) : to;
+    if (!wide_add(area, wide_mul(steps_.value(i), seg_end - cursor)))
       ok = false;
     cursor = seg_end;
     ++i;
@@ -324,8 +311,8 @@ Time StepProfile::scan_accumulate(std::size_t i, Time cursor, Time stop,
     if (cursor >= stop) return kTimeInfinity;  // bound hit; remaining updated
     const bool is_last = (i + 1 == steps_.size());
     const Time seg_end =
-        std::min(is_last ? kTimeInfinity : steps_[i + 1].start, stop);
-    const std::int64_t rate = steps_[i].value;
+        std::min(is_last ? kTimeInfinity : steps_.start(i + 1), stop);
+    const std::int64_t rate = steps_.value(i);
     if (rate > 0) {
       const Time needed = ceil_div(remaining, rate);
       if (seg_end >= kTimeInfinity || needed <= seg_end - cursor) {
@@ -354,9 +341,11 @@ std::unique_ptr<StepProfile::Index> StepProfile::build_index() const {
   auto out = std::make_unique<Index>();
   Index& ix = *out;
   const std::size_t leaves = steps_.size();
-  ix.times.resize(leaves);
-  for (std::size_t i = 0; i < leaves; ++i)
-    ix.times[i] = steps_[i].start;
+  // SoA payoff: the breakpoint snapshot is one contiguous copy, and the
+  // leaf fill below streams the value array without striding over starts.
+  const Time* times = steps_.times_data();
+  const std::int64_t* values = steps_.values_data();
+  ix.times.assign(times, times + leaves);
   ix.cap = std::bit_ceil(leaves);
   ix.min.assign(2 * ix.cap, std::numeric_limits<std::int64_t>::max());
   ix.max.assign(2 * ix.cap, std::numeric_limits<std::int64_t>::min());
@@ -368,11 +357,11 @@ std::unique_ptr<StepProfile::Index> StepProfile::build_index() const {
   ix.len.assign(2 * ix.cap, 0);
   ix.sums_ok = true;
   for (std::size_t i = 0; i < leaves; ++i) {
-    ix.min[ix.cap + i] = steps_[i].value;
-    ix.max[ix.cap + i] = steps_[i].value;
+    ix.min[ix.cap + i] = values[i];
+    ix.max[ix.cap + i] = values[i];
     if (i + 1 < leaves) {
-      ix.len[ix.cap + i] = steps_[i + 1].start - steps_[i].start;
-      ix.sum[ix.cap + i] = wide_mul(steps_[i].value, ix.len[ix.cap + i]);
+      ix.len[ix.cap + i] = times[i + 1] - times[i];
+      ix.sum[ix.cap + i] = wide_mul(values[i], ix.len[ix.cap + i]);
     }
   }
   for (std::size_t v = ix.cap - 1; v >= 1; --v) {
@@ -438,9 +427,11 @@ StepProfile::LeafWindow StepProfile::index_leaf_window(const Index& ix,
 
 void StepProfile::index_recompute_leaf(Index& ix, std::size_t j) const {
   const Time end = index_leaf_end(ix, j);
+  const Time* times = steps_.times_data();
+  const std::int64_t* values = steps_.values_data();
   std::size_t i = index_of(ix.times[j]);
-  std::int64_t lo = steps_[i].value;
-  std::int64_t hi = steps_[i].value;
+  std::int64_t lo = values[i];
+  std::int64_t hi = values[i];
   // Exact integral over the leaf span. The unbounded last leaf has finite
   // length 0 by invariant I4, so its sum stays 0 regardless of content.
   Wide area = 0;
@@ -449,9 +440,9 @@ void StepProfile::index_recompute_leaf(Index& ix, std::size_t j) const {
     area = scan_integral_at(i, ix.times[j], end, ok);
     if (!ok) ix.sums_ok = false;
   }
-  for (++i; i < steps_.size() && steps_[i].start < end; ++i) {
-    lo = std::min(lo, steps_[i].value);
-    hi = std::max(hi, steps_[i].value);
+  for (++i; i < steps_.size() && times[i] < end; ++i) {
+    lo = std::min(lo, values[i]);
+    hi = std::max(hi, values[i]);
   }
   // Descend to the leaf, accumulating the pending lazy of strict ancestors;
   // the stored leaf value must exclude it (invariant I2).
@@ -722,20 +713,22 @@ Time StepProfile::index_accumulate(const Index& ix, std::size_t node,
 std::int64_t StepProfile::min_in(Time from, Time to) const {
   RESCHED_REQUIRE_MSG(from < to, "empty window in min_in");
   RESCHED_REQUIRE(from >= 0);
-  // Bounded scan: answer narrow windows at exactly the flat-vector cost and
+  // Bounded scan: answer narrow windows at exactly the flat-array cost and
   // fall through to the tree only when the window proves wide. The at most
   // kIndexedLeafCutoff wasted visits are dwarfed by what the descent saves.
+  const Time* times = steps_.times_data();
+  const std::int64_t* values = steps_.values_data();
   const std::size_t lo_idx = index_of(from);
   const std::size_t scan_stop =
       std::min(steps_.size(), lo_idx + kIndexedLeafCutoff + 1);
-  std::int64_t result = steps_[lo_idx].value;
+  std::int64_t result = values[lo_idx];
   std::size_t i = lo_idx + 1;
-  for (; i < scan_stop && steps_[i].start < to; ++i)
-    result = std::min(result, steps_[i].value);
-  if (i == steps_.size() || steps_[i].start >= to) return result;
+  for (; i < scan_stop && times[i] < to; ++i)
+    result = std::min(result, values[i]);
+  if (i == steps_.size() || times[i] >= to) return result;
   // Wide window: resume with the tree from where the scan stopped, so the
   // scanned prefix is not wasted work.
-  return std::min(result, indexed_min_in(steps_[i].start, to, i));
+  return std::min(result, indexed_min_in(times[i], to, i));
 }
 
 std::int64_t StepProfile::indexed_min_in(Time from, Time to,
@@ -763,15 +756,17 @@ std::int64_t StepProfile::indexed_min_in(Time from, Time to,
 std::int64_t StepProfile::max_in(Time from, Time to) const {
   RESCHED_REQUIRE_MSG(from < to, "empty window in max_in");
   RESCHED_REQUIRE(from >= 0);
+  const Time* times = steps_.times_data();
+  const std::int64_t* values = steps_.values_data();
   const std::size_t lo_idx = index_of(from);
   const std::size_t scan_stop =
       std::min(steps_.size(), lo_idx + kIndexedLeafCutoff + 1);
-  std::int64_t result = steps_[lo_idx].value;
+  std::int64_t result = values[lo_idx];
   std::size_t i = lo_idx + 1;
-  for (; i < scan_stop && steps_[i].start < to; ++i)
-    result = std::max(result, steps_[i].value);
-  if (i == steps_.size() || steps_[i].start >= to) return result;
-  return std::max(result, indexed_max_in(steps_[i].start, to, i));
+  for (; i < scan_stop && times[i] < to; ++i)
+    result = std::max(result, values[i]);
+  if (i == steps_.size() || times[i] >= to) return result;
+  return std::max(result, indexed_max_in(times[i], to, i));
 }
 
 std::int64_t StepProfile::indexed_max_in(Time from, Time to,
@@ -800,16 +795,18 @@ Time StepProfile::first_below(Time from, Time to,
                               std::int64_t threshold) const {
   RESCHED_REQUIRE(from >= 0);
   if (from >= to) return kTimeInfinity;
+  const Time* times = steps_.times_data();
+  const std::int64_t* values = steps_.values_data();
   const std::size_t lo_idx = index_of(from);
-  if (steps_[lo_idx].value < threshold) return from;
+  if (values[lo_idx] < threshold) return from;
   const std::size_t scan_stop =
       std::min(steps_.size(), lo_idx + kIndexedLeafCutoff + 1);
   std::size_t i = lo_idx + 1;
-  for (; i < scan_stop && steps_[i].start < to; ++i)
-    if (steps_[i].value < threshold) return steps_[i].start;
-  if (i == steps_.size() || steps_[i].start >= to) return kTimeInfinity;
+  for (; i < scan_stop && times[i] < to; ++i)
+    if (values[i] < threshold) return times[i];
+  if (i == steps_.size() || times[i] >= to) return kTimeInfinity;
   // The scanned prefix is clean; the tree takes over from the stop point.
-  return indexed_first_below(steps_[i].start, to, threshold, i);
+  return indexed_first_below(times[i], to, threshold, i);
 }
 
 Time StepProfile::indexed_first_below(Time from, Time to,
@@ -859,11 +856,13 @@ Time StepProfile::first_at_least(Time from, std::int64_t threshold) const {
     // kTimeInfinity when `from` sits inside the last snapshot leaf (which
     // holds many real segments after incremental splits beyond the last
     // snapshot breakpoint), so the scan then covers the whole tail.
+    const Time* times = steps_.times_data();
+    const std::int64_t* values = steps_.values_data();
     std::size_t i = lo_idx;
-    if (steps_[i].value >= threshold) return from;
+    if (values[i] >= threshold) return from;
     const Time end = index_leaf_end(ix, window.lo_leaf);
-    for (++i; i < steps_.size() && steps_[i].start < end; ++i)
-      if (steps_[i].value >= threshold) return steps_[i].start;
+    for (++i; i < steps_.size() && times[i] < end; ++i)
+      if (values[i] >= threshold) return times[i];
     if (window.lo_leaf == window.hi_leaf) return kTimeInfinity;
   }
   const std::size_t full_lo = window.lo_leaf + (window.left_partial ? 1 : 0);
@@ -879,7 +878,7 @@ Time StepProfile::first_at_least(Time from, std::int64_t threshold) const {
 Time StepProfile::next_change_after(Time t) const {
   RESCHED_REQUIRE(t >= 0);
   const std::size_t i = index_of(t);
-  return i + 1 < steps_.size() ? steps_[i + 1].start : kTimeInfinity;
+  return i + 1 < steps_.size() ? steps_.start(i + 1) : kTimeInfinity;
 }
 
 std::int64_t StepProfile::integral(Time from, Time to) const {
@@ -891,8 +890,9 @@ std::int64_t StepProfile::integral(Time from, Time to) const {
   const std::size_t lo_idx = index_of(from);
   const std::size_t scan_stop =
       std::min(steps_.size(), lo_idx + kIndexedLeafCutoff + 1);
-  const Time scan_end =
-      (scan_stop < steps_.size()) ? std::min(steps_[scan_stop].start, to) : to;
+  const Time scan_end = (scan_stop < steps_.size())
+                            ? std::min(steps_.start(scan_stop), to)
+                            : to;
   bool ok = true;
   Wide area = scan_integral_at(lo_idx, from, scan_end, ok);
   if (scan_end < to) {
@@ -951,7 +951,7 @@ Time StepProfile::time_to_accumulate(Time from, std::int64_t target) const {
   const std::size_t scan_stop =
       std::min(steps_.size(), lo_idx + kIndexedLeafCutoff + 1);
   const Time scan_end =
-      (scan_stop < steps_.size()) ? steps_[scan_stop].start : kTimeInfinity;
+      (scan_stop < steps_.size()) ? steps_.start(scan_stop) : kTimeInfinity;
   const Time found = scan_accumulate(lo_idx, from, scan_end, remaining);
   if (found != kTimeInfinity || scan_stop == steps_.size()) return found;
   const Index& ix = ensure_index();
@@ -990,31 +990,37 @@ Time StepProfile::time_to_accumulate(Time from, std::int64_t target) const {
 }
 
 bool StepProfile::is_non_increasing() const noexcept {
+  const std::int64_t* values = steps_.values_data();
   for (std::size_t i = 1; i < steps_.size(); ++i)
-    if (steps_[i].value > steps_[i - 1].value) return false;
+    if (values[i] > values[i - 1]) return false;
   return true;
 }
 
 bool StepProfile::is_non_decreasing() const noexcept {
+  const std::int64_t* values = steps_.values_data();
   for (std::size_t i = 1; i < steps_.size(); ++i)
-    if (steps_[i].value < steps_[i - 1].value) return false;
+    if (values[i] < values[i - 1]) return false;
   return true;
 }
 
 std::int64_t StepProfile::min_value() const noexcept {
-  std::int64_t result = steps_.front().value;
-  for (const Step& step : steps_) result = std::min(result, step.value);
+  const std::int64_t* values = steps_.values_data();
+  std::int64_t result = values[0];
+  for (std::size_t i = 1; i < steps_.size(); ++i)
+    result = std::min(result, values[i]);
   return result;
 }
 
 std::int64_t StepProfile::max_value() const noexcept {
-  std::int64_t result = steps_.front().value;
-  for (const Step& step : steps_) result = std::max(result, step.value);
+  const std::int64_t* values = steps_.values_data();
+  std::int64_t result = values[0];
+  for (std::size_t i = 1; i < steps_.size(); ++i)
+    result = std::max(result, values[i]);
   return result;
 }
 
 std::int64_t StepProfile::final_value() const noexcept {
-  return steps_.back().value;
+  return steps_.back_value();
 }
 
 std::size_t StepProfile::segment_count() const noexcept {
@@ -1026,8 +1032,8 @@ std::vector<StepProfile::Segment> StepProfile::segments() const {
   out.reserve(steps_.size());
   for (std::size_t i = 0; i < steps_.size(); ++i) {
     const Time end =
-        (i + 1 < steps_.size()) ? steps_[i + 1].start : kTimeInfinity;
-    out.push_back(Segment{steps_[i].start, end, steps_[i].value});
+        (i + 1 < steps_.size()) ? steps_.start(i + 1) : kTimeInfinity;
+    out.push_back(Segment{steps_.start(i), end, steps_.value(i)});
   }
   return out;
 }
@@ -1041,8 +1047,8 @@ std::vector<StepProfile::Segment> StepProfile::segments_in(Time from,
   Time cursor = from;
   while (cursor < to && i < steps_.size()) {
     const Time seg_end =
-        (i + 1 < steps_.size()) ? std::min(steps_[i + 1].start, to) : to;
-    out.push_back(Segment{cursor, seg_end, steps_[i].value});
+        (i + 1 < steps_.size()) ? std::min(steps_.start(i + 1), to) : to;
+    out.push_back(Segment{cursor, seg_end, steps_.value(i)});
     cursor = seg_end;
     ++i;
   }
@@ -1055,32 +1061,34 @@ StepProfile StepProfile::plus(const StepProfile& other) const {
   result.steps_.reserve(steps_.size() + other.steps_.size());
   std::size_t a = 0;
   std::size_t b = 0;
-  std::int64_t va = steps_.front().value;
-  std::int64_t vb = other.steps_.front().value;
+  std::int64_t va = steps_.value(0);
+  std::int64_t vb = other.steps_.value(0);
   // Merge the two breakpoint sets; emitted starts are strictly increasing.
   while (a < steps_.size() || b < other.steps_.size()) {
     Time t;
     if (b == other.steps_.size() ||
-        (a < steps_.size() && steps_[a].start <= other.steps_[b].start)) {
-      t = steps_[a].start;
-      va = steps_[a].value;
-      if (b < other.steps_.size() && other.steps_[b].start == t)
-        vb = other.steps_[b++].value;
+        (a < steps_.size() && steps_.start(a) <= other.steps_.start(b))) {
+      t = steps_.start(a);
+      va = steps_.value(a);
+      if (b < other.steps_.size() && other.steps_.start(b) == t)
+        vb = other.steps_.value(b++);
       ++a;
     } else {
-      t = other.steps_[b].start;
-      vb = other.steps_[b++].value;
+      t = other.steps_.start(b);
+      vb = other.steps_.value(b++);
     }
     const std::int64_t v = checked_add(va, vb);
-    if (result.steps_.empty() || result.steps_.back().value != v)
-      result.steps_.push_back(Step{t, v});
+    if (result.steps_.empty() || result.steps_.back_value() != v)
+      result.steps_.push_back(t, v);
   }
   return result;
 }
 
 StepProfile StepProfile::minus(const StepProfile& other) const {
   StepProfile negated = other;  // copying drops the (now stale) index cache
-  for (Step& step : negated.steps_) step.value = checked_neg(step.value);
+  std::int64_t* values = negated.steps_.values_data();
+  for (std::size_t i = 0; i < negated.steps_.size(); ++i)
+    values[i] = checked_neg(values[i]);
   return plus(negated);
 }
 

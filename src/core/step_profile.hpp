@@ -7,12 +7,15 @@
 // queries, range addition, windowed minima, area integrals and breakpoint
 // iteration.
 //
-// Representation: flat vector of {segment start, value} sorted by start; the
+// Representation: a SegStore -- two parallel flat arrays (starts, values)
+// sorted by start with small-buffer inline storage (core/seg_store.hpp); the
 // value holds from its start (inclusive) to the next start (exclusive); the
 // last segment extends to +infinity. Invariants: the first start is 0, and
 // adjacent segments have distinct values (canonical form), so operator==
-// means pointwise function equality. The flat layout keeps small profiles on
-// a single contiguous cache-friendly scan instead of chasing tree nodes.
+// means pointwise function equality. The SoA layout keeps the binary
+// searches on a contiguous start array and the scan-heavy value walks on a
+// contiguous value array; profiles of up to SegStore::kInlineSegments
+// segments never touch the heap.
 //
 // Windowed queries (min_in / max_in / first_below / first_at_least) are the
 // schedulers' per-placement hot path. Each starts as a bounded linear scan
@@ -107,18 +110,12 @@
 #include <memory>
 #include <vector>
 
+#include "core/seg_store.hpp"
 #include "core/types.hpp"
 
 namespace resched {
 
 class StepProfile {
- private:
-  struct Step {
-    Time start;  // inclusive; value holds until the next step's start
-    std::int64_t value;
-    friend bool operator==(const Step&, const Step&) = default;
-  };
-
  public:
   struct Segment {
     Time start;  // inclusive
@@ -199,8 +196,10 @@ class StepProfile {
     // the add could touch. The post-state is not stored: rollback replays
     // the add's transformation of these few steps to verify it is reversing
     // the right mutation, which keeps the recording cost on the (hot,
-    // usually accepted) commit path to one small copy.
-    std::vector<Step> steps_;
+    // usually accepted) commit path to one small copy. A SegStore: undo
+    // windows are nearly always a handful of segments, so the record stays
+    // entirely inline (no heap traffic on the probe path).
+    SegStore steps_;
   };
 
   // add() that additionally fills `undo` so rollback() can revert it in
@@ -224,6 +223,14 @@ class StepProfile {
   // start at zero, moves carry the count.
   [[nodiscard]] std::uint64_t index_build_count() const noexcept {
     return index_builds_.load(std::memory_order_relaxed);
+  }
+
+  // Heap blocks the segment store has allocated (diagnostic, mirroring
+  // index_build_count: copies start at zero, moves carry the count; probe
+  // loops on a warmed profile must keep this flat). The thread-local
+  // resched::alloc_count() sees the same events plus everything else.
+  [[nodiscard]] std::uint64_t alloc_count() const noexcept {
+    return steps_.alloc_count();
   }
 
   // Monotone mutation version: incremented by every successful state change
@@ -338,7 +345,7 @@ class StepProfile {
     bool sums_ok = false;
   };
 
-  // Sorted by start; front().start == 0; adjacent values distinct. The
+  // Sorted by start; start(0) == 0; adjacent values distinct. The
   // snapshot slot owns its Index exclusively (null = no index): readers
   // install via compare-exchange (invariant I5); add(), assignment and the
   // destructor delete it under exclusive access. A raw atomic pointer, not
@@ -346,7 +353,7 @@ class StepProfile {
   // operations that delete, so reference counting would buy nothing (and
   // libstdc++'s _Sp_atomic lock-bit protocol is opaque to TSan, which the
   // shared-read stress suite runs under).
-  std::vector<Step> steps_;
+  SegStore steps_;
   mutable std::atomic<Index*> index_{nullptr};
   // Diagnostic only (never compared, never part of function equality):
   // counts build_index runs, including builds a racing reader discarded.

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "bounds/lower_bounds.hpp"
+#include "core/arena.hpp"
 #include "core/profile_allocator.hpp"
 #include "util/checked.hpp"
 #include "util/require.hpp"
@@ -28,6 +29,12 @@ struct SearchState {
   bool aborted = false;
 
   std::unordered_set<std::string> visited;
+
+  // DFS-scoped scratch: each node's candidate list lives between a mark()
+  // and the matching rewind(), so the whole search reuses a few warm chunks
+  // instead of one heap vector per node. The LIFO marker discipline is the
+  // recursion itself.
+  Arena scratch;
 };
 
 // Lower bound for the remaining jobs against the current partial profile.
@@ -95,7 +102,8 @@ void dfs(SearchState& state) {
   if (!state.visited.insert(state_key(state)).second) return;  // seen
 
   // Branch on one representative per identical (q, p, release) class.
-  std::vector<JobId> candidates;
+  const Arena::Marker frame = state.scratch.mark();
+  ScratchVec<JobId> candidates{ArenaAlloc<JobId>(&state.scratch)};
   for (std::size_t i = 0; i < n; ++i) {
     if (state.placed[i]) continue;
     const Job& job = instance.jobs()[i];
@@ -133,8 +141,9 @@ void dfs(SearchState& state) {
     state.current_makespan = saved_makespan;
     state.placed[static_cast<std::size_t>(id)] = false;
     state.free.rollback(std::move(token));
-    if (state.aborted) return;
+    if (state.aborted) break;
   }
+  state.scratch.rewind(frame);
 }
 
 }  // namespace

@@ -4,11 +4,11 @@
 #include <chrono>
 #include <cmath>
 #include <deque>
-#include <map>
 #include <optional>
 #include <utility>
 #include <vector>
 
+#include "core/arena.hpp"
 #include "core/instance.hpp"
 #include "core/profile_allocator.hpp"
 #include "sim/des.hpp"
@@ -108,12 +108,25 @@ class ServiceLoop {
  private:
   using WallClock = std::chrono::steady_clock;
   // Running jobs keyed by arrival index: cancellation erases the record and
-  // the stale completion event finds nothing (no dangling iterators).
+  // the stale completion event finds nothing. A sorted vector, not a map:
+  // the population is bounded by what fits on m processors, inserts happen
+  // inside the timed decision window (a map would pay one node allocation
+  // per started job there, a vector reuses its high-water capacity), and
+  // iteration stays in ascending key order -- the churn cancel pick and the
+  // scratch-path reservation order depend on exactly that.
   struct RunningRec {
     Time end = 0;
     ProcCount q = 1;
   };
-  using RunningMap = std::map<std::uint64_t, RunningRec>;
+  using RunningVec = std::vector<std::pair<std::uint64_t, RunningRec>>;
+
+  [[nodiscard]] RunningVec::iterator find_running(std::uint64_t index) {
+    const auto it = std::lower_bound(
+        running_.begin(), running_.end(), index,
+        [](const auto& entry, std::uint64_t key) { return entry.first < key; });
+    if (it != running_.end() && it->first == index) return it;
+    return running_.end();
+  }
 
   [[nodiscard]] int phase_of(std::uint64_t index) const noexcept {
     if (index < config_.phases.warmup) return kWarmup;
@@ -180,7 +193,7 @@ class ServiceLoop {
   }
 
   void on_complete(std::uint64_t index) {
-    const auto it = running_.find(index);
+    const auto it = find_running(index);
     if (it == running_.end()) return;  // churn-canceled; stale event
     const ServiceJob& job = jobs_[index];
     busy_ -= job.q;
@@ -245,11 +258,15 @@ class ServiceLoop {
       case ChurnKind::kCancelRunning: {
         // Eligible: completion strictly in the future (a job ending at this
         // exact tick is effectively done; its event fires this tick).
-        std::vector<RunningMap::iterator> eligible;
-        for (auto it = running_.begin(); it != running_.end(); ++it)
-          if (it->second.end > now) eligible.push_back(it);
+        // Collected in ascending-key order (running_ is key-sorted), so the
+        // pick is bit-identical to the old std::map iteration.
+        std::vector<std::size_t> eligible;
+        for (std::size_t i = 0; i < running_.size(); ++i)
+          if (running_[i].second.end > now) eligible.push_back(i);
         if (eligible.empty()) break;
-        const auto it = eligible[event.pick % eligible.size()];
+        const auto it =
+            running_.begin() +
+            static_cast<std::ptrdiff_t>(eligible[event.pick % eligible.size()]);
         const RunningRec rec = it->second;
         note_canceled(jobs_[it->first]);
         busy_ -= rec.q;
@@ -348,13 +365,14 @@ class ServiceLoop {
            completions_since_compact_ >= kCompactCompletionBudget;
   }
 
-  std::vector<Time> collect_wakeups(Time now) const {
-    std::vector<Time> wakeups;
-    wakeups.reserve(running_.size() + windows_.size());
-    for (const auto& [index, rec] : running_) wakeups.push_back(rec.end);
+  // Fills the persistent wakeups_ buffer (capacity reused across
+  // decisions; a fresh vector here would be one heap event per decision).
+  const std::vector<Time>& collect_wakeups(Time now) {
+    wakeups_.clear();
+    for (const auto& [index, rec] : running_) wakeups_.push_back(rec.end);
     for (const ChurnWindow& w : windows_)
-      if (w.end > now) wakeups.push_back(w.end);
-    return wakeups;
+      if (w.end > now) wakeups_.push_back(w.end);
+    return wakeups_;
   }
 
   // Rewind the retained plan's frames off the persistent profile
@@ -366,13 +384,15 @@ class ServiceLoop {
   // rewind takes their occupancy with it, so it is re-applied permanently
   // here (only the [now, end) remainder -- earlier history is dead).
   void drop_retained() {
-    if (!retained_) return;
-    result_.plan_frames_rewound += free_.open_commits() - retained_->base.depth;
-    free_.rewind_to(retained_->base);
-    retained_.reset();
+    if (!retained_live_) return;
+    result_.plan_frames_rewound +=
+        free_.open_commits() - retained_plan_.base.depth;
+    free_.rewind_to(retained_plan_.base);
+    retained_live_ = false;
+    retained_plan_.starts.clear();  // capacity survives for the next plan
     const Time now = sim_.now();
     for (const std::uint64_t index : framed_) {
-      const auto it = running_.find(index);
+      const auto it = find_running(index);
       if (it == running_.end() || it->second.end <= now) continue;
       free_.adjust_capacity(now, it->second.end,
                             -static_cast<std::int64_t>(it->second.q));
@@ -386,21 +406,20 @@ class ServiceLoop {
   // prefix's re-solve is bit-identical to the retained plan, so only the
   // suffix is new work. `not_before` continues fcfs's non-overtaking chain.
   void append_suffix(Time now, std::size_t planned, std::size_t k) {
-    std::vector<Job> tail;
-    tail.reserve(k - planned);
+    window_jobs_.clear();
     for (std::size_t j = planned; j < k; ++j) {
       const ServiceJob& job = jobs_[waiting_[j]];
-      tail.push_back(Job{static_cast<JobId>(j - planned), job.q, job.p,
-                         job.arrival, ""});
+      window_jobs_.push_back(Job{static_cast<JobId>(j - planned), job.q,
+                                 job.p, job.arrival, ""});
     }
-    const std::vector<Time> wakeups = collect_wakeups(now);
-    const Time floor =
-        std::max(now, retained_->starts.empty() ? now
-                                                : retained_->starts.back());
-    const Schedule plan = scheduler_.replan(
-        ReplanRequest{free_, tail, wakeups, m_, now, floor});
+    const std::vector<Time>& wakeups = collect_wakeups(now);
+    const Time floor = std::max(
+        now, retained_plan_.starts.empty() ? now
+                                           : retained_plan_.starts.back());
+    const Schedule plan = scheduler_.replan(ReplanRequest{
+        free_, window_jobs_, wakeups, m_, now, floor, &decision_arena_});
     for (std::size_t j = planned; j < k; ++j)
-      retained_->starts.push_back(
+      retained_plan_.starts.push_back(
           plan.start(static_cast<JobId>(j - planned)));
     result_.suffix_jobs_replanned += k - planned;
   }
@@ -410,40 +429,39 @@ class ServiceLoop {
   // decisions and replan only the arrived suffix; the rest replan the
   // window each decision (checkpoint -> replan -> rewind, index kept
   // warm). Returned starts are absolute and aligned with the window.
-  std::vector<Time> plan_incremental(Time now, std::size_t k) {
+  const std::vector<Time>& plan_incremental(Time now, std::size_t k) {
     // The retained plan survives starts and completions outright; settle()
     // rebases it (drop + compact, after the latency sample) once the
     // compaction deadline passes, so the frame stack and the dead history
     // stay bounded and the next decision here re-solves the full window.
-    if (append_replan_ && retained_) {
-      const std::size_t planned = retained_->starts.size();
+    if (append_replan_ && retained_live_) {
+      const std::size_t planned = retained_plan_.starts.size();
       RESCHED_CHECK_MSG(planned <= k,
                         "retained plan outlived a queue shrink");
       if (planned < k) append_suffix(now, planned, k);
-      return retained_->starts;
+      return retained_plan_.starts;
     }
     drop_retained();
-    std::vector<Job> window;
-    window.reserve(k);
+    retained_plan_.starts.clear();
+    window_jobs_.clear();
     for (std::size_t j = 0; j < k; ++j) {
       const ServiceJob& job = jobs_[waiting_[j]];
-      window.push_back(
+      window_jobs_.push_back(
           Job{static_cast<JobId>(j), job.q, job.p, job.arrival, ""});
     }
-    const std::vector<Time> wakeups = collect_wakeups(now);
-    const FreeProfile::Checkpoint before = free_.checkpoint();
-    const Schedule plan = scheduler_.replan(
-        ReplanRequest{free_, window, wakeups, m_, now, now});
+    const std::vector<Time>& wakeups = collect_wakeups(now);
+    retained_plan_.base = free_.checkpoint();
+    const Schedule plan = scheduler_.replan(ReplanRequest{
+        free_, window_jobs_, wakeups, m_, now, now, &decision_arena_});
     result_.suffix_jobs_replanned += k;
-    std::vector<Time> starts(k);
     for (std::size_t j = 0; j < k; ++j)
-      starts[j] = plan.start(static_cast<JobId>(j));
+      retained_plan_.starts.push_back(plan.start(static_cast<JobId>(j)));
     // Retain for every scheduler: append-capable ones reuse the plan on
     // later decisions; the rest have it rewound by settle() right after
     // this decision's latency sample -- the rewind prepares the NEXT
     // decision and does not belong in this one's timed window.
-    retained_.emplace(RetainedPlan{before, starts});
-    return starts;
+    retained_live_ = true;
+    return retained_plan_.starts;
   }
 
   // Scratch path: translate the live state into a fresh Instance relative
@@ -506,16 +524,21 @@ class ServiceLoop {
         return;
       }
     }
+    // Scope reset: everything the previous decision bump-allocated is dead
+    // by contract (ReplanRequest::scratch), so the arena rewinds to empty
+    // while keeping its chunks -- steady-state decisions reuse warm memory.
+    decision_arena_.reset();
     const bool time_it = config_.record_wall_latency;
+    const std::uint64_t allocs_begin = alloc_count();
     const WallClock::time_point wall_begin =
         time_it ? WallClock::now() : WallClock::time_point{};
 
     const std::size_t k = std::min(waiting_.size(), config_.dispatch_window);
     purge_windows(now);
 
-    std::vector<std::size_t> head;  // window positions starting now
+    head_.clear();  // window positions starting now
     if (use_replan_) {
-      const std::vector<Time> starts = plan_incremental(now, k);
+      const std::vector<Time>& starts = plan_incremental(now, k);
       ++result_.decisions_incremental;
       if (profile_live_) ++result_.snapshots_reused;
       profile_live_ = true;
@@ -534,29 +557,30 @@ class ServiceLoop {
         }
       }
       for (std::size_t j = 0; j < k; ++j)
-        if (starts[j] == now) head.push_back(j);
+        if (starts[j] == now) head_.push_back(j);
     } else {
       const Schedule plan = plan_scratch(now, k);
       ++result_.decisions_scratch;
       for (std::size_t j = 0; j < k; ++j)
-        if (plan.start(static_cast<JobId>(j)) == 0) head.push_back(j);
+        if (plan.start(static_cast<JobId>(j)) == 0) head_.push_back(j);
     }
     ++result_.decisions;
 
-    for (auto pos = head.rbegin(); pos != head.rend(); ++pos) {
+    for (auto pos = head_.rbegin(); pos != head_.rend(); ++pos) {
       start_job(waiting_[*pos]);
       waiting_.erase(waiting_.begin() + static_cast<std::ptrdiff_t>(*pos));
       // The retained plan tracks the queue: the started job leaves both.
       // Its occupancy stays behind in its plan frame (see start_job), so
       // the remaining starts are untouched -- a re-solve of the remaining
       // queue sees the identical profile.
-      if (retained_)
-        retained_->starts.erase(retained_->starts.begin() +
-                                static_cast<std::ptrdiff_t>(*pos));
+      if (retained_live_)
+        retained_plan_.starts.erase(retained_plan_.starts.begin() +
+                                    static_cast<std::ptrdiff_t>(*pos));
     }
 
     if (in_measure()) {
       ++result_.decisions_measured;
+      result_.decision_allocs += alloc_count() - allocs_begin;
       if (time_it) {
         result_.decision_ns.record(
             std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -603,8 +627,11 @@ class ServiceLoop {
     if (job.phase == kMeasure)
       result_.wait_ticks.record(checked_sub(sim_.now(), job.arrival));
     const Time completion = checked_add(sim_.now(), job.p);
-    running_.emplace(index, RunningRec{completion, job.q});
-    if (retained_) {
+    const auto at = std::lower_bound(
+        running_.begin(), running_.end(), index,
+        [](const auto& entry, std::uint64_t key) { return entry.first < key; });
+    running_.insert(at, {index, RunningRec{completion, job.q}});
+    if (retained_live_) {
       // Started under a retained plan: the job's occupancy [now, completion)
       // is already subtracted by its own plan frame, so the start mutates
       // nothing. drop_retained() re-applies the remainder permanently when
@@ -637,7 +664,7 @@ class ServiceLoop {
   std::vector<ChurnWindow> windows_;  // active/future availability drops
   std::vector<ServiceJob> jobs_;      // indexed by arrival order
   std::deque<std::uint64_t> waiting_;  // job indices, arrival order
-  RunningMap running_;
+  RunningVec running_;
   ProcCount busy_ = 0;
   std::uint64_t emitted_ = 0;
   std::uint64_t measured_done_ = 0;
@@ -648,11 +675,23 @@ class ServiceLoop {
   std::uint64_t completions_since_compact_ = 0;
   // The live plan of an append-capable scheduler: frames still open on
   // free_, absolute starts aligned with waiting_[0..starts.size()).
+  // A persistent member guarded by retained_live_ rather than an optional:
+  // the starts buffer's capacity survives drop/retain cycles, so the
+  // steady-state decision never reallocates it.
   struct RetainedPlan {
     FreeProfile::Checkpoint base;
     std::vector<Time> starts;
   };
-  std::optional<RetainedPlan> retained_;
+  RetainedPlan retained_plan_;
+  bool retained_live_ = false;
+  // Decision-scoped bump allocator handed to the scheduler through
+  // ReplanRequest::scratch; reset (chunks kept) at each dispatch entry.
+  Arena decision_arena_;
+  // Per-decision scratch buffers: cleared and refilled each decision, the
+  // high-water capacity is reused so the timed window stays allocation-free.
+  std::vector<std::size_t> head_;
+  std::vector<Job> window_jobs_;
+  std::vector<Time> wakeups_;
   // Jobs started while a plan was retained: their occupancy lives in plan
   // frames, not in the permanent profile, until drop_retained() rebases it.
   std::vector<std::uint64_t> framed_;

@@ -144,6 +144,12 @@ struct ServiceStepResult {
   // window -- decision_ns.count() equals this when record_wall_latency is
   // on. `decisions` above always counts every phase.
   std::uint64_t decisions_measured = 0;
+  // Heap allocations performed inside measure-window decisions (sum over
+  // the same windows decision_ns times): the delta of resched::alloc_count()
+  // across the timed region. Deterministic -- heap traffic is a pure
+  // function of the simulated state -- so it participates in the full
+  // result equality pin. Steady-state incremental decisions target zero.
+  std::uint64_t decision_allocs = 0;
   std::size_t peak_queue_depth = 0;
   std::size_t end_queue_depth = 0;
   Time sim_end = 0;

@@ -249,6 +249,29 @@ TEST(ChurnDifferential, ChurnStepsAreDeterministic) {
   EXPECT_GT(a.churn_events, 0u);
 }
 
+TEST(ChurnDifferential, IncrementalDecisionsStayNearlyAllocationFreeUnderChurn) {
+  // Allocation leg of the fuzz: even with aggressive churn forcing plan
+  // rewinds, capacity mutations and compactions, the pure incremental path
+  // must keep its timed decisions on the arena / pools / reused buffers.
+  // decision_allocs is deterministic (heap traffic is a function of the
+  // simulated state), so this is a hard pin, not a flaky heuristic.
+  for (const std::uint64_t seed : {1ull, 7ull, 42ull}) {
+    for (const std::string& name : incremental_schedulers()) {
+      ServiceConfig config = fuzz_config();
+      config.verify_incremental = false;  // oracle re-solves would dominate
+      config.incremental = true;
+      const ServiceStepResult step = run_service_step(
+          *make_scheduler(name), fuzz_load(), seed, 150.0, config);
+      ASSERT_GT(step.decisions_measured, 50u) << name << " seed " << seed;
+      EXPECT_LT(static_cast<double>(step.decision_allocs),
+                1.0 * static_cast<double>(step.decisions_measured))
+          << name << " seed " << seed
+          << ": decision_allocs=" << step.decision_allocs << " over "
+          << step.decisions_measured << " decisions";
+    }
+  }
+}
+
 TEST(ChurnDifferential, IncrementalAndScratchProduceTheSameService) {
   // Beyond per-decision start equality (verify mode), the two planning
   // paths must yield the same *service-level* outcome: identical job
