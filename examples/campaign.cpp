@@ -24,6 +24,7 @@
 #include "generators/adversarial.hpp"
 #include "generators/reservations.hpp"
 #include "generators/workload.hpp"
+#include "scenario/matrix.hpp"
 #include "sim/campaign.hpp"
 #include "util/cli.hpp"
 #include "util/strings.hpp"
@@ -151,12 +152,34 @@ int run_sweep(const CliParser& cli) {
   return 0;
 }
 
+// The scenario x scheduler survival matrix (scenario/matrix.hpp), through
+// the same campaign engine. See examples/scenarios.cpp for the full driver
+// (scenario selection, .scn / SWF loading, CSV export).
+int run_scenarios(const CliParser& cli) {
+  ScenarioMatrixConfig config;
+  config.instances = static_cast<std::size_t>(cli.get_int("instances"));
+  config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  config.threads = static_cast<std::size_t>(cli.get_int("threads"));
+  const std::string schedulers = cli.get_string("schedulers");
+  if (!schedulers.empty()) config.schedulers = split(schedulers, ',');
+
+  const ScenarioMatrixResult result =
+      run_scenario_matrix(stock_scenarios(cli.get_int("m")), config);
+  std::cout << "scenario matrix: " << result.scenarios.size()
+            << " scenarios x " << result.schedulers.size() << " schedulers, "
+            << result.instances << " instances per cell, seed " << config.seed
+            << "\n\n";
+  result.survival_table().print(std::cout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace resched;
   CliParser cli("campaign", "CSV sweep runner for the paper's figures");
-  cli.add_option("experiment", "one of: fig3, fig4, alpha, sweep", "fig3");
+  cli.add_option("experiment", "one of: fig3, fig4, alpha, sweep, scenarios",
+                 "fig3");
   cli.add_option("step", "alpha grid step for fig4", "0.05");
   cli.add_option("seeds", "seeds per cell for the alpha sweep", "10");
   cli.add_option("instances", "sweep: number of generated instances", "32");
@@ -180,6 +203,7 @@ int main(int argc, char** argv) {
   if (experiment == "alpha")
     return run_alpha(static_cast<std::uint64_t>(cli.get_int("seeds")), dump);
   if (experiment == "sweep") return run_sweep(cli);
+  if (experiment == "scenarios") return run_scenarios(cli);
   std::cerr << "unknown experiment '" << experiment << "'\n" << cli.usage();
   return 1;
 }

@@ -14,10 +14,30 @@
 #include "algorithms/scheduler.hpp"
 #include "bounds/lower_bounds.hpp"
 #include "core/gantt.hpp"
+#include "scenario/scenario.hpp"
+#include "scenario/scn_format.hpp"
 #include "sim/cluster_sim.hpp"
 #include "util/cli.hpp"
+#include "util/require.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
+
+namespace {
+
+// The demo slot as a scenario program -- byte-for-byte the committed
+// tests/data/demo_day.scn (tests/test_scenario.cpp pins the equivalence,
+// and that compiling it reproduces the original hand-built reservation
+// exactly): the 12-processor machine drops to 4 during [20, 30).
+constexpr const char* kDemoDayScn =
+    "scenario demo_day\n"
+    "initial 12\n"
+    "  soak_at 12 20\n"
+    "  jump_to 4\n"
+    "  soak_at 4 10\n"
+    "  jump_to 12\n"
+    "end\n";
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace resched;
@@ -27,10 +47,11 @@ int main(int argc, char** argv) {
                  "write one SVG per scheduler with this filename prefix", "");
   if (!cli.parse(argc, argv)) return 0;
 
-  // 12-processor cluster. The demo books 8 processors during [20, 30).
-  // The queue mixes narrow-long and wide-short jobs; ids are submission
-  // order.
-  const Instance instance(
+  // 12-processor cluster; the demo-day availability program books 8
+  // processors during [20, 30). The queue mixes narrow-long and wide-short
+  // jobs; ids are submission order.
+  const ScenarioProgram program = parse_scn(kDemoDayScn);
+  Instance instance = scenario_instance(
       12,
       {
           Job{0, 4, 18, 0, "cfd"},
@@ -42,9 +63,16 @@ int main(int argc, char** argv) {
           Job{6, 4, 4, 0, "viz-prep"},
           Job{7, 3, 14, 0, "assim"},
       },
-      {
-          Reservation{0, 8, 10, 20, "DEMO"},
-      });
+      compile_scenario(program));
+  // One rectangle: 8 processors over [20, 30). Keep the demo's marquee name.
+  {
+    std::vector<Reservation> reservations = instance.reservations();
+    RESCHED_CHECK_MSG(reservations.size() == 1,
+                      "demo_day program should compile to one reservation");
+    reservations[0].name = "DEMO";
+    instance = Instance(instance.m(), instance.jobs(),
+                        std::move(reservations));
+  }
 
   std::cout << "Demo day: 8 of 12 processors reserved during [20, 30); "
             << instance.n() << " jobs queued.\n";

@@ -15,11 +15,17 @@
 //   # print the registry: every scheduler, its description and capabilities
 //   resched_tool list-schedulers
 //
+//   # check scenario programs / SWF traces without running a campaign
+//   resched_tool scenario validate tests/data/*.scn
+//   resched_tool trace info trace.swf
+//
 // Input format is auto-detected (native "# resched instance" vs SWF).
+#include <algorithm>
 #include <fstream>
 #include <utility>
 #include <iostream>
 #include <sstream>
+#include <vector>
 
 #include "resched.hpp"
 
@@ -158,6 +164,70 @@ int cmd_anomalies(const Instance& instance, const std::string& algorithm) {
   return 0;
 }
 
+// `scenario validate FILE...`: parse + structurally validate each program,
+// compile it when self-contained, and report errors with their position.
+// Exit code 1 when any file is malformed or unreadable.
+int cmd_scenario_validate(const std::vector<std::string>& files) {
+  RESCHED_REQUIRE_MSG(!files.empty(),
+                      "usage: resched_tool scenario validate FILE...");
+  int failures = 0;
+  for (const std::string& path : files) {
+    try {
+      const ScenarioProgram program = load_scn(path);
+      std::cout << path << ": ok -- scenario '" << program.name << "', "
+                << program.steps.size() << " step(s)";
+      if (program.repeat != 1) std::cout << " x " << program.repeat;
+      const bool needs_reference = std::any_of(
+          program.steps.begin(), program.steps.end(), [](const ScenarioStep& s) {
+            return s.kind == ScenarioStepKind::kWaitToCross;
+          });
+      if (needs_reference) {
+        std::cout << " (wait_to_cross: compiles against a reference curve)\n";
+      } else {
+        const CompiledScenario compiled = compile_scenario(program);
+        std::cout << ", horizon " << compiled.horizon << ", level range ["
+                  << compiled.curve.min_value() << ", "
+                  << compiled.curve.max_value() << "]\n";
+      }
+    } catch (const ScnParseError& error) {
+      std::cerr << path << ":" << error.what() << "\n";
+      ++failures;
+    } catch (const std::exception& error) {
+      std::cerr << path << ": error: " << error.what() << "\n";
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+// `trace info FILE...`: tolerant SWF summary -- machine size, parsed and
+// skipped record counts (by reason), clamps, header directives. Exit code 1
+// when a file is unreadable or yields no jobs at all.
+int cmd_trace_info(const std::vector<std::string>& files) {
+  RESCHED_REQUIRE_MSG(!files.empty(), "usage: resched_tool trace info FILE...");
+  int failures = 0;
+  for (const std::string& path : files) {
+    try {
+      const SwfTrace trace = load_swf_trace(path);
+      std::cout << path << ": MaxProcs " << trace.max_procs << ", "
+                << trace.skip_summary();
+      if (trace.clamped_procs > 0)
+        std::cout << ", clamped-procs " << trace.clamped_procs;
+      if (trace.clamped_times > 0)
+        std::cout << ", clamped-times " << trace.clamped_times;
+      std::cout << ", " << trace.directives.size() << " header directive(s)\n";
+      if (trace.parsed == 0) {
+        std::cerr << path << ": error: no schedulable job records\n";
+        ++failures;
+      }
+    } catch (const std::exception& error) {
+      std::cerr << path << ": error: " << error.what() << "\n";
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -175,9 +245,22 @@ int main(int argc, char** argv) {
   try {
     RESCHED_REQUIRE_MSG(!cli.positional().empty(),
                         "usage: resched_tool <schedule|compare|info|"
-                        "anomalies|list-schedulers> --input=FILE");
+                        "anomalies|list-schedulers> --input=FILE | "
+                        "resched_tool <scenario validate|trace info> FILE...");
     const std::string command = cli.positional().front();
     if (command == "list-schedulers") return cmd_list_schedulers();
+    if (command == "scenario" || command == "trace") {
+      const auto& positional = cli.positional();
+      RESCHED_REQUIRE_MSG(
+          positional.size() >= 2 &&
+              positional[1] == (command == "scenario" ? "validate" : "info"),
+          command == "scenario" ? "usage: resched_tool scenario validate FILE..."
+                                : "usage: resched_tool trace info FILE...");
+      const std::vector<std::string> files(positional.begin() + 2,
+                                           positional.end());
+      return command == "scenario" ? cmd_scenario_validate(files)
+                                   : cmd_trace_info(files);
+    }
     const std::string input = cli.get_string("input");
     RESCHED_REQUIRE_MSG(!input.empty(), "--input is required");
     const Instance instance = load_any(input);

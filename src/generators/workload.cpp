@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/checked.hpp"
 #include "util/prng.hpp"
 #include "util/require.hpp"
 
@@ -71,6 +72,27 @@ Instance random_workload(const WorkloadConfig& config, std::uint64_t seed) {
   return Instance(config.m, std::move(jobs));
 }
 
+StepProfile daily_intensity_profile(Time ticks_per_day) {
+  RESCHED_REQUIRE(ticks_per_day >= 24);
+  // Relative hourly intensity (0h..23h) in percent of the mid-morning /
+  // mid-afternoon peaks: night trough, peaks at 10h and 15h -- the
+  // canonical bimodal shape of the Parallel Workloads Archive traces.
+  static constexpr std::int64_t kHourlyPercent[24] = {
+      20, 15, 10,  10,  10,  15, 30, 50, 80, 100, 110, 100,
+      90, 100, 110, 110, 100, 90, 70, 60, 50, 40,  30,  25};
+  StepProfile curve(kHourlyPercent[0]);
+  std::int64_t level = kHourlyPercent[0];
+  for (int hour = 1; hour < 24; ++hour) {
+    if (kHourlyPercent[hour] == level) continue;
+    // hour(t) = t * 24 / tpd (floor) reaches `hour` first at
+    // ceil(hour * tpd / 24).
+    curve.add(ceil_div(hour * ticks_per_day, 24), kTimeInfinity,
+              kHourlyPercent[hour] - level);
+    level = kHourlyPercent[hour];
+  }
+  return curve;
+}
+
 Instance daily_cycle_workload(const DailyCycleConfig& config,
                               std::uint64_t seed) {
   RESCHED_REQUIRE(config.m >= 1 && config.days >= 1);
@@ -78,17 +100,21 @@ Instance daily_cycle_workload(const DailyCycleConfig& config,
   RESCHED_REQUIRE(config.p_min >= 1 && config.p_min <= config.p_max);
   RESCHED_REQUIRE(config.alpha > Rational(0) && config.alpha <= Rational(1));
 
-  // Relative hourly intensity (0h..23h): night trough, peaks at 10h and 15h
-  // -- the canonical bimodal shape of the Parallel Workloads Archive traces.
-  static constexpr double kHourly[24] = {
-      0.2, 0.15, 0.1, 0.1, 0.1, 0.15, 0.3, 0.5, 0.8, 1.0, 1.1, 1.0,
-      0.9, 1.0,  1.1, 1.1, 1.0, 0.9,  0.7, 0.6, 0.5, 0.4, 0.3, 0.25};
+  const StepProfile curve = config.intensity.has_value()
+                                ? *config.intensity
+                                : daily_intensity_profile(config.ticks_per_day);
+  RESCHED_REQUIRE_MSG(curve.min_in(0, config.ticks_per_day) >= 0 &&
+                          curve.max_in(0, config.ticks_per_day) > 0,
+                      "intensity curve must be non-negative with a positive "
+                      "peak over one day");
+  const auto peak =
+      static_cast<double>(curve.max_in(0, config.ticks_per_day));
 
   Prng prng(seed);
   const ProcCount q_cap = std::max<ProcCount>(
       1, (config.alpha * Rational(config.m)).floor());
 
-  // Draw arrival instants by rejection against the diurnal envelope, then
+  // Draw arrival instants by rejection against the intensity envelope, then
   // sort: equivalent to an inhomogeneous Poisson process conditioned on n
   // arrivals.
   std::vector<Time> arrivals;
@@ -96,9 +122,9 @@ Instance daily_cycle_workload(const DailyCycleConfig& config,
   const Time horizon = static_cast<Time>(config.days) * config.ticks_per_day;
   while (arrivals.size() < config.n) {
     const Time t = prng.uniform_int(0, horizon - 1);
-    const auto hour = static_cast<std::size_t>(
-        (t % config.ticks_per_day) * 24 / config.ticks_per_day);
-    if (prng.uniform_real() < kHourly[hour] / 1.1) arrivals.push_back(t);
+    const auto intensity =
+        static_cast<double>(curve.value_at(t % config.ticks_per_day));
+    if (prng.uniform_real() * peak < intensity) arrivals.push_back(t);
   }
   std::sort(arrivals.begin(), arrivals.end());
 

@@ -8,8 +8,10 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 
 #include "core/instance.hpp"
+#include "core/step_profile.hpp"
 #include "util/rational.hpp"
 
 namespace resched {
@@ -65,7 +67,20 @@ struct DailyCycleConfig {
   Time p_max = 240;
   WidthDistribution width = WidthDistribution::kPowersOfTwo;
   Rational alpha{1};
+  // Optional one-day intensity curve in arbitrary non-negative units,
+  // queried at t % ticks_per_day and normalized by its maximum. Unset =
+  // daily_intensity_profile(ticks_per_day), the built-in diurnal shape.
+  // This is how scenario programs drive the generator: compile an
+  // intensity program (scenario/scenario.hpp) and install its curve here.
+  std::optional<StepProfile> intensity;
 };
+
+// The built-in diurnal intensity curve as an integer step function over one
+// day: percent of peak-hour pressure (trough 10, peak 110), hour h active
+// on [ceil(h * tpd / 24), ceil((h+1) * tpd / 24)) -- exactly the floor
+// mapping hour(t) = t * 24 / tpd the rejection sampler uses. Bit-identical
+// to compile_scenario(daily_intensity_program(tpd)).curve.
+[[nodiscard]] StepProfile daily_intensity_profile(Time ticks_per_day);
 
 [[nodiscard]] Instance daily_cycle_workload(const DailyCycleConfig& config,
                                             std::uint64_t seed);

@@ -10,7 +10,9 @@
 #include <thread>
 #include <utility>
 
+#include "bounds/checker.hpp"
 #include "core/schedule.hpp"
+#include "exact/bnb.hpp"
 #include "sim/metrics.hpp"
 #include "util/prng.hpp"
 #include "util/require.hpp"
@@ -26,6 +28,10 @@ struct TaskResult {
   DomainReason reason = DomainReason::kOther;
   ScheduleMetrics metrics;
   double seconds = 0.0;
+  // check_guarantees mode: the compliance verdict for this schedule.
+  bool guarantee_checked = false;
+  bool has_guarantee = false;
+  Compliance compliance = Compliance::kInconclusive;
 };
 
 std::size_t resolve_threads(std::size_t requested, std::size_t task_count) {
@@ -160,6 +166,24 @@ CampaignResult run_campaign(const InstanceGenerator& generator,
         }
         slot.metrics = compute_metrics(instance, schedule, config.tau);
         slot.scheduled = true;
+        if (config.check_guarantees) {
+          // An exact reference turns a bound breach into a definite
+          // kViolated; it is worth a B&B only on tiny instances. Release
+          // times are outside the B&B's model, so those fall back to the
+          // certified lower bound (still sound: ratio <= bound proves).
+          std::optional<Time> exact;
+          if (instance.n() > 0 && instance.n() <= config.guarantee_exact_n &&
+              !instance.has_release_times()) {
+            const BnbResult bnb = branch_and_bound(
+                instance, BnbOptions{.upper_bound_hint = slot.metrics.makespan});
+            if (bnb.proven) exact = bnb.optimal;
+          }
+          const GuaranteeReport report =
+              check_guarantee(instance, schedule, exact);
+          slot.guarantee_checked = true;
+          slot.has_guarantee = report.has_guarantee;
+          slot.compliance = report.compliance;
+        }
       });
 
   // Single-threaded aggregation in (scheduler, instance) order: OnlineStats
@@ -186,6 +210,17 @@ CampaignResult run_campaign(const InstanceGenerator& generator,
         continue;
       }
       ++cell.scheduled;
+      if (slot.guarantee_checked) {
+        if (!slot.has_guarantee) {
+          ++cell.guarantee_none;
+        } else if (slot.compliance == Compliance::kProven) {
+          ++cell.guarantee_proven;
+        } else if (slot.compliance == Compliance::kViolated) {
+          ++cell.guarantee_violated;
+        } else {
+          ++cell.guarantee_inconclusive;
+        }
+      }
       cell.makespan.add(static_cast<double>(slot.metrics.makespan));
       cell.utilization.add(slot.metrics.utilization);
       cell.mean_wait.add(slot.metrics.mean_wait);

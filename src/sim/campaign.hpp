@@ -78,6 +78,14 @@ struct CampaignConfig {
   // scheduler task read it shared; false: regenerate per task (seed
   // behavior). Aggregates are bit-identical either way.
   bool share_instances = false;
+  // Run bounds/check_guarantee on every produced schedule and tally the
+  // compliance verdicts per scheduler (the scenario-matrix survival
+  // report). Off by default: it costs a makespan_lower_bound per task.
+  bool check_guarantees = false;
+  // With check_guarantees: instances of at most this many jobs (and no
+  // release times) get an exact B&B reference, so a bound breach is a
+  // definite kViolated instead of kInconclusive. 0 = lower bounds only.
+  std::size_t guarantee_exact_n = 0;
 };
 
 // Aggregates over the instances one scheduler handled.
@@ -93,6 +101,15 @@ struct CampaignCell {
   OnlineStats max_wait;
   OnlineStats mean_bounded_slowdown;
   double seconds = 0.0;  // wall-clock inside schedule(), summed
+
+  // Guarantee-compliance tallies over the scheduled instances (populated
+  // only when CampaignConfig::check_guarantees is set; they sum to
+  // `scheduled` then). `guarantee_none` counts instances whose class has
+  // no finite guarantee at all (Theorem 1's unrestricted reservations).
+  std::size_t guarantee_proven = 0;
+  std::size_t guarantee_violated = 0;
+  std::size_t guarantee_inconclusive = 0;
+  std::size_t guarantee_none = 0;
 
   // Human-readable reason breakdown, e.g. "reservations=3 release-times=1";
   // empty when nothing was skipped.

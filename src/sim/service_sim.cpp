@@ -62,7 +62,8 @@ class ServiceLoop {
                     scheduler.capabilities().incremental_replan),
         append_replan_(use_replan_ &&
                        scheduler.capabilities().append_only_replan),
-        maintain_profile_(use_replan_ || config.churn.enabled()),
+        maintain_profile_(use_replan_ || config.churn.enabled() ||
+                          !config.availability.empty()),
         gen_(load, seed),
         free_(StepProfile(static_cast<std::int64_t>(load.m))) {
     gen_.set_rate(rate);
@@ -75,6 +76,7 @@ class ServiceLoop {
 
   ServiceStepResult run() {
     if (config_.phases.total() > 0) {
+      apply_availability();
       schedule_next_arrival();
       // Sampler lifecycle: anchored at simulation start (not at the first
       // measure arrival), so a warmup-phase backlog bail can never leave
@@ -328,6 +330,30 @@ class ServiceLoop {
       }
     }
     ++result_.churn_skipped;  // no eligible target for this event
+  }
+
+  // Planned (scenario) availability windows, applied once before the first
+  // arrival. They ride the exact churn-drop machinery -- permanent capacity
+  // withdrawal on the persistent profile, a windows_ record for the scratch
+  // path's reservation rebuild, a wakeup at each window end -- but unlike
+  // drops they are part of the step's contract: an infeasible window (the
+  // stack would dip below zero processors) is a configuration error, not a
+  // skip.
+  void apply_availability() {
+    for (const AvailabilityWindow& window : config_.availability) {
+      RESCHED_REQUIRE_MSG(window.width >= 1 && window.start >= 0 &&
+                              window.end > window.start,
+                          "availability window needs width >= 1 and "
+                          "end > start >= 0");
+      RESCHED_REQUIRE_MSG(
+          free_.profile().min_in(window.start, window.end) >= window.width,
+          "availability windows exceed the machine where they overlap");
+      free_.adjust_capacity(window.start, window.end,
+                            -static_cast<std::int64_t>(window.width));
+      windows_.push_back(ChurnWindow{window.start, window.end, window.width});
+      schedule_window_end(window.end);
+      ++result_.scenario_windows;
+    }
   }
 
   // A window's end is a capacity-increase instant with no natural DES

@@ -92,6 +92,20 @@ struct ServicePhases {
   }
 };
 
+// A planned availability withdrawal: `width` processors are gone over
+// [start, end). This is the service-side form of a scenario program's
+// unavailability rectangles (scenario/matrix.hpp compiles programs into
+// these); unlike churn drops they are known at step start, so the scheduler
+// plans around them from the first decision.
+struct AvailabilityWindow {
+  Time start = 0;
+  Time end = 0;
+  ProcCount width = 0;
+
+  friend bool operator==(const AvailabilityWindow&,
+                         const AvailabilityWindow&) = default;
+};
+
 struct ServiceConfig {
   ServicePhases phases;
   // Rolling dispatch window: at most this many head-of-queue jobs are handed
@@ -131,6 +145,12 @@ struct ServiceConfig {
   Time compact_interval = 256;
   // Optional churn stream; ChurnConfig{} (rate 0) disables it.
   ChurnConfig churn;
+  // Planned availability windows applied at step start (width >= 1,
+  // end > start >= 0; overlapping windows must fit within m together --
+  // checked at step start). Both planning paths see them: the persistent
+  // profile loses the capacity permanently, and the scratch path rebuilds
+  // them as reservations relative to now.
+  std::vector<AvailabilityWindow> availability;
 };
 
 struct ServiceStepResult {
@@ -165,6 +185,10 @@ struct ServiceStepResult {
   // Dispatches deferred because a same-tick completion had not drained yet
   // (the completion event at this tick re-dispatches with true capacity).
   std::uint64_t deferred_dispatches = 0;
+
+  // Planned availability windows applied at step start (the scenario
+  // program's rectangles; see ServiceConfig::availability).
+  std::uint64_t scenario_windows = 0;
 
   // Churn accounting.
   std::uint64_t churn_events = 0;          // events applied

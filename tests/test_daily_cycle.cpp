@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 #include "algorithms/scheduler.hpp"
 #include "generators/workload.hpp"
+#include "scenario/scenario.hpp"
+#include "scenario/scn_format.hpp"
 
 namespace resched {
 namespace {
@@ -74,6 +77,24 @@ TEST(DailyCycle, SchedulableByEveryOnlineAlgorithm) {
     const Schedule schedule = make_scheduler(name)->schedule(instance).value();
     EXPECT_TRUE(schedule.validate(instance).ok) << name;
   }
+}
+
+TEST(DailyCycle, CommittedScnProgramReproducesTheGeneratorBitForBit) {
+  // The intensity curve is not a code-shaped knob: the committed
+  // tests/data/daily_intensity.scn compiles to the exact built-in diurnal
+  // profile, so installing it via DailyCycleConfig::intensity regenerates
+  // identical workloads (same seed, same jobs, byte for byte).
+  const ScenarioProgram program =
+      load_scn(std::string(RESCHED_TEST_DATA_DIR) + "/daily_intensity.scn");
+  DailyCycleConfig from_scn;
+  from_scn.n = 150;
+  from_scn.intensity = compile_scenario(program).curve;
+  DailyCycleConfig builtin;
+  builtin.n = 150;
+  for (const std::uint64_t seed : {3ull, 17ull, 31ull})
+    EXPECT_EQ(daily_cycle_workload(from_scn, seed),
+              daily_cycle_workload(builtin, seed))
+        << "seed " << seed;
 }
 
 TEST(DailyCycle, RejectsBadConfig) {
