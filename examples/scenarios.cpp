@@ -87,13 +87,7 @@ int main(int argc, char** argv) {
                           "trace has no schedulable job records");
       std::cout << "trace " << trace_path << ": " << trace.skip_summary()
                 << "\n";
-      ScenarioSpec spec;
-      spec.name = "trace";
-      spec.program = soak_program(trace.max_procs);
-      spec.workload = ScenarioWorkload::kTrace;
-      spec.m = trace.max_procs;
-      spec.trace_jobs = trace.jobs;
-      specs.push_back(std::move(spec));
+      specs.push_back(trace_scenario(trace));
     }
     RESCHED_REQUIRE_MSG(!specs.empty(), "no scenarios selected");
 

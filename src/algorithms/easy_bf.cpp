@@ -76,6 +76,7 @@ Schedule easy_run(FreeProfile& free, ProcCount m, const std::vector<Job>& jobs,
       free.commit_fitted(t, head.q, head.p);
       schedule.set_start(head.id, t);
       events.push(checked_add(t, head.p));
+      // resched-lint: time-arith-audited(admitted q keeps capacity in [0, m])
       capacity -= head.q;
       waiting.take();
       ++started;
@@ -124,6 +125,7 @@ Schedule easy_run(FreeProfile& free, ProcCount m, const std::vector<Job>& jobs,
         }
         schedule.set_start(job.id, t);
         events.push(job_end);
+        // resched-lint: time-arith-audited(admitted q keeps capacity in [0, m])
         capacity -= job.q;
         waiting.take();
         ++started;

@@ -98,6 +98,7 @@ Schedule LsrcScheduler::run(const Instance& instance,
         free.commit_fitted(t, job.q, job.p);
         schedule.set_start(job.id, t);
         events.push(checked_add(t, job.p));
+        // resched-lint: time-arith-audited(admitted q keeps capacity in [0, m])
         capacity -= job.q;
         --remaining;
         pending.take();

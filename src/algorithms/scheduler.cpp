@@ -91,6 +91,7 @@ void add_entry(std::map<std::string, RegistryEntry>& reg,
 // Built-ins are registered lazily and explicitly (static-initialiser
 // registration inside a static library gets dropped by the linker for
 // translation units nothing else references).
+// resched-lint: hot-path-alloc-audited(one-time lazy registry build, cold) [function]
 void ensure_builtins() {
   static const bool done = [] {
     auto& reg = registry();

@@ -59,6 +59,7 @@ ScheduleOutcome ShelfScheduler::schedule(const Instance& instance) const {
       target = &shelves.back();
     }
     schedule.set_start(id, target->start);
+    // resched-lint: time-arith-audited(admitted q shrinks remaining; stays >= 0)
     target->remaining -= job.q;
   }
   return schedule;

@@ -121,16 +121,17 @@ Lemma1Report check_lemma1(const Instance& instance, const Schedule& schedule) {
   // covers all of [0, C - p_max).
   std::set<Time> candidates{0};
   for (const auto& segment : usage.segments_in(0, makespan)) {
-    if (segment.start < makespan - p_max) candidates.insert(segment.start);
-    const Time shifted = segment.start - p_max;
-    if (shifted >= 0 && shifted < makespan - p_max) candidates.insert(shifted);
+    const Time window_end = checked_sub(makespan, p_max);
+    if (segment.start < window_end) candidates.insert(segment.start);
+    const Time shifted = checked_sub(segment.start, p_max);
+    if (shifted >= 0 && shifted < window_end) candidates.insert(shifted);
   }
 
   for (const Time t : candidates) {
     const std::int64_t r_t = usage.value_at(t);
     const Time window_start = checked_add(t, p_max);
     const std::int64_t suffix_min = usage.min_in(window_start, makespan);
-    if (r_t + suffix_min <= instance.m()) {
+    if (checked_add(r_t, suffix_min) <= instance.m()) {
       report.holds = false;
       report.t = t;
       // Recover a witness t': the first point achieving the suffix minimum.
@@ -141,7 +142,7 @@ Lemma1Report check_lemma1(const Instance& instance, const Schedule& schedule) {
           break;
         }
       }
-      report.r_sum = r_t + suffix_min;
+      report.r_sum = checked_add(r_t, suffix_min);
       return report;
     }
   }

@@ -1,5 +1,6 @@
-#include "bounds/guarantees.hpp"
 
+#include "bounds/guarantees.hpp"
+#include "util/checked.hpp"
 #include "util/require.hpp"
 
 namespace resched {
@@ -34,7 +35,7 @@ Rational lsrc_lower_bound_b1(const Rational& alpha) {
   RESCHED_CHECK(inner_den > Rational(0));
   const Rational inner = (Rational(1) - half_alpha) / inner_den;
   return ceil_2a - Rational(1) +
-         Rational(1, inner.floor() + 1);
+         Rational(1, checked_add(inner.floor(), 1));
 }
 
 Rational lsrc_lower_bound_b2(const Rational& alpha) {

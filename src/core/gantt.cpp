@@ -39,7 +39,7 @@ std::vector<std::vector<Span>> per_machine_spans(
     for (const MachineIndex machine :
          assignment.job_machines[static_cast<std::size_t>(job.id)])
       rows[static_cast<std::size_t>(machine)].push_back(
-          {start, start + job.p, 0, job.id});
+          {start, checked_add(start, job.p), 0, job.id});
   }
   for (const Reservation& resa : instance.reservations()) {
     for (const MachineIndex machine :
@@ -83,15 +83,16 @@ std::string ascii_gantt(const Instance& instance, const Schedule& schedule,
     out << (machine < 10 ? " " : "") << machine << " |";
     for (int col = 0; col < width; ++col) {
       // Bucket [b0, b1) in time units.
-      const Time b0 = horizon * col / width;
-      const Time b1 = std::max<Time>(b0 + 1, horizon * (col + 1) / width);
+      const Time b0 = checked_mul(horizon, col) / width;
+      const Time b1 = std::max<Time>(checked_add(b0, 1),
+                                     checked_mul(horizon, col + 1) / width);
       // Pick the span with the largest overlap with the bucket.
       Time best_overlap = 0;
       char symbol = '.';
       for (const Span& span : rows[machine]) {
         if (span.start >= b1) break;
         const Time overlap =
-            std::min(span.end, b1) - std::max(span.start, b0);
+            checked_sub(std::min(span.end, b1), std::max(span.start, b0));
         if (overlap > best_overlap) {
           best_overlap = overlap;
           symbol = span.kind == 1 ? '#' : job_letter(span.id);

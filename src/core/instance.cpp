@@ -78,7 +78,7 @@ ProcCount Instance::q_max() const noexcept {
 Time Instance::reservation_horizon() const noexcept {
   Time result = 0;
   for (const Reservation& resa : reservations_)
-    result = std::max(result, resa.start + resa.p);
+    result = std::max(result, checked_add(resa.start, resa.p));
   return result;
 }
 

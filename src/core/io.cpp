@@ -1,12 +1,12 @@
-#include "core/io.hpp"
 
+#include "core/io.hpp"
+#include "util/checked.hpp"
+#include "util/require.hpp"
+#include "util/strings.hpp"
 #include <fstream>
 #include <istream>
 #include <ostream>
 #include <sstream>
-
-#include "util/require.hpp"
-#include "util/strings.hpp"
 
 namespace resched {
 
@@ -189,7 +189,8 @@ Instance read_swf(std::istream& is) {
     const auto runtime = parse_int(fields[3], context);
     auto procs = parse_int(fields[4], context);
     if (procs <= 0) procs = parse_int(fields[7], context);  // requested
-    jobs.push_back(Job{static_cast<JobId>(number - 1), procs, runtime,
+    jobs.push_back(Job{static_cast<JobId>(checked_sub(number, 1)), procs,
+                       runtime,
                        submit < 0 ? 0 : submit, ""});
   }
   RESCHED_REQUIRE_MSG(m >= 1, "SWF lacks a '; MaxProcs:' header");
@@ -202,7 +203,7 @@ void save_schedule_csv(const Instance& instance, const Schedule& schedule,
   for (const Job& job : instance.jobs()) {
     if (!schedule.is_scheduled(job.id)) continue;
     const Time start = schedule.start(job.id);
-    os << job.id << ',' << start << ',' << start + job.p << "\n";
+    os << job.id << ',' << start << ',' << checked_add(start, job.p) << "\n";
   }
 }
 

@@ -130,7 +130,7 @@ ValidationResult validate_assignment(const Instance& instance,
     for (const MachineIndex machine :
          assignment.job_machines[static_cast<std::size_t>(job.id)])
       uses[machine].push_back(
-          {start, start + job.p, "job " + std::to_string(job.id)});
+          {start, checked_add(start, job.p), "job " + std::to_string(job.id)});
   }
   for (const Reservation& resa : instance.reservations()) {
     for (const MachineIndex machine :

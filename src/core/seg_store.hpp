@@ -77,6 +77,7 @@ class SegStore {
   void set_start(std::size_t i, Time t) noexcept { times_[i] = t; }
   void set_value(std::size_t i, std::int64_t v) noexcept { values_[i] = v; }
   void add_value(std::size_t i, std::int64_t delta) noexcept {
+    // resched-lint: time-arith-audited(heights capacity-bounded; deltas validated upstream)
     values_[i] += delta;
   }
   [[nodiscard]] std::int64_t back_value() const noexcept {

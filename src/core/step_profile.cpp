@@ -196,6 +196,7 @@ void StepProfile::rollback(Undo& undo) {
   for (std::size_t j = 0; j < prior.size() && matches; ++j) {
     if (prior.start(j) >= undo.to_) break;
     expect(std::max(prior.start(j), undo.from_),
+        // resched-lint: time-arith-audited(verify-mode replay of a checked-path delta)
            prior.value(j) + undo.delta_);
   }
   // Trailing unmodified piece from `to` on (the last recorded step is the
@@ -297,6 +298,7 @@ StepProfile::Wide StepProfile::scan_integral_at(std::size_t i, Time from,
   while (cursor < to) {
     const Time seg_end =
         (i + 1 < steps_.size()) ? std::min(steps_.start(i + 1), to) : to;
+    // resched-lint: time-arith-audited(wide_add/wide_mul detect 128-bit overflow here)
     if (!wide_add(area, wide_mul(steps_.value(i), seg_end - cursor)))
       ok = false;
     cursor = seg_end;
@@ -315,15 +317,19 @@ Time StepProfile::scan_accumulate(std::size_t i, Time cursor, Time stop,
     const std::int64_t rate = steps_.value(i);
     if (rate > 0) {
       const Time needed = ceil_div(remaining, rate);
+      // resched-lint: time-arith-audited(seg_end < kTimeInfinity here; the span fits int64)
       if (seg_end >= kTimeInfinity || needed <= seg_end - cursor) {
         // cursor + needed can exceed INT64_MAX (e.g. target near the int64
         // ceiling over a rate-1 tail); mathematically that is simply "past
         // any horizon", so clamp instead of tripping the overflow check.
+        // resched-lint: time-arith-audited(guarded by this very kTimeInfinity comparison)
         return needed >= kTimeInfinity - cursor ? kTimeInfinity
+        // resched-lint: time-arith-audited(reached only when needed < kTimeInfinity - cursor)
                                                 : cursor + needed;
       }
       // Never overflows: the subtraction only runs when rate * len <
       // remaining <= INT64_MAX (a crossing segment returned above).
+      // resched-lint: time-arith-audited(rate * span < remaining <= INT64_MAX on this branch)
       remaining -= checked_mul(rate, seg_end - cursor);
     }
     if (seg_end >= kTimeInfinity) return kTimeInfinity;  // deficient tail
@@ -675,6 +681,7 @@ Time StepProfile::index_accumulate(const Index& ix, std::size_t node,
     }
     if (total < static_cast<Wide>(remaining)) {
       // total >= 0 and < remaining <= INT64_MAX: the narrowing is exact.
+      // resched-lint: time-arith-audited(total < remaining <= INT64_MAX: narrowing is exact)
       remaining -= static_cast<std::int64_t>(total);
       return kTimeInfinity;
     }

@@ -58,7 +58,7 @@ Time two_machine_optimal(const Instance& instance) {
       break;
     }
   }
-  return total - best_small;
+  return checked_sub(total, best_small);
 }
 
 }  // namespace resched

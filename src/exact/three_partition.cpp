@@ -51,14 +51,14 @@ struct PartitionSearch {
     if (anchor == values.size()) return true;
 
     used[anchor] = true;
-    const std::int64_t remaining = target - values[anchor];
+    const std::int64_t remaining = checked_sub(target, values[anchor]);
     for (std::size_t j = anchor + 1; j < values.size(); ++j) {
       if (used[j] || values[j] >= remaining) continue;
       // Duplicate skip: an unused equal-valued predecessor was already tried
       // in this frame; choosing j instead is symmetric.
       if (j > anchor + 1 && values[j] == values[j - 1] && !used[j - 1])
         continue;
-      const std::int64_t need = remaining - values[j];
+      const std::int64_t need = checked_sub(remaining, values[j]);
       if (need > values[j]) continue;  // partners are ordered: x_j >= x_l
       used[j] = true;
       for (std::size_t l = j + 1; l < values.size(); ++l) {
@@ -126,7 +126,7 @@ bool is_valid_three_partition(
     for (const std::size_t index : group) {
       if (index >= instance.items.size() || used[index]) return false;
       used[index] = true;
-      sum += instance.items[index];
+      sum = checked_add(sum, instance.items[index]);
     }
     if (sum != instance.target) return false;
   }
@@ -140,11 +140,11 @@ ThreePartitionInstance random_yes_instance(std::size_t k, std::int64_t B,
   instance.target = B;
   for (std::size_t g = 0; g < k; ++g) {
     // Random 3-composition of B with parts >= 1.
-    const std::int64_t a = prng.uniform_int(1, B - 2);
-    const std::int64_t b = prng.uniform_int(1, B - a - 1);
+    const std::int64_t a = prng.uniform_int(1, checked_sub(B, 2));
+    const std::int64_t b = prng.uniform_int(1, checked_sub(checked_sub(B, a), 1));
     instance.items.push_back(a);
     instance.items.push_back(b);
-    instance.items.push_back(B - a - b);
+    instance.items.push_back(checked_sub(checked_sub(B, a), b));
   }
   prng.shuffle(instance.items);
   return instance;
@@ -159,10 +159,10 @@ std::optional<ThreePartitionInstance> random_no_instance(std::size_t k,
     ThreePartitionInstance candidate = random_yes_instance(k, B, prng);
     // Move one unit between two items: the sum is preserved, solvability
     // usually is not (especially for small B).
-    const auto from = static_cast<std::size_t>(prng.uniform_int(
-        0, static_cast<std::int64_t>(candidate.items.size()) - 1));
-    const auto to = static_cast<std::size_t>(prng.uniform_int(
-        0, static_cast<std::int64_t>(candidate.items.size()) - 1));
+    const std::int64_t last_item =
+        checked_sub(static_cast<std::int64_t>(candidate.items.size()), 1);
+    const auto from = static_cast<std::size_t>(prng.uniform_int(0, last_item));
+    const auto to = static_cast<std::size_t>(prng.uniform_int(0, last_item));
     if (from == to || candidate.items[from] <= 1) continue;
     candidate.items[from] -= 1;
     candidate.items[to] += 1;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/availability.hpp"
+#include "util/checked.hpp"
 #include "util/prng.hpp"
 #include "util/require.hpp"
 
@@ -24,13 +25,13 @@ Instance with_alpha_restricted_reservations(
     for (const Reservation& resa : reservations)
       reserved.add(resa.start, resa.end(), resa.q);
     for (std::size_t i = 0; i < config.count; ++i) {
-      const Time start = prng.uniform_int(0, config.horizon - 1);
+      const Time start = prng.uniform_int(0, checked_sub(config.horizon, 1));
       const Time duration = prng.uniform_int(1, config.max_duration);
-      const ProcCount room =
-          cap - reserved.max_in(start, start + duration);
+      const Time finish = checked_add(start, duration);
+      const ProcCount room = checked_sub(cap, reserved.max_in(start, finish));
       if (room < 1) continue;  // would breach the cap; drop this candidate
       const ProcCount q = prng.uniform_int(1, room);
-      reserved.add(start, start + duration, q);
+      reserved.add(start, finish, q);
       reservations.push_back(
           Reservation{static_cast<ReservationId>(reservations.size()), q,
                       duration, start, ""});
@@ -61,11 +62,11 @@ Instance with_nonincreasing_reservations(const Instance& base,
     drops[s] = prng.uniform_int(1, std::max<ProcCount>(
                                        1, remaining / static_cast<ProcCount>(
                                               steps - s)));
-    remaining -= drops[s];
+    remaining = checked_sub(remaining, drops[s]);
   }
   Time duration = 0;
   for (std::size_t s = 0; s < steps; ++s) {
-    duration += prng.uniform_int(1, config.max_step_duration);
+    duration = checked_add(duration, prng.uniform_int(1, config.max_step_duration));
     if (drops[s] == 0) continue;
     // Block s spans [0, duration) with height drops[s]; stacking all blocks
     // yields U(0) = sum(drops), decreasing as blocks end.
@@ -88,7 +89,8 @@ Instance with_periodic_maintenance(const Instance& base, ProcCount q,
   for (std::size_t i = 0; i < count; ++i) {
     reservations.push_back(Reservation{
         static_cast<ReservationId>(reservations.size()), q, length,
-        phase + static_cast<Time>(i) * period, "maintenance"});
+        checked_add(phase, checked_mul(static_cast<Time>(i), period)),
+        "maintenance"});
   }
   return Instance(base.m(), base.jobs(), std::move(reservations));
 }

@@ -20,7 +20,8 @@ std::vector<Reservation> staircase_to_reservations(
   // Segment j holds value V_j on [s_j, s_{j+1}); the drop V_j - V_{j+1}
   // becomes a block spanning [0, s_{j+1}).
   for (std::size_t j = 0; j + 1 < segments.size(); ++j) {
-    const std::int64_t drop = segments[j].value - segments[j + 1].value;
+    const std::int64_t drop =
+        checked_sub(segments[j].value, segments[j + 1].value);
     RESCHED_CHECK(drop > 0);  // canonical segments + non-increasing
     blocks.push_back(Reservation{static_cast<ReservationId>(blocks.size()),
                                  drop, segments[j].end, 0,
@@ -35,14 +36,14 @@ Instance truncate_availability(const Instance& instance, Time reference) {
                       "truncation transform needs non-increasing U");
   const StepProfile unavailable = unavailability_profile(instance);
   const std::int64_t u_ref = unavailable.value_at(reference);
-  const ProcCount m_prime = instance.m() - u_ref;
+  const ProcCount m_prime = checked_sub(instance.m(), u_ref);
   RESCHED_REQUIRE_MSG(m_prime >= 1, "no machine available at the reference");
 
   // U'(t) = min(U(t), ...) - u_ref clipped to [0, reference); since U is
   // non-increasing, U(t) >= u_ref for t <= reference.
   StepProfile truncated(0);
   for (const auto& segment : unavailable.segments_in(0, reference)) {
-    const std::int64_t excess = segment.value - u_ref;
+    const std::int64_t excess = checked_sub(segment.value, u_ref);
     if (excess > 0) truncated.add(segment.start, segment.end, excess);
   }
   return Instance(m_prime, instance.jobs(),

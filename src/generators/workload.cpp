@@ -86,8 +86,8 @@ StepProfile daily_intensity_profile(Time ticks_per_day) {
     if (kHourlyPercent[hour] == level) continue;
     // hour(t) = t * 24 / tpd (floor) reaches `hour` first at
     // ceil(hour * tpd / 24).
-    curve.add(ceil_div(hour * ticks_per_day, 24), kTimeInfinity,
-              kHourlyPercent[hour] - level);
+    curve.add(ceil_div(checked_mul(hour, ticks_per_day), 24), kTimeInfinity,
+              checked_sub(kHourlyPercent[hour], level));
     level = kHourlyPercent[hour];
   }
   return curve;
@@ -119,9 +119,10 @@ Instance daily_cycle_workload(const DailyCycleConfig& config,
   // arrivals.
   std::vector<Time> arrivals;
   arrivals.reserve(config.n);
-  const Time horizon = static_cast<Time>(config.days) * config.ticks_per_day;
+  const Time horizon =
+      checked_mul(static_cast<Time>(config.days), config.ticks_per_day);
   while (arrivals.size() < config.n) {
-    const Time t = prng.uniform_int(0, horizon - 1);
+    const Time t = prng.uniform_int(0, checked_sub(horizon, 1));
     const auto intensity =
         static_cast<double>(curve.value_at(t % config.ticks_per_day));
     if (prng.uniform_real() * peak < intensity) arrivals.push_back(t);

@@ -253,6 +253,25 @@ std::vector<ScenarioSpec> stock_scenarios(ProcCount m) {
   return specs;
 }
 
+ScenarioSpec trace_scenario(const SwfTrace& trace, std::string name) {
+  RESCHED_REQUIRE_MSG(!trace.jobs.empty(),
+                      "trace has no schedulable job records");
+  RESCHED_REQUIRE(trace.max_procs >= 1);
+  ScenarioSpec spec;
+  spec.name = std::move(name);
+  spec.program = soak_program(trace.max_procs);
+  spec.workload = ScenarioWorkload::kTrace;
+  spec.m = trace.max_procs;
+  spec.trace_jobs = trace.jobs;
+  return spec;
+}
+
+std::vector<ScenarioSpec> stock_scenarios(ProcCount m, const SwfTrace& trace) {
+  std::vector<ScenarioSpec> specs = stock_scenarios(m);
+  specs.push_back(trace_scenario(trace));
+  return specs;
+}
+
 std::vector<AvailabilityWindow> scenario_windows(
     const CompiledScenario& compiled, ProcCount m) {
   std::vector<AvailabilityWindow> windows;

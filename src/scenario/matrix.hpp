@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "scenario/scenario.hpp"
+#include "scenario/swf_reader.hpp"
 #include "sim/campaign.hpp"
 #include "sim/service_sim.hpp"
 #include "util/rational.hpp"
@@ -129,6 +130,18 @@ struct ScenarioMatrixResult {
 // The six committed scenario programs x stock workloads over an
 // m-processor machine (tests/data/*.scn serialize exactly these programs).
 [[nodiscard]] std::vector<ScenarioSpec> stock_scenarios(ProcCount m);
+
+// A parsed SWF trace as a fixed-workload scenario row: whole machine
+// (soak program over trace.max_procs), every instance the identical
+// trace_jobs list. Requires a non-empty trace. tests/data/pwa_sample.swf
+// is the committed sample row.
+[[nodiscard]] ScenarioSpec trace_scenario(const SwfTrace& trace,
+                                          std::string name = "trace");
+
+// The stock matrix plus the trace row; the trace's own machine size wins
+// for that row, so the matrix mixes machine widths on purpose.
+[[nodiscard]] std::vector<ScenarioSpec> stock_scenarios(ProcCount m,
+                                                        const SwfTrace& trace);
 
 // A compiled availability program as service-harness windows: one
 // AvailabilityWindow per unavailability rectangle.

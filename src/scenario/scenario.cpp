@@ -175,18 +175,19 @@ std::vector<Reservation> unavailability_to_reservations(
           "unavailability_to_reservations: profile dips below 0 at t=" +
           std::to_string(segment.start));
     if (segment.value > previous) {
-      open.push_back(Block{segment.start, segment.value - previous});
+      open.push_back(
+          Block{segment.start, checked_sub(segment.value, previous)});
     } else if (segment.value < previous) {
-      std::int64_t fall = previous - segment.value;
+      std::int64_t fall = checked_sub(previous, segment.value);
       while (fall > 0) {
         Block& top = open.back();
         const std::int64_t take = std::min(top.height, fall);
         out.push_back(Reservation{0, static_cast<ProcCount>(take),
                                   checked_sub(segment.start, top.start),
                                   top.start, ""});
-        top.height -= take;
+        top.height = checked_sub(top.height, take);
         if (top.height == 0) open.pop_back();
-        fall -= take;
+        fall = checked_sub(fall, take);
       }
     }
     previous = segment.value;
@@ -245,10 +246,11 @@ ScenarioProgram daily_intensity_program(Time ticks_per_day) {
   program.name = "daily_intensity";
   program.initial = kHourlyPercent[0];
   for (int hour = 0; hour < 24; ++hour) {
-    const Time begin = ceil_div(hour * ticks_per_day, 24);
-    const Time end = ceil_div((hour + 1) * ticks_per_day, 24);
+    const Time begin = ceil_div(checked_mul(hour, ticks_per_day), 24);
+    const Time end = ceil_div(checked_mul(hour + 1, ticks_per_day), 24);
     if (end > begin)
-      program.steps.push_back(soak_at(kHourlyPercent[hour], end - begin));
+      program.steps.push_back(
+          soak_at(kHourlyPercent[hour], checked_sub(end, begin)));
   }
   return program;
 }
@@ -257,7 +259,7 @@ ScenarioProgram daily_availability_program(ProcCount m) {
   RESCHED_REQUIRE(m >= 4);
   // Night: whole machine. Working day: interactive users hold a quarter.
   // One day = 1440 ticks, three days.
-  const std::int64_t daytime = m - m / 4;
+  const std::int64_t daytime = checked_sub(m, m / 4);
   ScenarioProgram program;
   program.name = "daily_cycle";
   program.initial = m;

@@ -142,6 +142,7 @@ CampaignResult run_campaign(const InstanceGenerator& generator,
                 : regenerated.emplace(generator(i, seeds[i]));
         TaskResult& slot = results[i][s];
         const auto scheduler = make_scheduler(names[s]);
+        // resched-lint: determinism-audited(wall-latency telemetry only; never feeds schedules)
         const auto start = std::chrono::steady_clock::now();
         // No exception handling here on purpose: only the typed DomainError
         // arm means "outside the domain". A precondition tripped anywhere
@@ -154,6 +155,7 @@ CampaignResult run_campaign(const InstanceGenerator& generator,
           return;
         }
         slot.seconds = std::chrono::duration<double>(
+        // resched-lint: determinism-audited(wall-latency telemetry only; never feeds schedules)
                            std::chrono::steady_clock::now() - start)
                            .count();
         const Schedule schedule = std::move(outcome).value();

@@ -43,6 +43,7 @@ SimulationResult simulate_cluster(const Instance& instance,
                         "machine acquired twice");
       busy[static_cast<std::size_t>(machine)] = true;
     }
+    // resched-lint: time-arith-audited(counts distinct machines; bounded by m)
     busy_count += static_cast<ProcCount>(machines.size());
     result.peak_busy = std::max(result.peak_busy, busy_count);
   };
@@ -54,6 +55,7 @@ SimulationResult simulate_cluster(const Instance& instance,
                         "idle machine released");
       busy[static_cast<std::size_t>(machine)] = false;
     }
+    // resched-lint: time-arith-audited(counts distinct machines; bounded by m)
     busy_count -= static_cast<ProcCount>(machines.size());
   };
 

@@ -24,7 +24,9 @@ std::size_t LatencyRecorder::bucket_index(std::int64_t value) noexcept {
   const int exponent =
       63 - std::countl_zero(static_cast<std::uint64_t>(value));
   const int shift = exponent - kSubBits;
+  // resched-lint: time-arith-audited(exponent/sub-bucket math bounded by 64 + kSub)
   const std::int64_t sub = (value >> shift) - kSub;
+  // resched-lint: time-arith-audited(exponent/sub-bucket math bounded by 64 + kSub)
   return static_cast<std::size_t>(kSub + shift * kSub + sub);
 }
 
@@ -33,6 +35,7 @@ std::int64_t LatencyRecorder::bucket_low(std::size_t index) noexcept {
   if (i < kSub) return i;
   const std::int64_t shift = (i - kSub) / kSub;
   const std::int64_t sub = (i - kSub) % kSub;
+  // resched-lint: time-arith-audited(inverse bucket map; shift < 64, sub < kSub)
   return (kSub + sub) << shift;
 }
 
@@ -40,6 +43,7 @@ std::int64_t LatencyRecorder::bucket_mid(std::size_t index) noexcept {
   const auto i = static_cast<std::int64_t>(index);
   if (i < kSub) return i;  // exact region: width 1
   const std::int64_t shift = (i - kSub) / kSub;
+  // resched-lint: time-arith-audited(inverse bucket map; shift < 64)
   return bucket_low(index) + ((std::int64_t{1} << shift) >> 1);
 }
 
@@ -52,6 +56,7 @@ void LatencyRecorder::record(std::int64_t value) noexcept {
     max_ = std::max(max_, value);
   }
   ++count_;
+  // resched-lint: time-arith-audited(int64 ns sum; saturating it takes centuries)
   sum_ += value;
   ++buckets_[bucket_index(value)];
 }

@@ -1,8 +1,8 @@
+
 #include "sim/metrics.hpp"
-
-#include <algorithm>
-
+#include "util/checked.hpp"
 #include "util/require.hpp"
+#include <algorithm>
 
 namespace resched {
 
@@ -20,12 +20,12 @@ ScheduleMetrics compute_metrics(const Instance& instance,
   double wait_sum = 0.0;
   double slowdown_sum = 0.0;
   for (const Job& job : instance.jobs()) {
-    const Time wait = schedule.start(job.id) - job.release;
+    const Time wait = checked_sub(schedule.start(job.id), job.release);
     wait_sum += static_cast<double>(wait);
     metrics.max_wait = std::max(metrics.max_wait, wait);
     const double denom = static_cast<double>(std::max(job.p, tau));
     const double slowdown =
-        std::max(1.0, static_cast<double>(wait + job.p) / denom);
+        std::max(1.0, static_cast<double>(checked_add(wait, job.p)) / denom);
     slowdown_sum += slowdown;
     metrics.max_bounded_slowdown =
         std::max(metrics.max_bounded_slowdown, slowdown);

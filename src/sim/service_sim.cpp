@@ -90,6 +90,7 @@ class ServiceLoop {
     result_.sim_end = sim_.now();
     result_.measured = measured_done_;
     if (measured_done_ > 0) {
+      // resched-lint: time-arith-audited(phases keep measure_end_ >= measure_begin_)
       const Time span = std::max<Time>(1, measure_end_ - measure_begin_);
       result_.sustained_rate =
           static_cast<double>(measured_done_) * 1000.0 /
@@ -108,6 +109,7 @@ class ServiceLoop {
   }
 
  private:
+  // resched-lint: determinism-audited(wall-latency percentiles only; sim time is the tick clock)
   using WallClock = std::chrono::steady_clock;
   // Running jobs keyed by arrival index: cancellation erases the record and
   // the stale completion event finds nothing. A sorted vector, not a map:
@@ -198,6 +200,7 @@ class ServiceLoop {
     const auto it = find_running(index);
     if (it == running_.end()) return;  // churn-canceled; stale event
     const ServiceJob& job = jobs_[index];
+    // resched-lint: time-arith-audited(busy_ tracks admitted q; stays in [0, m])
     busy_ -= job.q;
     running_.erase(it);
     ++result_.completed;
@@ -262,6 +265,7 @@ class ServiceLoop {
         // exact tick is effectively done; its event fires this tick).
         // Collected in ascending-key order (running_ is key-sorted), so the
         // pick is bit-identical to the old std::map iteration.
+        // resched-lint: hot-path-alloc-audited(rare churn event, not per-decision)
         std::vector<std::size_t> eligible;
         for (std::size_t i = 0; i < running_.size(); ++i)
           if (running_[i].second.end > now) eligible.push_back(i);
@@ -271,6 +275,7 @@ class ServiceLoop {
             static_cast<std::ptrdiff_t>(eligible[event.pick % eligible.size()]);
         const RunningRec rec = it->second;
         note_canceled(jobs_[it->first]);
+        // resched-lint: time-arith-audited(busy_ tracks admitted q; stays in [0, m])
         busy_ -= rec.q;
         running_.erase(it);  // the pending completion event becomes a no-op
         if (maintain_profile_)
@@ -299,15 +304,19 @@ class ServiceLoop {
         return;
       }
       case ChurnKind::kReservationMove: {
+        // resched-lint: hot-path-alloc-audited(rare churn event, not per-decision)
         std::vector<std::size_t> future;
         for (std::size_t i = 0; i < windows_.size(); ++i)
           if (windows_[i].start > now) future.push_back(i);
         if (future.empty()) break;
         ChurnWindow& window = windows_[future[event.pick % future.size()]];
+        // resched-lint: time-arith-audited(windows are built with end >= start)
         const Time duration = window.end - window.start;
         free_.adjust_capacity(window.start, window.end,
                               static_cast<std::int64_t>(window.width));
+        // resched-lint: time-arith-audited(generator-bounded shift, clamped below)
         Time moved = window.start + event.shift;
+        // resched-lint: time-arith-audited(sim clock is horizon-bounded)
         if (moved <= now) moved = now + 1;
         const Time moved_end = checked_add(moved, duration);
         if (free_.profile().min_in(moved, moved_end) >= window.width) {
@@ -387,6 +396,7 @@ class ServiceLoop {
   }
 
   [[nodiscard]] bool compact_due(Time now, Time threshold) const {
+    // resched-lint: time-arith-audited(monotonic sim clock: now >= last_compact_)
     return now - last_compact_ >= threshold ||
            completions_since_compact_ >= kCompactCompletionBudget;
   }
@@ -493,12 +503,14 @@ class ServiceLoop {
   // Scratch path: translate the live state into a fresh Instance relative
   // to now (running jobs and churn windows as reservations) and full-solve.
   Schedule plan_scratch(Time now, std::size_t k) {
+    // resched-lint: hot-path-alloc-audited(scratch full-solve, non-incremental schedulers only)
     std::vector<Job> window;
     window.reserve(k);
     for (std::size_t j = 0; j < k; ++j) {
       const ServiceJob& job = jobs_[waiting_[j]];
       window.push_back(Job{static_cast<JobId>(j), job.q, job.p, 0, ""});
     }
+    // resched-lint: hot-path-alloc-audited(scratch full-solve, non-incremental schedulers only)
     std::vector<Reservation> held;
     held.reserve(running_.size() + windows_.size());
     ReservationId rid = 0;
@@ -630,6 +642,7 @@ class ServiceLoop {
       // The plan is kept across decisions; dropping it forces the next
       // decision to re-solve the whole window, so rebase only at the
       // compaction deadline.
+      // resched-lint: time-arith-audited(monotonic sim clock: now >= last_compact_)
       if (now - last_compact_ < config_.compact_interval) return;
       drop_retained();
       compact_now(now);
@@ -642,12 +655,14 @@ class ServiceLoop {
     // compaction itself is a single untimed splice, far cheaper).
     drop_retained();
     if (completions_since_compact_ > 0 ||
+        // resched-lint: time-arith-audited(monotonic sim clock: now >= last_compact_)
         now - last_compact_ >= config_.compact_interval)
       compact_now(now);
   }
 
   void start_job(std::uint64_t index) {
     const ServiceJob& job = jobs_[index];
+    // resched-lint: time-arith-audited(busy_ tracks admitted q; stays in [0, m])
     busy_ += job.q;
     RESCHED_CHECK_MSG(busy_ <= m_, "service dispatch exceeded capacity");
     if (job.phase == kMeasure)

@@ -43,6 +43,7 @@ class Prng {
   void shuffle(std::span<T> values) {
     for (std::size_t i = values.size(); i > 1; --i) {
       const auto j = static_cast<std::size_t>(
+        // resched-lint: time-arith-audited(Fisher-Yates has i >= 2, so i - 1 is exact)
           uniform_int(0, static_cast<std::int64_t>(i) - 1));
       using std::swap;
       swap(values[i - 1], values[j]);

@@ -21,6 +21,7 @@ void Table::add_row(std::vector<std::string> cells) {
 
 std::string Table::cell_to_string(double v) { return format_double(v, 4); }
 
+// resched-lint: hot-path-alloc-audited(diagnostic rendering, cold) [function]
 std::string Table::to_string() const {
   std::vector<std::size_t> widths(headers_.size());
   for (std::size_t c = 0; c < headers_.size(); ++c)

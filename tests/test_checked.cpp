@@ -5,6 +5,9 @@
 #include <cstdint>
 #include <limits>
 
+#include "exact/three_partition.hpp"
+#include "generators/adversarial.hpp"
+
 namespace resched {
 namespace {
 
@@ -76,6 +79,47 @@ TEST(Checked, GcdNonNegative) {
   EXPECT_EQ(gcd64(12, -18), 6);
   EXPECT_EQ(gcd64(0, 5), 5);
   EXPECT_EQ(gcd64(0, 0), 0);
+}
+
+// The Theorem 1 reduction computes B + 1, k (B + 1) and rho k (B + 1) from
+// caller-supplied instances. These pin the checked_* routing: a well-formed
+// 3-PARTITION instance whose target sits at the int64 boundary must fault
+// loudly instead of wrapping into a bogus (and plausible-looking) reduction.
+TEST(CheckedRouting, Theorem1ReductionHugeTargetThrows) {
+  // k = 1, items {B - 2, 1, 1} sum to exactly B = INT64_MAX: well-formed,
+  // but B + 1 overflows in the very first reduction step.
+  ThreePartitionInstance partition;
+  partition.items = {kMax - 2, 1, 1};
+  partition.target = kMax;
+  ASSERT_TRUE(partition.well_formed());
+  EXPECT_THROW(theorem1_reduction(partition, 1), std::overflow_error);
+}
+
+TEST(CheckedRouting, Theorem1ReductionHugeRhoThrows) {
+  // Moderate B, absurd rho: the gap-threshold product rho * k * (B + 1)
+  // must throw rather than wrap.
+  ThreePartitionInstance partition;
+  partition.items = {5, 5, 5};
+  partition.target = 15;
+  ASSERT_TRUE(partition.well_formed());
+  EXPECT_THROW(theorem1_reduction(partition, kMax / 8),
+               std::overflow_error);
+}
+
+TEST(CheckedRouting, Theorem1ReductionNormalValuesUnchanged) {
+  // The checked rewrite must not perturb in-range arithmetic: the Fig. 1
+  // formulas k (B + 1) - 1 and rho k (B + 1) hold exactly.
+  ThreePartitionInstance partition;
+  partition.items = {5, 5, 5, 4, 5, 6};
+  partition.target = 15;
+  ASSERT_TRUE(partition.well_formed());
+  const auto reduction = theorem1_reduction(partition, 3);
+  EXPECT_EQ(reduction.k, 2);
+  EXPECT_EQ(reduction.B, 15);
+  EXPECT_EQ(reduction.opt_if_solvable, 2 * 16 - 1);
+  EXPECT_EQ(reduction.gap_threshold, 3 * 2 * 16);
+  EXPECT_EQ(reduction.instance.jobs().size(), 6u);
+  EXPECT_EQ(reduction.instance.reservations().size(), 2u);
 }
 
 // Floor/ceil division must be consistent: ceil(a/b) - floor(a/b) is 1 when b

@@ -135,6 +135,63 @@ TEST(ScenarioMatrix, TraceWorkloadMakesEveryInstanceIdentical) {
   EXPECT_EQ(cell.makespan.min(), cell.makespan.max());
 }
 
+TEST(ScenarioMatrix, CommittedPwaSampleDrivesTheTraceRow) {
+  // The committed synthetic PWA-style sample parses cleanly and becomes
+  // the matrix's fixed-workload row via trace_scenario().
+  const SwfTrace trace =
+      load_swf_trace(std::string(RESCHED_TEST_DATA_DIR) + "/pwa_sample.swf");
+  EXPECT_EQ(trace.max_procs, 32);
+  EXPECT_EQ(trace.parsed, 48u);
+  EXPECT_EQ(trace.skipped, 0u);
+  EXPECT_EQ(trace.clamped_procs, 0u);
+  EXPECT_EQ(trace.clamped_times, 0u);
+  ASSERT_EQ(trace.jobs.size(), 48u);
+  for (const Job& job : trace.jobs) {
+    EXPECT_GT(job.p, 0);
+    EXPECT_GE(job.q, 1);
+    EXPECT_LE(job.q, trace.max_procs);
+    EXPECT_GE(job.release, 0);
+  }
+
+  const ScenarioSpec spec = trace_scenario(trace);
+  EXPECT_EQ(spec.name, "trace");
+  EXPECT_EQ(spec.m, 32);
+  EXPECT_EQ(spec.workload, ScenarioWorkload::kTrace);
+  EXPECT_EQ(spec.trace_jobs.size(), trace.jobs.size());
+
+  // The stock-plus-trace overload appends exactly one row.
+  const std::vector<ScenarioSpec> with_trace = stock_scenarios(16, trace);
+  ASSERT_EQ(with_trace.size(), stock_scenarios(16).size() + 1);
+  EXPECT_EQ(with_trace.back().name, "trace");
+}
+
+TEST(ScenarioMatrix, TraceRowIsIndependentOfThreadCount) {
+  const SwfTrace trace =
+      load_swf_trace(std::string(RESCHED_TEST_DATA_DIR) + "/pwa_sample.swf");
+  ScenarioMatrixConfig config;
+  config.instances = 2;
+  config.seed = 5;
+  config.schedulers = {"fcfs", "easy"};
+  std::string reference_csv;
+  for (const std::size_t threads : {1u, 4u}) {
+    config.threads = threads;
+    const ScenarioMatrixResult result =
+        run_scenario_matrix({trace_scenario(trace)}, config);
+    ASSERT_EQ(result.scenarios.size(), 1u);
+    EXPECT_EQ(result.scenarios[0], "trace");
+    // Identical fixed workload per instance: zero makespan spread.
+    const CampaignCell& cell = result.cell(0, 0).campaign;
+    EXPECT_EQ(cell.scheduled, 2u);
+    EXPECT_EQ(cell.makespan.min(), cell.makespan.max());
+    const std::string csv = result.to_csv();
+    if (reference_csv.empty()) {
+      reference_csv = csv;
+    } else {
+      EXPECT_EQ(csv, reference_csv) << "threads=" << threads;
+    }
+  }
+}
+
 TEST(ScenarioMatrix, ScenarioWindowsMirrorTheUnavailabilityRectangles) {
   const CompiledScenario compiled = compile_scenario(maintenance_program(8));
   const std::vector<AvailabilityWindow> windows =

@@ -1,0 +1,43 @@
+// R1 negative: checked helpers, annotated sites, non-tick locals shadowing
+// tick-typed field names, comparisons, and literal-only arithmetic.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+using Time = std::int64_t;
+
+extern std::int64_t checked_add(std::int64_t a, std::int64_t b);
+extern std::int64_t checked_mul(std::int64_t a, std::int64_t b);
+
+struct Window {
+  Time start = 0;
+  Time end = 0;
+};
+
+Time safe_total(const Window& w, Time pad) {
+  return checked_add(checked_add(w.start, w.end), pad);
+}
+
+// resched-lint: time-arith-audited(duration is clamped to the horizon) [function]
+Time audited_total(const Window& w) {
+  return w.end - w.start;
+}
+
+Time audited_line(Time a, Time b) {
+  // resched-lint: time-arith-audited(callers pass bounded offsets)
+  const Time sum = a + b;
+  return sum;
+}
+
+std::string trim(const std::string& text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();  // shadows the tick-typed field name
+  while (end > begin) --end;
+  return text.substr(begin, end - begin);
+}
+
+bool ordered(const Window& w, Time deadline) {
+  return w.start < deadline && w.end >= deadline;  // comparisons are exempt
+}
+
+int literals_only() { return 3 * 7 + 1; }

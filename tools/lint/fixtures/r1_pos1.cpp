@@ -1,0 +1,26 @@
+// R1 positive: raw arithmetic on Time/ProcCount locals and fields.
+#include <cstdint>
+
+using Time = std::int64_t;
+using ProcCount = std::int64_t;
+
+struct Job {
+  Time p = 0;
+  Time release = 0;
+  ProcCount q = 0;
+};
+
+Time finish_time(const Job& job, Time start) {
+  return start + job.p;  // LINT-EXPECT: R1
+}
+
+Time horizon_of(Time horizon, Time pad) {
+  Time h = horizon * 2;       // LINT-EXPECT: R1
+  h = h - pad;                // LINT-EXPECT: R1
+  return h;
+}
+
+ProcCount drain(ProcCount capacity, const Job& job) {
+  capacity -= job.q;  // LINT-EXPECT: R1
+  return capacity;
+}

@@ -1,0 +1,24 @@
+// R1 positive: tick-returning functions, member fields through accessors,
+// and arithmetic smuggled through parentheses.
+#include <cstdint>
+
+using Time = std::int64_t;
+
+struct Span {
+  Time start = 0;
+  Time end = 0;
+  Time length() const { return end - start; }  // LINT-EXPECT: R1
+};
+
+Time total_of(const Span& a, const Span& b) {
+  return a.length() + b.length();  // LINT-EXPECT: R1
+}
+
+Time scaled(const Span& s, std::int64_t factor) {
+  return (s.end - s.start) * factor;  // LINT-EXPECT: R1
+}
+
+std::int64_t accumulate_ticks(std::int64_t acc, Time value) {
+  acc += value;  // LINT-EXPECT: R1
+  return acc;
+}

@@ -1,0 +1,24 @@
+// R2 negative: membership-only unordered use, audited telemetry clock,
+// and iteration over an ordered container.
+#include <chrono>
+#include <map>
+#include <unordered_set>
+
+struct Catalog {
+  std::unordered_set<int> members;
+
+  bool has(int id) const { return members.count(id) > 0; }
+  bool lookup(int id) const { return members.find(id) != members.end(); }
+};
+
+long telemetry_stamp() {
+  // resched-lint: determinism-audited(wall-latency telemetry only)
+  auto t0 = std::chrono::steady_clock::now();
+  return t0.time_since_epoch().count();
+}
+
+int sum_sorted(const std::map<int, int>& table) {
+  int acc = 0;
+  for (const auto& kv : table) acc += kv.second;  // ordered: deterministic
+  return acc;
+}

@@ -1,0 +1,25 @@
+// R2 positive: iterating unordered containers into deterministic output.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+struct Aggregator {
+  std::unordered_map<std::int32_t, std::int64_t> totals;
+  std::unordered_set<std::int32_t> members;
+
+  std::vector<std::int32_t> ids_in_hash_order() const {
+    std::vector<std::int32_t> out;
+    for (const auto& entry : totals) {  // LINT-EXPECT: R2
+      out.push_back(entry.first);
+    }
+    return out;
+  }
+
+  std::vector<std::int32_t> keys_in_hash_order() const {
+    std::vector<std::int32_t> out;
+    for (auto it = members.begin(); it != members.end(); ++it)  // LINT-EXPECT: R2
+      out.push_back(*it);
+    return out;
+  }
+};

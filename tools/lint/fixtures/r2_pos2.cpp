@@ -1,0 +1,23 @@
+// R2 positive: entropy sources, wall clocks, and pointer-keyed ordering.
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <random>
+
+struct Widget { int id = 0; };
+
+int jitter() {
+  std::random_device rd;                       // LINT-EXPECT: R2
+  return static_cast<int>(rd()) + rand();      // LINT-EXPECT: R2
+}
+
+long stamp() {
+  auto t0 = std::chrono::steady_clock::now();  // LINT-EXPECT: R2
+  return t0.time_since_epoch().count();
+}
+
+int rank_by_address(const Widget& w) {
+  std::map<const Widget*, int> by_ptr;         // LINT-EXPECT: R2
+  by_ptr[&w] = w.id;
+  return static_cast<int>(by_ptr.size());
+}

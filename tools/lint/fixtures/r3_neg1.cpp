@@ -1,0 +1,27 @@
+// R3 negative: exempt scratch views, static (recycled) locals, audited
+// warmup allocation, placement new, and allocations in cold functions
+// unreachable from the hot-path roots.
+#include <new>
+#include <span>
+#include <vector>
+
+struct Arena {
+  unsigned char* slot();
+};
+struct Decision { int job = 0; };
+
+void cold_report() {
+  std::vector<int> rows;  // not reachable from any root
+  rows.push_back(1);
+}
+
+int schedule(Arena& arena, std::span<const int> jobs) {
+  std::span<const int> view = jobs;  // non-owning view, exempt
+  static std::vector<int> cache;     // recycled across calls
+  // resched-lint: hot-path-alloc-audited(one-time warmup buffer, amortized)
+  int* warm = new int[8];
+  delete[] warm;
+  cache.push_back(static_cast<int>(view.size()));
+  Decision* d = new (arena.slot()) Decision{};  // placement new: arena-owned
+  return d->job;
+}

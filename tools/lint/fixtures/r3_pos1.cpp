@@ -1,0 +1,12 @@
+// R3 positive: allocation directly inside a schedule() root.
+#include <vector>
+
+struct Plan { int jobs = 0; };
+
+Plan* schedule(int m) {
+  std::vector<int> order;   // LINT-EXPECT: R3
+  order.push_back(m);
+  Plan* plan = new Plan();  // LINT-EXPECT: R3
+  plan->jobs = m;
+  return plan;
+}

@@ -1,0 +1,24 @@
+// R3 positive: allocations one hop below a ServiceLoop dispatch root.
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+struct Decision { int job = 0; };
+
+struct ServiceLoop {
+  void dispatch(int now);
+};
+
+static void rank_decisions(std::vector<Decision>& pending) {
+  auto scratch = std::make_unique<int[]>(pending.size());  // LINT-EXPECT: R3
+  (void)scratch;
+  std::stable_sort(                                        // LINT-EXPECT: R3
+      pending.begin(), pending.end(),
+      [](const Decision& a, const Decision& b) { return a.job < b.job; });
+}
+
+void ServiceLoop::dispatch(int now) {
+  std::vector<Decision> pending;  // LINT-EXPECT: R3
+  pending.push_back(Decision{now});
+  rank_decisions(pending);
+}

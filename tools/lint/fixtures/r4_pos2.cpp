@@ -1,0 +1,15 @@
+// R4 positive: legacy 3-arg uncommit plus an unresolved commit elsewhere.
+struct Plan {
+  int commit_tentative(int t, int q);
+  void uncommit(int t, int q, int p);
+};
+
+void legacy_cancel(Plan& plan, int t, int q, int p) {
+  plan.uncommit(t, q, p);  // LINT-EXPECT: R4
+}
+
+int fire_and_forget(Plan& plan, int t) {
+  int token = plan.commit_tentative(t, 1);  // LINT-EXPECT: R4
+  (void)token;
+  return t;
+}
